@@ -1,0 +1,75 @@
+// Fig. 7c: CPU share of the co-located batch application vs LC load.
+//
+// Paper result to reproduce (shape): Skyloft, ghOSt, and Linux all hand the
+// batch app most of the machine at low LC load and progressively less toward
+// saturation; original Shinjuku gives the batch app exactly zero at every
+// load (dedicated cores).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/batch_app.h"
+#include "src/apps/workloads.h"
+
+namespace skyloft {
+namespace {
+
+constexpr int kWorkers = 20;
+
+double MeasureBeShare(const std::string& kind, double rate_rps, const RequestMix& mix) {
+  SystemSetup setup;
+  App* be = nullptr;
+  if (kind == "skyloft") {
+    setup = MakeSkyloftShinjuku(kWorkers, Micros(30), true);
+    be = setup.engine->CreateApp("batch", true);
+    setup.central()->AttachBestEffortApp(be);
+  } else if (kind == "ghost") {
+    setup = MakeGhost(kWorkers, Micros(30), true);
+    be = setup.engine->CreateApp("batch", true);
+    setup.central()->AttachBestEffortApp(be);
+  } else if (kind == "shinjuku") {
+    setup = MakeShinjukuOriginal(kWorkers, Micros(30));
+    be = setup.engine->CreateApp("batch", true);  // never scheduled: no allocator
+  } else {
+    setup = MakeLinuxCfsCentralWorkload(kWorkers);
+    be = setup.engine->CreateApp("batch", true);
+    auto* driver = new BatchAppDriver(setup.engine.get(), be,
+                                      BatchAppDriver::Options{.tasks = kWorkers,
+                                                              .chunk_ns = Millis(1)});
+    driver->Start();
+  }
+  LoadPointOptions options;
+  options.warmup = Millis(50);
+  options.measure = Millis(400);
+  options.rss_route = false;
+  options.be_app = be;
+  return RunLoadPoint(setup, mix, rate_rps, options).be_share;
+}
+
+void Main() {
+  const RequestMix mix = DispersiveMix();
+  const double capacity_rps = kWorkers / (MixMeanNs(mix) / 1e9);
+  const std::vector<double> load_fracs = {0.05, 0.2, 0.4, 0.6, 0.8, 0.95};
+
+  std::vector<std::string> cols = {"be share"};
+  for (const double f : load_fracs) {
+    cols.push_back(std::to_string(static_cast<int>(f * 100)) + "% load");
+  }
+  PrintHeader("Fig.7c CPU share of the batch application vs LC load", cols);
+  for (const char* kind : {"skyloft", "ghost", "linux", "shinjuku"}) {
+    PrintCell(kind);
+    for (const double frac : load_fracs) {
+      PrintCell(MeasureBeShare(kind, capacity_rps * frac, mix));
+    }
+    EndRow();
+  }
+  std::printf(
+      "\nExpected shape: skyloft ~= ghost ~= linux (high share at low load,\n"
+      "falling toward 0 near saturation); shinjuku pinned at 0.\n");
+}
+
+}  // namespace
+}  // namespace skyloft
+
+int main() { skyloft::Main(); }

@@ -1,0 +1,80 @@
+// Shared helpers for the figure/table benchmarks: open-loop load-point
+// driver with warmup, and fixed-width table printing.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/baselines/systems.h"
+#include "src/net/loadgen.h"
+
+namespace skyloft {
+
+struct LoadPointResult {
+  double offered_rps = 0;
+  double achieved_rps = 0;
+  std::int64_t p50_ns = 0;
+  std::int64_t p99_ns = 0;
+  std::int64_t p999_ns = 0;
+  std::int64_t p999_slowdown_x100 = 0;
+  double be_share = 0;  // CPU share of the best-effort app, if any
+};
+
+struct LoadPointOptions {
+  DurationNs warmup = Millis(20);
+  DurationNs measure = Millis(300);
+  DurationNs wire_ns = 0;
+  bool rss_route = true;
+  std::uint64_t seed = 1;
+  App* be_app = nullptr;  // include this app's CPU share in the result
+};
+
+// Drives `setup` with an open-loop Poisson client at `rate_rps` and returns
+// measured latency/throughput after discarding the warmup window.
+inline LoadPointResult RunLoadPoint(SystemSetup& setup, const RequestMix& mix, double rate_rps,
+                                    const LoadPointOptions& options) {
+  PoissonClient::Options copts;
+  copts.rate_rps = rate_rps;
+  copts.seed = options.seed;
+  copts.rss_route = options.rss_route;
+  copts.wire_ns = options.wire_ns;
+  PoissonClient client(setup.engine.get(), setup.app, mix, copts);
+  client.Start();
+  setup.sim->RunUntil(options.warmup);
+  setup.engine->ResetStats();
+  setup.sim->RunUntil(options.warmup + options.measure);
+
+  LoadPointResult result;
+  result.offered_rps = rate_rps;
+  EngineStats& stats = setup.engine->stats();
+  result.achieved_rps = stats.ThroughputRps(setup.sim->Now());
+  result.p50_ns = stats.request_latency.Percentile(0.5);
+  result.p99_ns = stats.request_latency.Percentile(0.99);
+  result.p999_ns = stats.request_latency.Percentile(0.999);
+  result.p999_slowdown_x100 = stats.slowdown_x100.Percentile(0.999);
+  if (options.be_app != nullptr) {
+    result.be_share = setup.engine->CpuShare(options.be_app);
+  }
+  client.Stop();
+  return result;
+}
+
+inline void PrintHeader(const std::string& title, const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (const auto& c : columns) {
+    std::printf("%16s", c.c_str());
+  }
+  std::printf("\n");
+}
+
+inline void PrintCell(double v) { std::printf("%16.1f", v); }
+inline void PrintCell(std::int64_t v) { std::printf("%16lld", static_cast<long long>(v)); }
+inline void PrintCell(const char* v) { std::printf("%16s", v); }
+inline void EndRow() { std::printf("\n"); }
+
+}  // namespace skyloft
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,145 @@
+// §6 "Peripheral interrupts" demo: a fully interrupt-driven, kernel-bypass
+// NIC receive path on the simulated machine.
+//
+// Three configurations process the same packet stream:
+//   1. kernel IRQ:   NIC MSI -> kernel handler -> signal-ish cost per batch
+//   2. polling:      a dedicated core spins on the rings (DPDK style)
+//   3. user-IRQ:     NIC MSI delegated to user space with the UINV + SN-bit
+//                    PIR trick — no kernel, no burned polling core
+// and the demo reports per-packet handling latency for each.
+//
+//   ./build/examples/interrupt_driven_nic
+#include <cstdio>
+#include <memory>
+
+#include "src/base/histogram.h"
+#include "src/net/nic.h"
+#include "src/simcore/machine.h"
+#include "src/uintr/msi_device.h"
+
+using namespace skyloft;
+
+namespace {
+
+constexpr int kPackets = 20'000;
+constexpr DurationNs kInterArrival = Micros(3);
+constexpr DurationNs kWire = Micros(5);
+
+struct Rig {
+  Rig() : machine(&sim, MakeConfig()), chip(&machine) {}
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.num_cores = 2;
+    return config;
+  }
+  Simulation sim;
+  Machine machine;
+  UintrChip chip;
+};
+
+void GenerateTraffic(Rig& rig, Nic& nic) {
+  for (int i = 0; i < kPackets; i++) {
+    rig.sim.ScheduleAt(static_cast<TimeNs>(i) * kInterArrival, [&nic, i] {
+      Packet p;
+      p.flow = static_cast<std::uint64_t>(i);
+      p.sent_at = static_cast<TimeNs>(i) * kInterArrival;
+      nic.Transmit(p);
+    });
+  }
+}
+
+void Report(const char* name, const LatencyHistogram& h) {
+  std::printf("%-12s packets=%llu  p50=%lldns  p99=%lldns  max=%lldns\n", name,
+              static_cast<unsigned long long>(h.Count()),
+              static_cast<long long>(h.Percentile(0.5)),
+              static_cast<long long>(h.Percentile(0.99)),
+              static_cast<long long>(h.Max()));
+}
+
+// 1. Kernel path: MSI hits the kernel, which hands the packet to user space
+// at signal-delivery cost.
+void RunKernelIrq() {
+  Rig rig;
+  LatencyHistogram latency;
+  auto nic = std::make_unique<Nic>(&rig.sim, 1, kWire, 1024, nullptr);
+  MsiDevice msi(&rig.chip, 0, kNicMsiVector);
+  rig.chip.SetLegacyHandler([&](CoreId, int) {
+    // Kernel IRQ -> wake the user process: pay a kernel->user notification.
+    rig.sim.ScheduleAfter(rig.machine.costs().SignalDeliveryNs(), [&] {
+      Packet p;
+      while (nic->PollQueue(0, &p)) {
+        latency.Record(rig.sim.Now() - p.sent_at);
+      }
+    });
+  });
+  nic = std::make_unique<Nic>(&rig.sim, 1, kWire, 1024, [&](int) { msi.Raise(); });
+  GenerateTraffic(rig, *nic);
+  rig.sim.Run();
+  Report("kernel-irq", latency);
+}
+
+// 2. Poll mode: a core checks the ring every microsecond (the polling gap is
+// the price; the polling core itself is the bigger, unshown price).
+void RunPolling() {
+  Rig rig;
+  LatencyHistogram latency;
+  Nic nic(&rig.sim, 1, kWire, 1024, nullptr);
+  std::function<void()> poll = [&] {
+    Packet p;
+    while (nic.PollQueue(0, &p)) {
+      latency.Record(rig.sim.Now() - p.sent_at);
+    }
+    if (latency.Count() < kPackets) {
+      rig.sim.ScheduleAfter(Micros(1), poll);
+    }
+  };
+  rig.sim.ScheduleAfter(Micros(1), poll);
+  GenerateTraffic(rig, nic);
+  rig.sim.Run();
+  Report("polling", latency);
+}
+
+// 3. User-space interrupt: MSI delegated with the §3.2 recipe.
+void RunUserIrq() {
+  Rig rig;
+  LatencyHistogram latency;
+  auto nic = std::make_unique<Nic>(&rig.sim, 1, kWire, 1024, nullptr);
+  MsiDevice msi(&rig.chip, 0, kNicMsiVector);
+  Upid upid;
+  upid.sn = true;
+  upid.ndst = 0;
+  upid.nv = kNicMsiVector;
+  UserInterruptUnit& unit = rig.chip.unit(0);
+  unit.SetUinv(kNicMsiVector);
+  unit.SetActiveUpid(&upid);
+  const int self_idx = rig.chip.RegisterUittEntry(0, &upid, 2);
+  unit.SetHandler([&](const UintrFrame& frame) {
+    rig.chip.SendUipi(0, self_idx);  // re-arm
+    // Handler cost before touching the data.
+    rig.sim.ScheduleAfter(frame.receive_cost_ns, [&] {
+      Packet p;
+      while (nic->PollQueue(0, &p)) {
+        latency.Record(rig.sim.Now() - p.sent_at);
+      }
+    });
+  });
+  rig.chip.SendUipi(0, self_idx);  // prime the PIR
+  nic = std::make_unique<Nic>(&rig.sim, 1, kWire, 1024, [&](int) { msi.Raise(); });
+  GenerateTraffic(rig, *nic);
+  rig.sim.Run();
+  Report("user-irq", latency);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("interrupt-driven NIC rx, %d packets @ one every %lld ns (wire %lld ns)\n",
+              kPackets, static_cast<long long>(kInterArrival), static_cast<long long>(kWire));
+  RunKernelIrq();
+  RunPolling();
+  RunUserIrq();
+  std::printf(
+      "\nuser-irq achieves polling-class latency without a dedicated polling\n"
+      "core, and beats the kernel path by the signal-delivery cost (~2.6us).\n");
+  return 0;
+}

@@ -1,0 +1,172 @@
+// A real in-memory KV server on the Skyloft host runtime.
+//
+// Models the paper's Memcached scenario (§5.3) end-to-end with *real* code:
+// a closed-loop set of client uthreads issue GET/SET/SCAN against a sharded
+// KvStore served by uthread workers; UDP framing uses the repo's codec. All
+// of it runs on the M:N runtime with work stealing and (optionally)
+// preemption.
+//
+//   ./build/examples/kv_server [workers] [clients] [requests_per_client]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/apps/kvstore.h"
+#include "src/base/histogram.h"
+#include "src/net/udp.h"
+#include "src/runtime/sync.h"
+#include "src/runtime/uthread.h"
+
+using skyloft::KvStore;
+using skyloft::LatencyHistogram;
+using skyloft::Runtime;
+using skyloft::RuntimeOptions;
+using skyloft::UThread;
+
+namespace {
+
+constexpr int kShards = 8;
+
+struct Shard {
+  skyloft::UthreadMutex mutex;
+  KvStore store;
+};
+
+Shard g_shards[kShards];
+
+int ShardOf(const std::string& key) {
+  unsigned h = 2166136261u;
+  for (const char c : key) {
+    h = (h ^ static_cast<unsigned char>(c)) * 16777619u;
+  }
+  return static_cast<int>(h % kShards);
+}
+
+// Serves one request; returns the reply payload.
+std::string Serve(const std::string& request) {
+  // Wire format: "GET key" | "SET key value" | "SCAN start limit"
+  const auto sp1 = request.find(' ');
+  const std::string op = request.substr(0, sp1);
+  if (op == "GET") {
+    const std::string key = request.substr(sp1 + 1);
+    Shard& shard = g_shards[ShardOf(key)];
+    skyloft::UthreadMutexGuard guard(&shard.mutex);
+    auto value = shard.store.Get(key);
+    return value ? "VALUE " + *value : "NOT_FOUND";
+  }
+  if (op == "SET") {
+    const auto sp2 = request.find(' ', sp1 + 1);
+    const std::string key = request.substr(sp1 + 1, sp2 - sp1 - 1);
+    Shard& shard = g_shards[ShardOf(key)];
+    skyloft::UthreadMutexGuard guard(&shard.mutex);
+    shard.store.Set(key, request.substr(sp2 + 1));
+    return "STORED";
+  }
+  if (op == "SCAN") {
+    const auto sp2 = request.find(' ', sp1 + 1);
+    const std::string start = request.substr(sp1 + 1, sp2 - sp1 - 1);
+    const auto limit = static_cast<std::size_t>(std::stoul(request.substr(sp2 + 1)));
+    std::string reply;
+    for (int s = 0; s < kShards; s++) {  // heavy: touches every shard
+      skyloft::UthreadMutexGuard guard(&g_shards[s].mutex);
+      for (const auto& [k, v] : g_shards[s].store.Scan(start, limit)) {
+        reply += k + "=" + v + ";";
+      }
+    }
+    return reply.empty() ? "EMPTY" : reply;
+  }
+  return "ERROR";
+}
+
+// Round-trips a request through the UDP codec (client -> wire -> server),
+// as the paper's UDP stack does, then serves it.
+std::string RoundTrip(const std::string& request) {
+  skyloft::UdpDatagram dgram;
+  dgram.ip.src_addr = 0x0a000001;
+  dgram.ip.dst_addr = 0x0a000002;
+  dgram.udp.src_port = 40000;
+  dgram.udp.dst_port = 11211;
+  dgram.payload.assign(request.begin(), request.end());
+  const auto wire = skyloft::SerializeUdp(dgram);
+  const auto parsed = skyloft::ParseUdp(wire);
+  if (!parsed) {
+    return "DROP";
+  }
+  return Serve(std::string(parsed->payload.begin(), parsed->payload.end()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int workers = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int clients = argc > 2 ? std::atoi(argv[2]) : 16;
+  const int requests = argc > 3 ? std::atoi(argv[3]) : 5000;
+
+  Runtime rt(RuntimeOptions{.workers = workers, .preempt_period_us = 1000});
+  LatencyHistogram latency;
+  skyloft::UthreadMutex latency_mutex;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  rt.Run([&] {
+    // Preload.
+    for (int i = 0; i < 10'000; i++) {
+      const std::string key = "user" + std::to_string(i);
+      g_shards[ShardOf(key)].store.Set(key, "profile-" + std::to_string(i));
+    }
+    std::vector<UThread*> threads;
+    for (int c = 0; c < clients; c++) {
+      threads.push_back(Runtime::Spawn([&, c] {
+        unsigned rng = static_cast<unsigned>(c) * 2654435761u + 1;
+        for (int r = 0; r < requests; r++) {
+          rng = rng * 1664525u + 1013904223u;
+          std::string request;
+          const unsigned roll = rng % 1000;
+          const std::string key = "user" + std::to_string(rng % 10'000);
+          if (roll < 2) {
+            request = "SCAN user 64";  // rare heavy range query (RocksDB-style)
+          } else if (roll < 4) {
+            request = "SET " + key + " updated";
+          } else {
+            request = "GET " + key;  // USR: overwhelmingly GETs
+          }
+          const auto t0 = std::chrono::steady_clock::now();
+          const std::string reply = RoundTrip(request);
+          const auto t1 = std::chrono::steady_clock::now();
+          if (reply == "ERROR" || reply == "DROP") {
+            std::fprintf(stderr, "bad reply for %s\n", request.c_str());
+            std::abort();
+          }
+          {
+            skyloft::UthreadMutexGuard guard(&latency_mutex);
+            latency.Record(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+          }
+          if (r % 64 == 0) {
+            Runtime::Yield();
+          }
+        }
+      }));
+    }
+    for (UThread* t : threads) {
+      Runtime::Join(t);
+    }
+  });
+  const auto wall_end = std::chrono::steady_clock::now();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(wall_end - wall_start).count();
+
+  std::printf("kv_server: %d workers, %d clients x %d requests\n", workers, clients, requests);
+  std::printf("throughput: %.0f req/s (wall %.2fs)\n",
+              static_cast<double>(latency.Count()) / secs, secs);
+  std::printf("latency ns: p50=%lld p99=%lld p99.9=%lld max=%lld\n",
+              static_cast<long long>(latency.Percentile(0.5)),
+              static_cast<long long>(latency.Percentile(0.99)),
+              static_cast<long long>(latency.Percentile(0.999)),
+              static_cast<long long>(latency.Max()));
+  std::printf("runtime: %llu preemptions, %llu steals\n",
+              static_cast<unsigned long long>(rt.preemptions()),
+              static_cast<unsigned long long>(rt.steals()));
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Multi-application core sharing demo (§3.3, §5.2): a latency-critical app
+// and a best-effort batch app share 8 isolated cores under the Shenango-style
+// core allocator, with the Single Binding Rule enforced by the simulated
+// Skyloft kernel module.
+//
+// The LC load alternates between quiet and burst phases; the demo prints how
+// many cores the batch app holds over time and the LC tail latency per phase.
+//
+//   ./build/examples/multi_app
+#include <cstdio>
+#include <vector>
+
+#include "src/apps/workloads.h"
+#include "src/baselines/systems.h"
+#include "src/net/loadgen.h"
+
+using namespace skyloft;
+
+int main() {
+  constexpr int kWorkers = 8;
+  SystemSetup setup = MakeSkyloftShinjuku(kWorkers, Micros(30), /*core_alloc=*/true);
+  App* batch = setup.engine->CreateApp("batch", /*best_effort=*/true);
+  setup.central()->AttachBestEffortApp(batch);
+
+  const double capacity = kWorkers / (MixMeanNs(DispersiveMix()) / 1e9);
+
+  std::printf("phase     load      LC p99(us)   batch cores   batch CPU share\n");
+  for (int phase = 0; phase < 6; phase++) {
+    const bool burst = phase % 2 == 1;
+    const double rate = capacity * (burst ? 0.85 : 0.05);
+
+    PoissonClient::Options options;
+    options.rate_rps = rate;
+    options.seed = static_cast<std::uint64_t>(phase) + 1;
+    options.rss_route = false;
+    PoissonClient client(setup.engine.get(), setup.app, DispersiveMix(), options);
+    client.Start();
+    setup.sim->RunUntil(setup.sim->Now() + Millis(30));  // settle into the phase
+    setup.engine->ResetStats();
+    setup.sim->RunUntil(setup.sim->Now() + Millis(100));  // measured window
+
+    std::printf("%-9s %5.0f%%   %10lld   %11d   %15.2f\n", burst ? "burst" : "quiet",
+                burst ? 85.0 : 5.0,
+                static_cast<long long>(
+                    setup.engine->stats().request_latency.Percentile(0.99) / 1000),
+                setup.central()->BestEffortWorkers(), setup.engine->CpuShare(batch));
+    setup.kernel->CheckBindingRule();
+
+    // Drain the in-flight tail (the 10 ms scans) before the next phase so
+    // each phase is measured in isolation.
+    client.Stop();
+    setup.sim->RunUntil(setup.sim->Now() + Millis(200));
+  }
+  std::printf(
+      "\nQuiet phases: the allocator hands almost every core to the batch app.\n"
+      "Burst phases: cores snap back to the LC app within the 5 us congestion\n"
+      "check, keeping its p99 flat — the Fig. 7b/7c behaviour.\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+#include "src/apps/batch_app.h"
+
+namespace skyloft {
+
+void BatchAppDriver::Start() {
+  for (int i = 0; i < options_.tasks; i++) {
+    Task* task = engine_->NewTask(app_, options_.chunk_ns, /*kind=*/3);
+    // Each chunk completion immediately queues the next chunk; the task
+    // effectively never finishes, it just keeps yielding the CPU back to the
+    // scheduler at chunk boundaries.
+    task->on_segment_end = [this](Task* t) {
+      engine_->machine().sim().ScheduleAfter(
+          0, [this, t] { engine_->WakeTask(t, options_.chunk_ns); });
+      return SegmentAction::kBlock;
+    };
+    tasks_.push_back(task);
+    engine_->Submit(task);
+  }
+}
+
+}  // namespace skyloft

@@ -1,0 +1,41 @@
+// Best-effort batch application driver for per-CPU engines (Fig. 7b/7c's
+// Linux comparison point): a fixed population of long-running chunked tasks
+// that soak up whatever CPU the scheduler gives them.
+//
+// Centralized engines manage their batch app internally (CentralizedEngine::
+// AttachBestEffortApp); this helper exists for schedulers without a core
+// allocator, where batch work simply competes in the shared runqueues.
+#ifndef SRC_APPS_BATCH_APP_H_
+#define SRC_APPS_BATCH_APP_H_
+
+#include <vector>
+
+#include "src/libos/engine.h"
+
+namespace skyloft {
+
+class BatchAppDriver {
+ public:
+  struct Options {
+    int tasks = 8;                        // batch population
+    DurationNs chunk_ns = Millis(1);      // work per segment
+  };
+
+  BatchAppDriver(Engine* engine, App* app, Options options)
+      : engine_(engine), app_(app), options_(options) {}
+
+  void Start();
+
+  // Total CPU consumed by the batch app since the engine's last stats reset.
+  double CpuShare() { return engine_->CpuShare(app_); }
+
+ private:
+  Engine* engine_;
+  App* app_;
+  Options options_;
+  std::vector<Task*> tasks_;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_APPS_BATCH_APP_H_

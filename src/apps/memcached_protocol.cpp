@@ -1,0 +1,115 @@
+#include "src/apps/memcached_protocol.h"
+
+#include <charconv>
+#include <vector>
+
+namespace skyloft {
+
+namespace {
+
+// Splits a command line (no CRLF) on single spaces.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t space = line.find(' ', start);
+    if (space == std::string::npos) {
+      tokens.push_back(line.substr(start));
+      break;
+    }
+    tokens.push_back(line.substr(start, space - start));
+    start = space + 1;
+  }
+  return tokens;
+}
+
+bool ParseU32(const std::string& s, std::uint32_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+std::optional<McCommand> ParseMcCommand(const std::string& input, std::size_t* pos) {
+  const std::size_t line_end = input.find("\r\n", *pos);
+  if (line_end == std::string::npos) {
+    return std::nullopt;  // incomplete line
+  }
+  const std::string line = input.substr(*pos, line_end - *pos);
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty() || tokens[0].empty()) {
+    return std::nullopt;
+  }
+
+  McCommand command;
+  if (tokens[0] == "get" && tokens.size() == 2) {
+    command.op = McOp::kGet;
+    command.key = tokens[1];
+    *pos = line_end + 2;
+    return command;
+  }
+  if (tokens[0] == "delete" && tokens.size() == 2) {
+    command.op = McOp::kDelete;
+    command.key = tokens[1];
+    *pos = line_end + 2;
+    return command;
+  }
+  if (tokens[0] == "set" && tokens.size() == 5) {
+    command.op = McOp::kSet;
+    command.key = tokens[1];
+    std::uint32_t bytes = 0;
+    if (!ParseU32(tokens[2], &command.flags) || !ParseU32(tokens[3], &command.exptime) ||
+        !ParseU32(tokens[4], &bytes)) {
+      return std::nullopt;
+    }
+    const std::size_t data_start = line_end + 2;
+    if (input.size() < data_start + bytes + 2) {
+      return std::nullopt;  // data block incomplete
+    }
+    if (input.compare(data_start + bytes, 2, "\r\n") != 0) {
+      return std::nullopt;  // malformed: missing data terminator
+    }
+    command.data = input.substr(data_start, bytes);
+    *pos = data_start + bytes + 2;
+    return command;
+  }
+  return std::nullopt;
+}
+
+std::string ExecuteMcCommand(KvStore& store, const McCommand& command) {
+  switch (command.op) {
+    case McOp::kGet: {
+      const auto value = store.Get(command.key);
+      if (!value) {
+        return "END\r\n";
+      }
+      return "VALUE " + command.key + " 0 " + std::to_string(value->size()) + "\r\n" + *value +
+             "\r\nEND\r\n";
+    }
+    case McOp::kSet:
+      store.Set(command.key, command.data);
+      return "STORED\r\n";
+    case McOp::kDelete:
+      return store.Delete(command.key) ? "DELETED\r\n" : "NOT_FOUND\r\n";
+  }
+  return "ERROR\r\n";
+}
+
+std::string FormatMcCommand(const McCommand& command) {
+  switch (command.op) {
+    case McOp::kGet:
+      return "get " + command.key + "\r\n";
+    case McOp::kDelete:
+      return "delete " + command.key + "\r\n";
+    case McOp::kSet:
+      return "set " + command.key + " " + std::to_string(command.flags) + " " +
+             std::to_string(command.exptime) + " " + std::to_string(command.data.size()) +
+             "\r\n" + command.data + "\r\n";
+  }
+  return "";
+}
+
+}  // namespace skyloft

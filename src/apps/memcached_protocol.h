@@ -1,0 +1,46 @@
+// Memcached text protocol codec (the wire format of the §5.3 Memcached
+// evaluation). Parses client command lines into structured commands and
+// formats server responses; used by the KV example/server path and the
+// application tests.
+//
+// Supported subset (what the USR workload exercises):
+//   get <key>\r\n
+//   set <key> <flags> <exptime> <bytes>\r\n<data>\r\n
+//   delete <key>\r\n
+#ifndef SRC_APPS_MEMCACHED_PROTOCOL_H_
+#define SRC_APPS_MEMCACHED_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/apps/kvstore.h"
+
+namespace skyloft {
+
+enum class McOp { kGet, kSet, kDelete };
+
+struct McCommand {
+  McOp op = McOp::kGet;
+  std::string key;
+  std::uint32_t flags = 0;
+  std::uint32_t exptime = 0;
+  std::string data;  // kSet only
+};
+
+// Parses one complete request starting at `input[pos]`. On success advances
+// *pos past the request (including the data block and trailing CRLF for set)
+// and returns the command; returns nullopt when the input is incomplete or
+// malformed (distinguish via *pos: unchanged means incomplete/malformed).
+std::optional<McCommand> ParseMcCommand(const std::string& input, std::size_t* pos);
+
+// Executes a command against a store and returns the wire response
+// ("VALUE <key> <flags> <bytes>\r\n<data>\r\nEND\r\n", "STORED\r\n", ...).
+std::string ExecuteMcCommand(KvStore& store, const McCommand& command);
+
+// Convenience: formats a command back to wire form (client side).
+std::string FormatMcCommand(const McCommand& command);
+
+}  // namespace skyloft
+
+#endif  // SRC_APPS_MEMCACHED_PROTOCOL_H_

@@ -1,0 +1,49 @@
+// schbench workload model (paper §5.1, Fig. 5/6).
+//
+// schbench v1.0 simulates a network application: M message threads
+// continuously wake T worker threads; each woken worker performs a fixed
+// amount of work (~2300 us with default parameters) and goes back to sleep.
+// The reported metric is *wakeup latency*: the time from the wake to the
+// worker actually running. When T exceeds the core count, wakeup latency is
+// dominated by scheduling: how quickly the scheduler preempts a running
+// worker to run a freshly woken one — which is exactly what Table 5's timer
+// frequencies control.
+#ifndef SRC_APPS_SCHBENCH_H_
+#define SRC_APPS_SCHBENCH_H_
+
+#include <vector>
+
+#include "src/libos/engine.h"
+
+namespace skyloft {
+
+struct SchbenchOptions {
+  int worker_threads = 32;
+  DurationNs request_ns = Micros(2300);  // per-request work, schbench default
+  // Delay between a worker finishing and the message thread re-waking it
+  // (futex round trip on the message thread).
+  DurationNs rewake_delay_ns = 1000;
+};
+
+class SchbenchSim {
+ public:
+  SchbenchSim(Engine* engine, App* app, SchbenchOptions options);
+
+  // Creates the workers and wakes them all for their first request.
+  void Start();
+
+  // Wakeup-latency percentile from the engine stats (the Fig. 5 metric).
+  std::int64_t WakeupPercentileNs(double q) const;
+
+  std::uint64_t requests_completed() const;
+
+ private:
+  Engine* engine_;
+  App* app_;
+  SchbenchOptions options_;
+  std::vector<Task*> workers_;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_APPS_SCHBENCH_H_

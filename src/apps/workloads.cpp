@@ -1,0 +1,26 @@
+#include "src/apps/workloads.h"
+
+namespace skyloft {
+
+RequestMix DispersiveMix() {
+  return {
+      {0.995, ServiceTimeDist::Fixed(Micros(4)), kKindShort},
+      {0.005, ServiceTimeDist::Fixed(Millis(10)), kKindLong},
+  };
+}
+
+RequestMix MemcachedUsrMix() {
+  return {
+      {0.998, ServiceTimeDist::Fixed(1000), kKindShort},   // GET ~1 us
+      {0.002, ServiceTimeDist::Fixed(1200), kKindLong},    // SET slightly heavier
+  };
+}
+
+RequestMix RocksdbBimodalMix() {
+  return {
+      {0.5, ServiceTimeDist::Fixed(950), kKindShort},          // GET: 0.95 us
+      {0.5, ServiceTimeDist::Fixed(Micros(591)), kKindLong},   // SCAN: 591 us
+  };
+}
+
+}  // namespace skyloft

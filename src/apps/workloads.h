@@ -1,0 +1,25 @@
+// The request mixes used throughout the paper's evaluation.
+#ifndef SRC_APPS_WORKLOADS_H_
+#define SRC_APPS_WORKLOADS_H_
+
+#include "src/net/loadgen.h"
+
+namespace skyloft {
+
+// Request-class kinds shared by benchmarks for per-class reporting.
+inline constexpr int kKindShort = 0;  // GET / short request
+inline constexpr int kKindLong = 1;   // SCAN / long request
+
+// §5.2 "Single workload": 99.5% x 4 us short + 0.5% x 10 ms long (the
+// dispersive synthetic workload from the ghOSt paper).
+RequestMix DispersiveMix();
+
+// §5.3 Memcached: Meta's USR trace shape — 99.8% GET / 0.2% SET, ~1 us each.
+RequestMix MemcachedUsrMix();
+
+// §5.3 RocksDB server: 50% GET (0.95 us) / 50% SCAN (591 us).
+RequestMix RocksdbBimodalMix();
+
+}  // namespace skyloft
+
+#endif  // SRC_APPS_WORKLOADS_H_

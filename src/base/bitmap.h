@@ -1,0 +1,62 @@
+// 64-bit bitmap used to model the UINTR architectural registers (UIRR, PIR),
+// which hold up to 64 pending user-interrupt vectors.
+#ifndef SRC_BASE_BITMAP_H_
+#define SRC_BASE_BITMAP_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "src/base/logging.h"
+
+namespace skyloft {
+
+class Bitmap64 {
+ public:
+  Bitmap64() = default;
+  explicit Bitmap64(std::uint64_t bits) : bits_(bits) {}
+
+  void Set(int bit) {
+    SKYLOFT_DCHECK(bit >= 0 && bit < 64);
+    bits_ |= (std::uint64_t{1} << bit);
+  }
+
+  void Clear(int bit) {
+    SKYLOFT_DCHECK(bit >= 0 && bit < 64);
+    bits_ &= ~(std::uint64_t{1} << bit);
+  }
+
+  bool Test(int bit) const {
+    SKYLOFT_DCHECK(bit >= 0 && bit < 64);
+    return (bits_ >> bit) & 1;
+  }
+
+  bool Any() const { return bits_ != 0; }
+  bool None() const { return bits_ == 0; }
+  int Count() const { return std::popcount(bits_); }
+
+  // Index of the highest set bit (interrupt priority: highest vector wins),
+  // or -1 when empty.
+  int HighestSet() const {
+    if (bits_ == 0) {
+      return -1;
+    }
+    return 63 - std::countl_zero(bits_);
+  }
+
+  // Atomically (in the model's sense) take all bits and clear.
+  std::uint64_t Exchange(std::uint64_t new_bits) {
+    const std::uint64_t old = bits_;
+    bits_ = new_bits;
+    return old;
+  }
+
+  void Or(std::uint64_t bits) { bits_ |= bits; }
+  std::uint64_t Raw() const { return bits_; }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_BASE_BITMAP_H_

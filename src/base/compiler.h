@@ -1,0 +1,18 @@
+// Compiler and platform helpers shared by all Skyloft modules.
+#ifndef SRC_BASE_COMPILER_H_
+#define SRC_BASE_COMPILER_H_
+
+#include <cstddef>
+
+#define SKYLOFT_LIKELY(x) __builtin_expect(!!(x), 1)
+#define SKYLOFT_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+namespace skyloft {
+
+// Size of a cache line on every x86-64 part we care about; used to pad
+// per-core state so simulated and real cores never false-share.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+}  // namespace skyloft
+
+#endif  // SRC_BASE_COMPILER_H_

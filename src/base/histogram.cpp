@@ -1,0 +1,100 @@
+#include "src/base/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/base/logging.h"
+
+namespace skyloft {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBucketRanges * kSubBuckets, 0) {}
+
+int LatencyHistogram::BucketIndex(std::int64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  const auto v = static_cast<std::uint64_t>(value);
+  const int msb = 63 - std::countl_zero(v);
+  const int range = msb - kSubBucketBits + 1;  // >= 1
+  const int sub = static_cast<int>(v >> range);  // in [kSubBuckets/2, kSubBuckets)
+  return range * kSubBuckets + sub;
+}
+
+std::int64_t LatencyHistogram::BucketUpperBound(int index) {
+  const int range = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  if (range == 0) {
+    return sub;
+  }
+  return (static_cast<std::int64_t>(sub) + 1) << range;
+}
+
+void LatencyHistogram::Record(std::int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  const int index = BucketIndex(value);
+  SKYLOFT_DCHECK(index >= 0 && index < static_cast<int>(buckets_.size()));
+  buckets_[static_cast<std::size_t>(index)]++;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_++;
+  sum_ += static_cast<double>(value);
+}
+
+std::int64_t LatencyHistogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); i++) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::min(BucketUpperBound(static_cast<int>(i)), max_);
+    }
+  }
+  return max_;
+}
+
+double LatencyHistogram::Mean() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return sum_ / static_cast<double>(count_);
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  SKYLOFT_CHECK(buckets_.size() == other.buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); i++) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+}  // namespace skyloft

@@ -1,0 +1,54 @@
+// Log-bucketed latency histogram with percentile queries.
+//
+// HdrHistogram-style layout: values are bucketed with a fixed number of
+// sub-buckets per power-of-two range, giving a bounded relative error
+// (~1/kSubBuckets) over a huge dynamic range with O(1) recording. This is
+// what every benchmark uses to report p50/p99/p99.9 wakeup latencies and
+// slowdowns.
+#ifndef SRC_BASE_HISTOGRAM_H_
+#define SRC_BASE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace skyloft {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  // Records one sample. Negative samples are clamped to zero.
+  void Record(std::int64_t value);
+
+  // Value at quantile q in [0, 1]; returns 0 when empty. The returned value
+  // is an upper bound of the bucket containing the quantile.
+  std::int64_t Percentile(double q) const;
+
+  std::int64_t Min() const { return count_ == 0 ? 0 : min_; }
+  std::int64_t Max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const;
+  std::uint64_t Count() const { return count_; }
+
+  void Reset();
+
+  // Merges another histogram into this one.
+  void Merge(const LatencyHistogram& other);
+
+ private:
+  static constexpr int kSubBucketBits = 7;  // 128 sub-buckets: <1% relative error
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBucketRanges = 64 - kSubBucketBits;
+
+  static int BucketIndex(std::int64_t value);
+  static std::int64_t BucketUpperBound(int index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_BASE_HISTOGRAM_H_

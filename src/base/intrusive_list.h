@@ -1,0 +1,109 @@
+// Intrusive doubly-linked list.
+//
+// Runqueues hold tasks that are owned elsewhere (by their application); an
+// intrusive list gives O(1) unlink-from-anywhere without allocation, which is
+// what both the simulated scheduler and the host runtime need on hot paths.
+// A node may be on at most one list at a time (checked).
+#ifndef SRC_BASE_INTRUSIVE_LIST_H_
+#define SRC_BASE_INTRUSIVE_LIST_H_
+
+#include <cstddef>
+
+#include "src/base/logging.h"
+
+namespace skyloft {
+
+struct ListNode {
+  ListNode* prev = nullptr;
+  ListNode* next = nullptr;
+
+  bool IsLinked() const { return prev != nullptr; }
+};
+
+// T must derive from ListNode (single inheritance).
+template <typename T>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    head_.prev = &head_;
+    head_.next = &head_;
+  }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool Empty() const { return head_.next == &head_; }
+  std::size_t Size() const { return size_; }
+
+  void PushBack(T* item) { InsertBefore(&head_, item); }
+  void PushFront(T* item) { InsertBefore(head_.next, item); }
+
+  T* Front() const { return Empty() ? nullptr : static_cast<T*>(head_.next); }
+  T* Back() const { return Empty() ? nullptr : static_cast<T*>(head_.prev); }
+
+  T* PopFront() {
+    if (Empty()) {
+      return nullptr;
+    }
+    T* item = static_cast<T*>(head_.next);
+    Remove(item);
+    return item;
+  }
+
+  T* PopBack() {
+    if (Empty()) {
+      return nullptr;
+    }
+    T* item = static_cast<T*>(head_.prev);
+    Remove(item);
+    return item;
+  }
+
+  void Remove(T* item) {
+    ListNode* node = item;
+    SKYLOFT_DCHECK(node->IsLinked());
+    node->prev->next = node->next;
+    node->next->prev = node->prev;
+    node->prev = nullptr;
+    node->next = nullptr;
+    size_--;
+  }
+
+  // Iteration support (forward only; removal of the current element during
+  // iteration is not supported — snapshot first if needed).
+  class Iterator {
+   public:
+    Iterator(ListNode* node, const ListNode* head) : node_(node), head_(head) {}
+    T* operator*() const { return static_cast<T*>(node_); }
+    Iterator& operator++() {
+      node_ = node_->next;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const { return node_ != other.node_; }
+
+   private:
+    ListNode* node_;
+    const ListNode* head_;
+  };
+
+  Iterator begin() { return Iterator(head_.next, &head_); }
+  Iterator end() { return Iterator(&head_, &head_); }
+
+ private:
+  void InsertBefore(ListNode* pos, T* item) {
+    ListNode* node = item;
+    SKYLOFT_CHECK(!node->IsLinked()) << "node already on a list";
+    node->prev = pos->prev;
+    node->next = pos;
+    pos->prev->next = node;
+    pos->prev = node;
+    size_++;
+  }
+
+  ListNode head_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_BASE_INTRUSIVE_LIST_H_

@@ -1,0 +1,84 @@
+// Minimal logging and invariant-checking facility.
+//
+// SKYLOFT_CHECK(cond) aborts with a message when an invariant is violated;
+// it is always on, including in release builds, because the simulator relies
+// on these invariants (e.g. the Single Binding Rule) for correctness of every
+// measured result.
+#ifndef SRC_BASE_LOGGING_H_
+#define SRC_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+#include "src/base/compiler.h"
+
+namespace skyloft {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Global log threshold; messages below it are dropped. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Writes one formatted log line to stderr. Thread-safe.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
+
+// Aborts the process after logging `msg`. Never returns.
+[[noreturn]] void LogFatal(const char* file, int line, const std::string& msg);
+
+// Stream-style helper so call sites can write SKYLOFT_LOG(kInfo) << "x=" << x.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+class FatalLogLine {
+ public:
+  FatalLogLine(const char* file, int line) : file_(file), line_(line) {}
+  [[noreturn]] ~FatalLogLine() { LogFatal(file_, line_, stream_.str()); }
+
+  template <typename T>
+  FatalLogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace skyloft
+
+#define SKYLOFT_LOG(level) \
+  ::skyloft::LogLine(::skyloft::LogLevel::level, __FILE__, __LINE__)
+
+#define SKYLOFT_CHECK(cond)                                 \
+  if (SKYLOFT_LIKELY(cond)) {                               \
+  } else /* NOLINT */                                       \
+    ::skyloft::FatalLogLine(__FILE__, __LINE__)             \
+        << "Check failed: " #cond " "
+
+#define SKYLOFT_DCHECK(cond) SKYLOFT_CHECK(cond)
+
+#endif  // SRC_BASE_LOGGING_H_

@@ -1,0 +1,65 @@
+// Fixed-capacity single-producer/single-consumer ring buffer.
+//
+// Used for the simulated NIC's per-core descriptor rings (§3.5 of the paper:
+// DPDK poll core -> isolated worker cores via shared ring buffers) and by the
+// host runtime for cross-worker mailboxes.
+#ifndef SRC_BASE_RING_BUFFER_H_
+#define SRC_BASE_RING_BUFFER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "src/base/compiler.h"
+#include "src/base/logging.h"
+
+namespace skyloft {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity must be a power of two (masked indexing).
+  explicit SpscRing(std::size_t capacity) : mask_(capacity - 1), slots_(capacity) {
+    SKYLOFT_CHECK(capacity >= 2 && (capacity & (capacity - 1)) == 0)
+        << "capacity must be a power of two";
+  }
+
+  bool TryPush(const T& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) {
+      return false;  // full
+    }
+    slots_[head & mask_] = value;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPop(T* out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) {
+      return false;  // empty
+    }
+    *out = slots_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t SizeApprox() const {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+
+  bool Empty() const { return SizeApprox() == 0; }
+  std::size_t Capacity() const { return mask_ + 1; }
+
+ private:
+  alignas(kCacheLineSize) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLineSize) std::atomic<std::size_t> tail_{0};
+  std::size_t mask_;
+  std::vector<T> slots_;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_BASE_RING_BUFFER_H_

@@ -1,0 +1,150 @@
+#include "src/kernelsim/kernel_sim.h"
+
+#include "src/base/logging.h"
+
+namespace skyloft {
+
+KernelSim::KernelSim(Machine* machine, UintrChip* chip)
+    : machine_(machine), chip_(chip), isolated_(static_cast<std::size_t>(machine->num_cores()), false) {}
+
+Tid KernelSim::CreateThread(int app_id) {
+  auto kt = std::make_unique<KernelThread>();
+  kt->tid = static_cast<Tid>(threads_.size());
+  kt->app_id = app_id;
+  kt->state = KthreadState::kRunnable;
+  threads_.push_back(std::move(kt));
+  return threads_.back()->tid;
+}
+
+KernelThread& KernelSim::thread(Tid tid) {
+  SKYLOFT_CHECK(tid >= 0 && tid < static_cast<Tid>(threads_.size()));
+  return *threads_[static_cast<std::size_t>(tid)];
+}
+
+const KernelThread& KernelSim::thread(Tid tid) const {
+  SKYLOFT_CHECK(tid >= 0 && tid < static_cast<Tid>(threads_.size()));
+  return *threads_[static_cast<std::size_t>(tid)];
+}
+
+void KernelSim::IsolateCores(const std::vector<CoreId>& cores) {
+  for (CoreId core : cores) {
+    SKYLOFT_CHECK(core >= 0 && core < machine_->num_cores());
+    isolated_[static_cast<std::size_t>(core)] = true;
+  }
+}
+
+bool KernelSim::IsIsolated(CoreId core) const {
+  return isolated_[static_cast<std::size_t>(core)];
+}
+
+void KernelSim::BindToCore(Tid tid, CoreId core) {
+  KernelThread& kt = thread(tid);
+  SKYLOFT_CHECK(kt.state != KthreadState::kExited);
+  kt.affinity = core;
+  if (IsIsolated(core) && kt.state == KthreadState::kRunnable) {
+    SKYLOFT_CHECK(CountRunnableBound(core) <= 1)
+        << "Single Binding Rule violated binding tid " << tid << " to core " << core;
+  }
+}
+
+KernelThread* KernelSim::ActiveOn(CoreId core) {
+  for (auto& kt : threads_) {
+    if (kt->affinity == core && kt->state == KthreadState::kRunnable) {
+      return kt.get();
+    }
+  }
+  return nullptr;
+}
+
+int KernelSim::CountRunnableBound(CoreId core) const {
+  int n = 0;
+  for (const auto& kt : threads_) {
+    if (kt->affinity == core && kt->state == KthreadState::kRunnable) {
+      n++;
+    }
+  }
+  return n;
+}
+
+DurationNs KernelSim::SkyloftParkOnCpu(Tid tid, CoreId core) {
+  KernelThread& kt = thread(tid);
+  SKYLOFT_CHECK(kt.state == KthreadState::kRunnable);
+  kt.affinity = core;
+  kt.state = KthreadState::kSuspended;
+  return machine_->costs().syscall_ns;
+}
+
+DurationNs KernelSim::SkyloftSwitchTo(Tid cur, Tid target) {
+  KernelThread& from = thread(cur);
+  KernelThread& to = thread(target);
+  SKYLOFT_CHECK(from.state == KthreadState::kRunnable)
+      << "switch_to from a non-runnable thread " << cur;
+  SKYLOFT_CHECK(to.state == KthreadState::kSuspended)
+      << "switch_to target " << target << " is not suspended";
+  SKYLOFT_CHECK(from.affinity == to.affinity)
+      << "switch_to across cores: " << from.affinity << " vs " << to.affinity;
+  // Both transitions happen atomically in the kernel so the Single Binding
+  // Rule holds at every observable instant (§3.3).
+  from.state = KthreadState::kSuspended;
+  to.state = KthreadState::kRunnable;
+  CheckBindingRule();
+  return machine_->costs().skyloft_app_switch_ns;
+}
+
+DurationNs KernelSim::SkyloftWakeup(Tid tid) {
+  KernelThread& kt = thread(tid);
+  SKYLOFT_CHECK(kt.state == KthreadState::kSuspended);
+  kt.state = KthreadState::kRunnable;
+  if (kt.affinity != kInvalidCore && IsIsolated(kt.affinity)) {
+    SKYLOFT_CHECK(CountRunnableBound(kt.affinity) <= 1)
+        << "Single Binding Rule violated waking tid " << tid << " on core " << kt.affinity;
+  }
+  return machine_->costs().syscall_ns;
+}
+
+DurationNs KernelSim::SkyloftTimerEnable(CoreId core, Upid* upid) {
+  UserInterruptUnit& unit = chip_->unit(core);
+  // §3.2 configuration step 1: recognize the LAPIC timer vector as a user
+  // interrupt. The UPID has SN set so self-SENDUIPIs post without IPIs.
+  upid->sn = true;
+  upid->ndst = core;
+  upid->nv = kApicTimerVector;
+  unit.SetUinv(kApicTimerVector);
+  unit.SetActiveUpid(upid);
+  return machine_->costs().syscall_ns;
+}
+
+DurationNs KernelSim::SkyloftTimerSetHz(CoreId core, std::int64_t hz) {
+  ApicTimer& timer = chip_->timer(core);
+  timer.SetHz(hz);
+  timer.Enable();
+  return machine_->costs().syscall_ns;
+}
+
+DurationNs KernelSim::SendSignal(CoreId from_core, Tid tid, SignalHandler handler) {
+  const KernelThread& kt = thread(tid);
+  SKYLOFT_CHECK(kt.state != KthreadState::kExited);
+  const CostModel& costs = machine_->costs();
+  machine_->sim().ScheduleAfter(costs.SignalDeliveryNs(),
+                                [handler = std::move(handler)] { handler(); });
+  return costs.SignalSendNs();
+}
+
+DurationNs KernelSim::SendKernelIpi(CoreId from_core, CoreId to_core, SignalHandler handler) {
+  const CostModel& costs = machine_->costs();
+  machine_->sim().ScheduleAfter(costs.KernelIpiDeliveryNs(),
+                                [handler = std::move(handler)] { handler(); });
+  return costs.KernelIpiSendNs();
+}
+
+void KernelSim::CheckBindingRule() const {
+  for (CoreId core = 0; core < machine_->num_cores(); core++) {
+    if (!IsIsolated(core)) {
+      continue;
+    }
+    SKYLOFT_CHECK(CountRunnableBound(core) <= 1)
+        << "Single Binding Rule violated on core " << core;
+  }
+}
+
+}  // namespace skyloft

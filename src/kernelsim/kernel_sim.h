@@ -1,0 +1,119 @@
+// Simulated Linux kernel: kernel threads, affinity, signals, kernel IPIs,
+// and the Skyloft kernel module (§3.3, §4.2, Table 3).
+//
+// The pieces modeled are exactly those the paper's framework interacts with:
+//   - kernel threads with runnable/suspended state and per-core binding
+//   - the Single Binding Rule: no two *runnable* kernel threads may be bound
+//     to the same isolated core (checked on every transition)
+//   - the /dev/skyloft ioctl surface: skyloft_park_on_cpu, skyloft_switch_to,
+//     skyloft_wakeup, skyloft_timer_enable, skyloft_timer_set_hz
+//   - Linux signal delivery and kernel IPIs with Table 6 costs (used by the
+//     Shenango/ghOSt baselines and the Table 6 microbenchmark)
+#ifndef SRC_KERNELSIM_KERNEL_SIM_H_
+#define SRC_KERNELSIM_KERNEL_SIM_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/simcore/machine.h"
+#include "src/uintr/uintr_chip.h"
+
+namespace skyloft {
+
+using Tid = int;
+inline constexpr Tid kInvalidTid = -1;
+
+enum class KthreadState {
+  kRunnable,   // visible to the kernel scheduler ("active" in the paper)
+  kSuspended,  // parked/blocked; invisible to the kernel scheduler ("inactive")
+  kExited,
+};
+
+struct KernelThread {
+  Tid tid = kInvalidTid;
+  int app_id = -1;
+  CoreId affinity = kInvalidCore;
+  KthreadState state = KthreadState::kRunnable;
+};
+
+class KernelSim {
+ public:
+  using SignalHandler = std::function<void()>;
+  using IpiHandler = std::function<void(CoreId core)>;
+
+  KernelSim(Machine* machine, UintrChip* chip);
+
+  // ---- Thread lifecycle (pthread_create / sched_setaffinity analogues) ----
+  Tid CreateThread(int app_id);
+  KernelThread& thread(Tid tid);
+  const KernelThread& thread(Tid tid) const;
+
+  // Marks cores as isolated (isolcpus): the Single Binding Rule is enforced
+  // on these cores and the stock kernel scheduler keeps off them.
+  void IsolateCores(const std::vector<CoreId>& cores);
+  bool IsIsolated(CoreId core) const;
+
+  // Binds a runnable thread to a core (daemon startup path: bind directly).
+  void BindToCore(Tid tid, CoreId core);
+
+  // The runnable kernel thread bound to `core`, or nullptr.
+  KernelThread* ActiveOn(CoreId core);
+
+  // ---- Skyloft kernel module (Table 3). Each returns the time the calling
+  // core is busy executing the operation (ioctl + kernel work), which the
+  // caller must charge before proceeding. ----
+
+  // Binds the thread to `core` and suspends it in one atomic step (used when
+  // a non-first application launches, §4.1).
+  DurationNs SkyloftParkOnCpu(Tid tid, CoreId core);
+
+  // Suspends `cur` and wakes `target` atomically; both must be bound to the
+  // same isolated core. This is the inter-application switch (§3.3) and costs
+  // the measured 1905 ns.
+  DurationNs SkyloftSwitchTo(Tid cur, Tid target);
+
+  // Wakes a suspended thread (it becomes the active thread on its core).
+  DurationNs SkyloftWakeup(Tid tid);
+
+  // Configures user-space timer-interrupt delegation on `core` (§4.2): sets
+  // UINV to the LAPIC timer vector and installs `upid` (with SN pre-set) as
+  // the core's active UPID. The caller still must execute the initial
+  // self-SENDUIPI to populate the PIR.
+  DurationNs SkyloftTimerEnable(CoreId core, Upid* upid);
+
+  // Programs the LAPIC timer frequency on `core`.
+  DurationNs SkyloftTimerSetHz(CoreId core, std::int64_t hz);
+
+  // ---- Signals (Table 6 "Signal" row; used by Shenango-style preemption) ----
+  // Sends a signal from `from_core` to the thread `tid`; `handler` runs on
+  // the target's core after the modeled delivery latency. Returns sender cost.
+  DurationNs SendSignal(CoreId from_core, Tid tid, SignalHandler handler);
+
+  // Receiver-side cost of taking a signal (context save, kernel entry/exit).
+  DurationNs SignalReceiveCost() const { return machine_->costs().SignalReceiveNs(); }
+
+  // ---- Kernel IPIs (Table 6 "Kernel IPI" row; used by the ghOSt model) ----
+  DurationNs SendKernelIpi(CoreId from_core, CoreId to_core, SignalHandler handler);
+  DurationNs KernelIpiReceiveCost() const { return machine_->costs().KernelIpiReceiveNs(); }
+
+  // Verifies the Single Binding Rule on every isolated core; aborts on
+  // violation. Tests call this after random operation sequences.
+  void CheckBindingRule() const;
+
+  Machine& machine() { return *machine_; }
+  UintrChip& chip() { return *chip_; }
+
+ private:
+  int CountRunnableBound(CoreId core) const;
+
+  Machine* machine_;
+  UintrChip* chip_;
+  std::vector<std::unique_ptr<KernelThread>> threads_;
+  std::vector<bool> isolated_;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_KERNELSIM_KERNEL_SIM_H_

@@ -1,0 +1,32 @@
+// Application abstraction (§3.3): a process with one kernel thread per
+// isolated core. At any instant at most one application's kernel thread is
+// runnable ("active") on each core — the Single Binding Rule — and switching
+// the application running on a core goes through the kernel module.
+#ifndef SRC_LIBOS_APP_H_
+#define SRC_LIBOS_APP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/kernelsim/kernel_sim.h"
+
+namespace skyloft {
+
+struct App {
+  int id = -1;
+  std::string name;
+
+  // Latency-critical apps preempt best-effort apps for cores (§5.2).
+  bool best_effort = false;
+
+  // One kernel thread per isolated core, indexed by the engine's core index.
+  std::vector<Tid> kthreads;
+
+  // Accumulated busy time across all cores, for CPU-share reporting (Fig 7c).
+  DurationNs cpu_time_ns = 0;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_LIBOS_APP_H_

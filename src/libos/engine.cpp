@@ -1,0 +1,304 @@
+#include "src/libos/engine.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace skyloft {
+
+Engine::Engine(Machine* machine, UintrChip* chip, KernelSim* kernel, SchedPolicy* policy,
+               EngineConfig config)
+    : machine_(machine),
+      chip_(chip),
+      kernel_(kernel),
+      policy_(policy),
+      config_(std::move(config)) {
+  SKYLOFT_CHECK(!config_.worker_cores.empty());
+  runs_.resize(config_.worker_cores.size());
+  kernel_->IsolateCores(config_.worker_cores);
+  policy_->SchedInit(this);
+}
+
+Engine::~Engine() = default;
+
+App* Engine::CreateApp(const std::string& name, bool best_effort) {
+  auto app = std::make_unique<App>();
+  app->id = static_cast<int>(apps_.size());
+  app->name = name;
+  app->best_effort = best_effort;
+  const bool first = apps_.empty();
+  for (int w = 0; w < NumWorkers(); w++) {
+    const CoreId core = WorkerCore(w);
+    const Tid tid = kernel_->CreateThread(app->id);
+    if (first) {
+      // The daemon binds its threads directly (§4.1).
+      kernel_->BindToCore(tid, core);
+    } else {
+      // Later applications park their threads to respect the binding rule.
+      kernel_->SkyloftParkOnCpu(tid, core);
+    }
+    app->kthreads.push_back(tid);
+  }
+  apps_.push_back(std::move(app));
+  App* result = apps_.back().get();
+  if (first) {
+    for (auto& run : runs_) {
+      run.app = result;
+    }
+  }
+  kernel_->CheckBindingRule();
+  return result;
+}
+
+Task* Engine::NewTask(App* app, DurationNs service_ns, int kind) {
+  Task* task;
+  if (!free_tasks_.empty()) {
+    task = free_tasks_.back();
+    free_tasks_.pop_back();
+    *task = Task{};
+  } else {
+    all_tasks_.push_back(std::make_unique<Task>());
+    task = all_tasks_.back().get();
+  }
+  task->id = next_task_id_++;
+  task->app = app;
+  task->remaining_ns = service_ns;
+  task->total_service_ns = service_ns;
+  task->kind = kind;
+  task->state = TaskState::kCreated;
+  return task;
+}
+
+void Engine::Submit(Task* task, int worker_hint) {
+  SKYLOFT_DCHECK(task->state == TaskState::kCreated);
+  task->submit_time = Now();
+  task->state = TaskState::kRunnable;
+  policy_->TaskInit(task);
+  policy_->TaskEnqueue(task, kEnqueueNew, worker_hint);
+  OnTaskAvailable(worker_hint);
+}
+
+void Engine::WakeTask(Task* task, DurationNs service_ns) {
+  SKYLOFT_CHECK(task->state == TaskState::kBlocked)
+      << "waking task " << task->id << " in state " << static_cast<int>(task->state);
+  task->remaining_ns = service_ns;
+  task->total_service_ns += service_ns;
+  task->last_wakeup = Now();
+  task->wakeup_pending = true;
+  task->state = TaskState::kRunnable;
+  const int hint = task->last_cpu == kInvalidCore ? -1 : WorkerIndexOf(task->last_cpu);
+  policy_->TaskEnqueue(task, kEnqueueWakeup, hint);
+  OnTaskAvailable(hint);
+}
+
+void Engine::InjectPageFault(int worker, DurationNs fault_ns) {
+  WorkerRun& run = runs_[static_cast<std::size_t>(worker)];
+  Task* task = DetachCurrent(worker);
+  if (task == nullptr) {
+    return;
+  }
+  task->state = TaskState::kBlocked;
+  run.faulted_app = task->app;
+  Trace(TraceEventType::kFault, worker, task);
+  machine_->sim().ScheduleAfter(fault_ns, [this, worker, task] {
+    // Fault resolved: the kthread is runnable again; the task re-enters the
+    // runqueues and competes normally (it may resume on another core).
+    runs_[static_cast<std::size_t>(worker)].faulted_app = nullptr;
+    task->state = TaskState::kRunnable;
+    Trace(TraceEventType::kFaultDone, worker, task);
+    policy_->TaskEnqueue(task, kEnqueueWakeup, worker);
+    OnTaskAvailable(worker);
+  });
+  // The monitor notices the blocked kthread and hands the core to another
+  // application's work.
+  OnWorkerFree(worker, kFaultMonitorNs);
+}
+
+bool Engine::AppFaultedOn(int worker, const App* app) const {
+  const App* faulted = runs_[static_cast<std::size_t>(worker)].faulted_app;
+  return faulted != nullptr && faulted == app;
+}
+
+void Engine::ResetStats() {
+  FlushAccounting();
+  stats_.Reset(Now());
+  for (auto& app : apps_) {
+    app->cpu_time_ns = 0;
+  }
+  for (auto& run : runs_) {
+    run.busy_ns = 0;
+  }
+}
+
+void Engine::FlushAccounting() {
+  const TimeNs now = Now();
+  for (auto& run : runs_) {
+    if (run.current != nullptr && now > run.run_start) {
+      const DurationNs delta = now - run.run_start;
+      run.current->app->cpu_time_ns += delta;
+      run.busy_ns += delta;
+      run.run_start = now;
+    }
+  }
+}
+
+double Engine::CpuShare(const App* app) {
+  FlushAccounting();
+  const DurationNs window = Now() - stats_.epoch_start;
+  if (window <= 0) {
+    return 0.0;
+  }
+  const double total = static_cast<double>(window) * NumWorkers();
+  return static_cast<double>(app->cpu_time_ns) / total;
+}
+
+int Engine::WorkerIndexOf(CoreId core) const {
+  for (int w = 0; w < NumWorkers(); w++) {
+    if (WorkerCore(w) == core) {
+      return w;
+    }
+  }
+  return -1;
+}
+
+void Engine::AssignTask(int worker, Task* task, DurationNs pre_overhead_ns) {
+  WorkerRun& run = runs_[static_cast<std::size_t>(worker)];
+  SKYLOFT_CHECK(run.current == nullptr) << "assigning to busy worker " << worker;
+  SKYLOFT_DCHECK(task->state == TaskState::kRunnable);
+
+  const TimeNs now = Now();
+  DurationNs overhead = pre_overhead_ns + config_.local_switch_ns;
+  if (task->wakeup_pending) {
+    overhead += config_.wakeup_extra_ns;
+  }
+  if (now - run.idle_since > config_.idle_park_threshold_ns) {
+    // The worker parked while idle; waking it goes through the kernel.
+    overhead += config_.idle_unpark_cost_ns;
+  }
+  if (task->app != run.app) {
+    // Inter-application switch: suspend the current app's kernel thread and
+    // wake the target's, atomically, through the kernel module (§3.3).
+    SKYLOFT_CHECK(run.app != nullptr);
+    const Tid cur = run.app->kthreads[static_cast<std::size_t>(worker)];
+    const Tid target = task->app->kthreads[static_cast<std::size_t>(worker)];
+    overhead += kernel_->SkyloftSwitchTo(cur, target);
+    run.app = task->app;
+    Trace(TraceEventType::kAppSwitch, worker, task);
+  }
+  Trace(TraceEventType::kAssign, worker, task);
+
+  const TimeNs start = now + overhead;
+  run.current = task;
+  run.run_start = start;
+  run.last_account = start;
+  run.completion_at = start + task->remaining_ns;
+  run.completion_ev =
+      machine_->sim().ScheduleAt(run.completion_at, [this, worker] { FinishSegment(worker); });
+
+  task->state = TaskState::kRunning;
+  task->last_cpu = WorkerCore(worker);
+  if (task->wakeup_pending) {
+    stats_.wakeup_latency.Record(start - task->last_wakeup);
+    task->wakeup_pending = false;
+  }
+  OnAssigned(worker);
+}
+
+void Engine::ChargeOverhead(int worker, DurationNs overhead_ns) {
+  if (overhead_ns <= 0) {
+    return;
+  }
+  WorkerRun& run = runs_[static_cast<std::size_t>(worker)];
+  if (run.current == nullptr) {
+    return;
+  }
+  machine_->sim().Cancel(run.completion_ev);
+  run.completion_at += overhead_ns;
+  run.completion_ev =
+      machine_->sim().ScheduleAt(run.completion_at, [this, worker] { FinishSegment(worker); });
+}
+
+Task* Engine::DetachCurrent(int worker) {
+  WorkerRun& run = runs_[static_cast<std::size_t>(worker)];
+  if (run.current == nullptr) {
+    return nullptr;
+  }
+  const TimeNs now = Now();
+  Task* task = run.current;
+  const DurationNs remaining = run.completion_at - now;
+  if (remaining <= 0 || now < run.run_start) {
+    // The segment completes at this very instant (its event is already
+    // queued), or the task has not even started yet.
+    return nullptr;
+  }
+  machine_->sim().Cancel(run.completion_ev);
+  run.completion_ev = kInvalidEventId;
+  task->remaining_ns = remaining;
+  const DurationNs ran = now - run.run_start;
+  task->app->cpu_time_ns += ran;
+  run.busy_ns += ran;
+  task->state = TaskState::kRunnable;
+  run.current = nullptr;
+  run.idle_since = now;
+  OnUnassigned(worker);
+  return task;
+}
+
+void Engine::PreemptWorker(int worker, DurationNs overhead_ns) {
+  if (runs_[static_cast<std::size_t>(worker)].current == nullptr) {
+    return;
+  }
+  Task* task = DetachCurrent(worker);
+  if (task == nullptr) {
+    ChargeOverhead(worker, overhead_ns);
+    return;
+  }
+  task->preempt_count++;
+  Trace(TraceEventType::kPreempt, worker, task);
+  policy_->TaskEnqueue(task, kEnqueuePreempted, worker);
+  OnWorkerFree(worker, overhead_ns);
+}
+
+void Engine::FinishSegment(int worker) {
+  WorkerRun& run = runs_[static_cast<std::size_t>(worker)];
+  Task* task = run.current;
+  SKYLOFT_CHECK(task != nullptr);
+  const TimeNs now = Now();
+  const DurationNs ran = now - run.run_start;
+  task->app->cpu_time_ns += ran;
+  run.busy_ns += ran;
+  run.current = nullptr;
+  run.completion_ev = kInvalidEventId;
+  run.idle_since = now;
+  OnUnassigned(worker);
+  task->remaining_ns = 0;
+  Trace(TraceEventType::kSegmentEnd, worker, task);
+
+  const SegmentAction action =
+      task->on_segment_end ? task->on_segment_end(task) : SegmentAction::kFinish;
+  if (action == SegmentAction::kFinish) {
+    task->state = TaskState::kFinished;
+    stats_.completed++;
+    const DurationNs latency = now - task->submit_time;
+    stats_.request_latency.Record(latency);
+    if (task->total_service_ns > 0) {
+      const std::int64_t slowdown = latency * 100 / task->total_service_ns;
+      stats_.slowdown_x100.Record(slowdown);
+      if (task->kind >= 0 && task->kind < EngineStats::kMaxKinds) {
+        stats_.slowdown_by_kind_x100[static_cast<std::size_t>(task->kind)].Record(slowdown);
+      }
+    }
+    if (task->kind >= 0 && task->kind < EngineStats::kMaxKinds) {
+      stats_.latency_by_kind[static_cast<std::size_t>(task->kind)].Record(latency);
+    }
+    policy_->TaskTerminate(task);
+    task->on_segment_end = nullptr;
+    free_tasks_.push_back(task);
+  } else {
+    task->state = TaskState::kBlocked;
+  }
+  // AssignTask already charges the local switch cost for the next task.
+  OnWorkerFree(worker, 0);
+}
+
+}  // namespace skyloft

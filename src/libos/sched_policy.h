@@ -1,0 +1,71 @@
+// The general scheduling-operations interface (paper §3.4, Table 2).
+//
+// A scheduling policy implements these operations and nothing else; the
+// engines (per-CPU with user-space timer interrupts, or centralized with a
+// dispatcher) drive it. This is the paper's central claim of generality: RR,
+// CFS, EEVDF, Shinjuku, Shinjuku+Shenango and preemptive work stealing are
+// each a few hundred lines against this interface.
+#ifndef SRC_LIBOS_SCHED_POLICY_H_
+#define SRC_LIBOS_SCHED_POLICY_H_
+
+#include "src/base/time.h"
+#include "src/libos/task.h"
+#include "src/simcore/machine.h"
+
+namespace skyloft {
+
+// Read-only view of engine state offered to policies (e.g. for stealing
+// decisions and congestion detection).
+class EngineView {
+ public:
+  virtual ~EngineView() = default;
+  virtual TimeNs Now() const = 0;
+  virtual int NumWorkers() const = 0;
+  virtual CoreId WorkerCore(int index) const = 0;
+  virtual bool IsWorkerIdle(int index) const = 0;
+};
+
+class SchedPolicy {
+ public:
+  virtual ~SchedPolicy() = default;
+
+  // sched_init: policy-defined scheduler state.
+  virtual void SchedInit(EngineView* view) { view_ = view; }
+
+  // task_init / task_terminate: manage the policy-defined field of a task.
+  virtual void TaskInit(Task* task) {}
+  virtual void TaskTerminate(Task* task) {}
+
+  // task_enqueue: puts a task on a runqueue. `worker_hint` is the engine
+  // worker index the event originated from (kInvalidCore-like -1 when none).
+  virtual void TaskEnqueue(Task* task, unsigned flags, int worker_hint) = 0;
+
+  // task_dequeue: selects and removes the next task for the given worker.
+  // Centralized policies ignore `worker` (single global queue).
+  virtual Task* TaskDequeue(int worker) = 0;
+
+  // sched_timer_tick: updates policy state on each tick; returns true when
+  // the current task must be preempted. `ran_ns` is wall time the task has
+  // run since it was last charged; `current` may be nullptr (idle tick).
+  virtual bool SchedTimerTick(int worker, Task* current, DurationNs ran_ns) = 0;
+
+  // sched_balance: per-CPU only; invoked when `worker` would go idle.
+  virtual void SchedBalance(int worker) {}
+
+  // True when the policy uses a single global queue fed by a dispatcher
+  // (sched_poll model) rather than per-CPU queues.
+  virtual bool IsCentralized() const { return false; }
+
+  // Number of runnable tasks currently queued (all queues). Used by engines
+  // for work-conservation checks and by core allocators for congestion.
+  virtual std::size_t QueuedTasks() const = 0;
+
+  virtual const char* Name() const = 0;
+
+ protected:
+  EngineView* view_ = nullptr;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_LIBOS_SCHED_POLICY_H_

@@ -1,0 +1,79 @@
+// Task: the user-level thread (`task_t`) that Skyloft schedules (§3.3, §3.4).
+//
+// In the simulated substrate a task does not execute real instructions;
+// it carries a *work model*: the remaining service time of its current
+// segment plus a segment-end callback that decides whether the task finishes
+// or blocks (e.g. a schbench worker blocks waiting for the next wake). The
+// scheduling framework around it — states, runqueue linkage, policy-defined
+// data, preemption accounting — matches the paper's task_t.
+#ifndef SRC_LIBOS_TASK_H_
+#define SRC_LIBOS_TASK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/base/intrusive_list.h"
+#include "src/base/time.h"
+#include "src/simcore/machine.h"
+
+namespace skyloft {
+
+struct App;
+struct Task;
+
+enum class TaskState {
+  kCreated,
+  kRunnable,  // on a runqueue
+  kRunning,   // current on some core
+  kBlocked,   // waiting for task_wakeup
+  kFinished,
+};
+
+// What a task does when its current work segment completes.
+enum class SegmentAction {
+  kFinish,  // task terminates; its end-to-end latency is recorded
+  kBlock,   // task blocks; someone must WakeTask() it with a new segment
+};
+
+// Flags passed to SchedPolicy::TaskEnqueue (paper: task_enqueue flags).
+enum EnqueueFlags : unsigned {
+  kEnqueueNew = 1u << 0,        // first enqueue after creation
+  kEnqueueWakeup = 1u << 1,     // task was blocked and is waking (CFS sleeper credit)
+  kEnqueuePreempted = 1u << 2,  // task was preempted mid-segment
+  kEnqueueYield = 1u << 3,      // task voluntarily yielded
+};
+
+struct Task : ListNode {
+  std::uint64_t id = 0;
+  App* app = nullptr;
+  TaskState state = TaskState::kCreated;
+
+  // ---- work model ----
+  DurationNs remaining_ns = 0;  // remaining service time of the current segment
+  std::function<SegmentAction(Task*)> on_segment_end;
+
+  // ---- metrics ----
+  TimeNs submit_time = 0;       // when the request entered the system
+  TimeNs last_wakeup = 0;       // when task_wakeup was last called
+  bool wakeup_pending = false;  // a wakeup latency sample should be taken at next run
+  DurationNs total_service_ns = 0;  // sum of all segment service times (for slowdown)
+  int preempt_count = 0;
+  CoreId last_cpu = kInvalidCore;
+
+  // Opaque tag benchmarks use to classify requests (e.g. GET vs SCAN).
+  int kind = 0;
+
+  // ---- policy-defined per-task state (paper: the extra field in task_t) ----
+  static constexpr std::size_t kPolicyDataSize = 64;
+  alignas(8) unsigned char policy_data[kPolicyDataSize] = {};
+
+  template <typename T>
+  T* PolicyData() {
+    static_assert(sizeof(T) <= kPolicyDataSize, "policy data too large");
+    return reinterpret_cast<T*>(policy_data);
+  }
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_LIBOS_TASK_H_

@@ -1,0 +1,71 @@
+#include "src/libos/trace.h"
+
+#include <sstream>
+
+namespace skyloft {
+
+const char* TraceEventName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kAssign:
+      return "assign";
+    case TraceEventType::kSegmentEnd:
+      return "segment_end";
+    case TraceEventType::kPreempt:
+      return "preempt";
+    case TraceEventType::kAppSwitch:
+      return "app_switch";
+    case TraceEventType::kFault:
+      return "fault";
+    case TraceEventType::kFaultDone:
+      return "fault_done";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> SchedTracer::Snapshot() const {
+  if (!wrapped_) {
+    return events_;
+  }
+  std::vector<TraceEvent> ordered;
+  ordered.reserve(events_.size());
+  for (std::size_t i = 0; i < events_.size(); i++) {
+    ordered.push_back(events_[(wrap_cursor_ + i) % events_.size()]);
+  }
+  return ordered;
+}
+
+std::size_t SchedTracer::CountOf(TraceEventType type) const {
+  std::size_t n = 0;
+  for (const TraceEvent& event : events_) {
+    if (event.type == type) {
+      n++;
+    }
+  }
+  return n;
+}
+
+std::string SchedTracer::ToJson() const {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const TraceEvent& event : Snapshot()) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"name\":\"" << TraceEventName(event.type) << "\",\"ph\":\"i\",\"ts\":"
+        << event.when / 1000 << ",\"pid\":" << event.app_id << ",\"tid\":" << event.worker
+        << ",\"args\":{\"task\":" << event.task_id << "}}";
+  }
+  out << "]";
+  return out.str();
+}
+
+void SchedTracer::Clear() {
+  events_.clear();
+  wrap_cursor_ = 0;
+  wrapped_ = false;
+  total_ = 0;
+}
+
+}  // namespace skyloft

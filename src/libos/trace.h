@@ -1,0 +1,81 @@
+// Scheduling-event tracer.
+//
+// A fixed-capacity ring of timestamped scheduling events (assignments,
+// preemptions, application switches, faults) that engines emit when a tracer
+// is attached. Useful for debugging policies and for asserting fine-grained
+// scheduling behaviour in tests; can be dumped in a chrome://tracing-flavored
+// JSON array for visualization.
+#ifndef SRC_LIBOS_TRACE_H_
+#define SRC_LIBOS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/simcore/machine.h"
+
+namespace skyloft {
+
+enum class TraceEventType : std::uint8_t {
+  kAssign,     // task placed on a core
+  kSegmentEnd, // task segment completed (finish or block)
+  kPreempt,    // task preempted off a core
+  kAppSwitch,  // inter-application kthread switch on a core
+  kFault,      // page fault blocked the core's kthread
+  kFaultDone,  // fault resolved
+};
+
+const char* TraceEventName(TraceEventType type);
+
+struct TraceEvent {
+  TimeNs when = 0;
+  TraceEventType type = TraceEventType::kAssign;
+  int worker = -1;
+  std::uint64_t task_id = 0;
+  int app_id = -1;
+};
+
+class SchedTracer {
+ public:
+  explicit SchedTracer(std::size_t capacity = 1 << 16) : capacity_(capacity) {
+    events_.reserve(capacity);
+  }
+
+  void Record(TimeNs when, TraceEventType type, int worker, std::uint64_t task_id,
+              int app_id) {
+    if (events_.size() < capacity_) {
+      events_.push_back(TraceEvent{when, type, worker, task_id, app_id});
+    } else {
+      // Ring behaviour: overwrite oldest.
+      events_[wrap_cursor_] = TraceEvent{when, type, worker, task_id, app_id};
+      wrap_cursor_ = (wrap_cursor_ + 1) % capacity_;
+      wrapped_ = true;
+    }
+    total_++;
+  }
+
+  // Events in record order (oldest first), accounting for wrap.
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Counts events of one type (over the retained window).
+  std::size_t CountOf(TraceEventType type) const;
+
+  // chrome://tracing "trace events" JSON array: one complete event per
+  // retained record (instant events, pid=app, tid=worker).
+  std::string ToJson() const;
+
+  std::uint64_t total_recorded() const { return total_; }
+  void Clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::size_t wrap_cursor_ = 0;
+  bool wrapped_ = false;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_LIBOS_TRACE_H_

@@ -1,0 +1,252 @@
+#include "src/net/tcp.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace skyloft {
+
+const char* TcpStateName(TcpState state) {
+  switch (state) {
+    case TcpState::kClosed:
+      return "CLOSED";
+    case TcpState::kListen:
+      return "LISTEN";
+    case TcpState::kSynSent:
+      return "SYN_SENT";
+    case TcpState::kSynReceived:
+      return "SYN_RCVD";
+    case TcpState::kEstablished:
+      return "ESTABLISHED";
+    case TcpState::kFinWait:
+      return "FIN_WAIT";
+    case TcpState::kCloseWait:
+      return "CLOSE_WAIT";
+    case TcpState::kTimeWait:
+      return "TIME_WAIT";
+  }
+  return "?";
+}
+
+void TcpWire::Transmit(TcpEndpoint* from, const TcpSegment& segment) {
+  TcpEndpoint* to = from == a_ ? b_ : a_;
+  SKYLOFT_CHECK(to != nullptr) << "wire not attached";
+  if (rng_.NextBool(loss_)) {
+    dropped_++;
+    return;
+  }
+  delivered_++;
+  sim_->ScheduleAfter(delay_ns_, [to, segment] { to->Deliver(segment); });
+}
+
+TcpEndpoint::TcpEndpoint(Simulation* sim, TcpWire* wire, std::string name)
+    : sim_(sim), wire_(wire), name_(std::move(name)) {}
+
+void TcpEndpoint::Listen() {
+  SKYLOFT_CHECK(state_ == TcpState::kClosed);
+  state_ = TcpState::kListen;
+}
+
+void TcpEndpoint::Connect() {
+  SKYLOFT_CHECK(state_ == TcpState::kClosed);
+  state_ = TcpState::kSynSent;
+  iss_ = 1000;  // deterministic ISN (no security concerns in a model)
+  snd_una_ = iss_;
+  snd_nxt_ = iss_;
+  TcpSegment syn;
+  syn.syn = true;
+  syn.seq = snd_nxt_++;
+  SendSegment(syn);
+}
+
+void TcpEndpoint::Send(const std::string& data) {
+  SKYLOFT_CHECK(state_ == TcpState::kEstablished || state_ == TcpState::kSynSent ||
+                state_ == TcpState::kSynReceived)
+      << name_ << " cannot send in state " << TcpStateName(state_);
+  send_buffer_ += data;
+  TrySendData();
+}
+
+void TcpEndpoint::Close() {
+  close_requested_ = true;
+  MaybeFinish();
+}
+
+void TcpEndpoint::SendSegment(TcpSegment segment) {
+  segment.ack = state_ != TcpState::kSynSent || !segment.syn;
+  segment.ack_num = rcv_nxt_;
+  if (segment.syn || segment.fin || !segment.payload.empty()) {
+    inflight_[segment.seq] = segment;
+    ArmRetransmit();
+  }
+  wire_->Transmit(this, segment);
+}
+
+void TcpEndpoint::TrySendData() {
+  if (state_ != TcpState::kEstablished) {
+    return;
+  }
+  while (!send_buffer_.empty() && snd_nxt_ - snd_una_ < kWindowBytes) {
+    const std::size_t take = std::min(send_buffer_.size(), kMss);
+    TcpSegment segment;
+    segment.seq = snd_nxt_;
+    segment.payload = send_buffer_.substr(0, take);
+    send_buffer_.erase(0, take);
+    snd_nxt_ += static_cast<std::uint32_t>(take);
+    SendSegment(segment);
+  }
+  MaybeFinish();
+}
+
+void TcpEndpoint::MaybeFinish() {
+  if (!close_requested_ || fin_sent_ || !send_buffer_.empty() || snd_una_ != snd_nxt_) {
+    return;
+  }
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) {
+    return;
+  }
+  fin_sent_ = true;
+  state_ = state_ == TcpState::kCloseWait ? TcpState::kTimeWait : TcpState::kFinWait;
+  TcpSegment fin;
+  fin.fin = true;
+  fin.seq = snd_nxt_++;
+  SendSegment(fin);
+}
+
+void TcpEndpoint::ArmRetransmit() {
+  if (rto_event_ != kInvalidEventId) {
+    return;
+  }
+  rto_event_ = sim_->ScheduleAfter(kRto, [this] { OnRetransmitTimeout(); });
+}
+
+void TcpEndpoint::OnRetransmitTimeout() {
+  rto_event_ = kInvalidEventId;
+  if (inflight_.empty()) {
+    return;
+  }
+  // Go-back-N-lite: retransmit the oldest unacknowledged segment.
+  retransmits_++;
+  TcpSegment segment = inflight_.begin()->second;
+  segment.ack_num = rcv_nxt_;
+  wire_->Transmit(this, segment);
+  ArmRetransmit();
+}
+
+void TcpEndpoint::AcceptPayload(const TcpSegment& segment) {
+  if (segment.payload.empty()) {
+    return;
+  }
+  if (segment.seq + segment.payload.size() <= rcv_nxt_) {
+    return;  // duplicate of fully-delivered data
+  }
+  if (segment.seq > rcv_nxt_) {
+    out_of_order_[segment.seq] = segment.payload;  // hold for reordering
+    return;
+  }
+  // Overlapping or exactly in order: deliver the new part.
+  const std::size_t skip = rcv_nxt_ - segment.seq;
+  const std::string fresh = segment.payload.substr(skip);
+  rcv_nxt_ += static_cast<std::uint32_t>(fresh.size());
+  if (on_receive_) {
+    on_receive_(fresh);
+  }
+  // Drain any now-contiguous held segments.
+  auto it = out_of_order_.begin();
+  while (it != out_of_order_.end() && it->first <= rcv_nxt_) {
+    if (it->first + it->second.size() > rcv_nxt_) {
+      const std::string more = it->second.substr(rcv_nxt_ - it->first);
+      rcv_nxt_ += static_cast<std::uint32_t>(more.size());
+      if (on_receive_) {
+        on_receive_(more);
+      }
+    }
+    it = out_of_order_.erase(it);
+  }
+}
+
+void TcpEndpoint::Deliver(const TcpSegment& segment) {
+  // ---- connection establishment ----
+  if (segment.syn && !segment.ack) {
+    if (state_ == TcpState::kListen || state_ == TcpState::kSynReceived) {
+      state_ = TcpState::kSynReceived;
+      rcv_nxt_ = segment.seq + 1;
+      if (iss_ == 0) {
+        iss_ = 2000;
+        snd_una_ = iss_;
+        snd_nxt_ = iss_;
+        TcpSegment synack;
+        synack.syn = true;
+        synack.seq = snd_nxt_++;
+        SendSegment(synack);
+      } else {
+        // Retransmitted SYN: re-send our SYN-ACK.
+        OnRetransmitTimeout();
+      }
+    }
+    return;
+  }
+  if (segment.syn && segment.ack) {
+    if (state_ == TcpState::kSynSent) {
+      rcv_nxt_ = segment.seq + 1;
+      state_ = TcpState::kEstablished;
+      // Our SYN is acknowledged.
+      if (segment.ack_num > snd_una_) {
+        snd_una_ = segment.ack_num;
+        inflight_.erase(inflight_.begin(), inflight_.lower_bound(snd_una_));
+      }
+      TcpSegment ack;
+      ack.seq = snd_nxt_;
+      SendSegment(ack);
+      TrySendData();
+    }
+    return;
+  }
+
+  // ---- acknowledgment processing ----
+  if (segment.ack && segment.ack_num > snd_una_) {
+    snd_una_ = segment.ack_num;
+    inflight_.erase(inflight_.begin(), inflight_.lower_bound(snd_una_));
+    if (inflight_.empty() && rto_event_ != kInvalidEventId) {
+      sim_->Cancel(rto_event_);
+      rto_event_ = kInvalidEventId;
+    }
+    if (state_ == TcpState::kSynReceived) {
+      state_ = TcpState::kEstablished;
+    }
+    if (state_ == TcpState::kFinWait && fin_sent_ && snd_una_ == snd_nxt_) {
+      state_ = TcpState::kTimeWait;
+    }
+    TrySendData();
+  }
+
+  // ---- data ----
+  const std::uint32_t before = rcv_nxt_;
+  AcceptPayload(segment);
+
+  // ---- teardown ----
+  if (segment.fin && segment.seq <= rcv_nxt_) {
+    if (segment.seq == rcv_nxt_) {
+      rcv_nxt_ = segment.seq + 1;
+    }
+    if (state_ == TcpState::kEstablished) {
+      state_ = TcpState::kCloseWait;
+    } else if (state_ == TcpState::kFinWait || state_ == TcpState::kTimeWait) {
+      state_ = TcpState::kTimeWait;
+    }
+    TcpSegment ack;
+    ack.seq = snd_nxt_;
+    SendSegment(ack);
+    MaybeFinish();
+    return;
+  }
+
+  // ACK any received data (cumulative).
+  if (rcv_nxt_ != before || !segment.payload.empty()) {
+    TcpSegment ack;
+    ack.seq = snd_nxt_;
+    SendSegment(ack);
+  }
+}
+
+}  // namespace skyloft

@@ -1,0 +1,143 @@
+// Lightweight TCP model for the user-space network stack (§3.5: "A
+// lightweight user-space TCP and UDP stack is integrated...").
+//
+// Models the protocol machinery a dataplane TCP needs, at segment
+// granularity on the discrete-event simulator:
+//   - three-way handshake and FIN teardown (state machine subset)
+//   - cumulative ACKs, in-order delivery, duplicate suppression
+//   - a fixed-size send window with retransmission on timeout
+//   - a lossy wire (seeded, deterministic) to exercise retransmission
+//
+// Two TcpEndpoints are joined by a TcpWire; application payloads go in via
+// Send() and come out via the receive callback, in order, exactly once —
+// properties the test suite asserts under loss.
+#ifndef SRC_NET_TCP_H_
+#define SRC_NET_TCP_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/random.h"
+#include "src/simcore/simulation.h"
+
+namespace skyloft {
+
+enum class TcpState {
+  kClosed,
+  kListen,
+  kSynSent,
+  kSynReceived,
+  kEstablished,
+  kFinWait,
+  kCloseWait,
+  kTimeWait,
+};
+
+const char* TcpStateName(TcpState state);
+
+struct TcpSegment {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  std::uint32_t seq = 0;      // first byte of payload (or of SYN/FIN)
+  std::uint32_t ack_num = 0;  // next expected byte
+  std::string payload;
+};
+
+class TcpEndpoint;
+
+// Bidirectional wire with propagation delay and independent per-direction
+// deterministic loss.
+class TcpWire {
+ public:
+  TcpWire(Simulation* sim, DurationNs delay_ns, double loss_probability, std::uint64_t seed)
+      : sim_(sim), delay_ns_(delay_ns), loss_(loss_probability), rng_(seed) {}
+
+  void Attach(TcpEndpoint* a, TcpEndpoint* b) {
+    a_ = a;
+    b_ = b;
+  }
+
+  // Transfers a segment to the peer of `from` (possibly dropping it).
+  void Transmit(TcpEndpoint* from, const TcpSegment& segment);
+
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  Simulation* sim_;
+  DurationNs delay_ns_;
+  double loss_;
+  Rng rng_;
+  TcpEndpoint* a_ = nullptr;
+  TcpEndpoint* b_ = nullptr;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+class TcpEndpoint {
+ public:
+  using ReceiveCallback = std::function<void(const std::string& data)>;
+
+  TcpEndpoint(Simulation* sim, TcpWire* wire, std::string name);
+
+  // Passive open.
+  void Listen();
+  // Active open: sends SYN and drives the handshake to kEstablished.
+  void Connect();
+  // Queues application data for reliable in-order delivery to the peer.
+  void Send(const std::string& data);
+  // Begins teardown once all queued data is acknowledged.
+  void Close();
+
+  void SetReceiveCallback(ReceiveCallback cb) { on_receive_ = std::move(cb); }
+
+  TcpState state() const { return state_; }
+  const std::string& name() const { return name_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint32_t bytes_acked() const { return snd_una_ - iss_ - 1; }
+
+  // Wire-side input (called by TcpWire).
+  void Deliver(const TcpSegment& segment);
+
+ private:
+  static constexpr std::uint32_t kWindowBytes = 4096;
+  static constexpr DurationNs kRto = Millis(2);
+  static constexpr std::size_t kMss = 536;
+
+  void SendSegment(TcpSegment segment);
+  void TrySendData();
+  void ArmRetransmit();
+  void OnRetransmitTimeout();
+  void AcceptPayload(const TcpSegment& segment);
+  void MaybeFinish();
+
+  Simulation* sim_;
+  TcpWire* wire_;
+  std::string name_;
+  TcpState state_ = TcpState::kClosed;
+  ReceiveCallback on_receive_;
+
+  // Send side.
+  std::uint32_t iss_ = 0;       // initial send sequence
+  std::uint32_t snd_nxt_ = 0;   // next seq to send
+  std::uint32_t snd_una_ = 0;   // oldest unacknowledged
+  std::string send_buffer_;     // queued, not yet segmented
+  std::map<std::uint32_t, TcpSegment> inflight_;  // seq -> segment
+  EventId rto_event_ = kInvalidEventId;
+  bool close_requested_ = false;
+  bool fin_sent_ = false;
+  std::uint64_t retransmits_ = 0;
+
+  // Receive side.
+  std::uint32_t rcv_nxt_ = 0;  // next expected byte
+  std::map<std::uint32_t, std::string> out_of_order_;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_NET_TCP_H_

@@ -1,0 +1,149 @@
+#include "src/net/udp.h"
+
+#include <cstring>
+
+namespace skyloft {
+
+namespace {
+
+void Put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void Put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  Put16(out, static_cast<std::uint16_t>(v >> 16));
+  Put16(out, static_cast<std::uint16_t>(v & 0xffff));
+}
+
+std::uint16_t Get16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t Get32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(Get16(p)) << 16) | Get16(p + 2);
+}
+
+constexpr std::size_t kIpHeaderLen = 20;
+constexpr std::size_t kUdpHeaderLen = 8;
+
+}  // namespace
+
+std::uint16_t InternetChecksum(const std::uint8_t* data, std::size_t len,
+                               std::uint32_t initial) {
+  std::uint32_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < len; i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < len) {
+    sum += static_cast<std::uint32_t>(data[i] << 8);
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::vector<std::uint8_t> SerializeUdp(const UdpDatagram& dgram) {
+  const auto udp_len = static_cast<std::uint16_t>(kUdpHeaderLen + dgram.payload.size());
+  const auto total_len = static_cast<std::uint16_t>(kIpHeaderLen + udp_len);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(total_len);
+
+  // IPv4 header with zero checksum first, then patch it in.
+  out.push_back(dgram.ip.version_ihl);
+  out.push_back(dgram.ip.dscp_ecn);
+  Put16(out, total_len);
+  Put16(out, dgram.ip.identification);
+  Put16(out, dgram.ip.flags_fragment);
+  out.push_back(dgram.ip.ttl);
+  out.push_back(dgram.ip.protocol);
+  Put16(out, 0);  // checksum placeholder
+  Put32(out, dgram.ip.src_addr);
+  Put32(out, dgram.ip.dst_addr);
+  const std::uint16_t ip_csum = InternetChecksum(out.data(), kIpHeaderLen);
+  out[10] = static_cast<std::uint8_t>(ip_csum >> 8);
+  out[11] = static_cast<std::uint8_t>(ip_csum & 0xff);
+
+  // UDP header + payload; checksum over the pseudo-header + segment.
+  const std::size_t udp_off = out.size();
+  Put16(out, dgram.udp.src_port);
+  Put16(out, dgram.udp.dst_port);
+  Put16(out, udp_len);
+  Put16(out, 0);  // checksum placeholder
+  out.insert(out.end(), dgram.payload.begin(), dgram.payload.end());
+
+  // Pseudo-header: src, dst, zero+protocol, UDP length.
+  std::vector<std::uint8_t> pseudo;
+  Put32(pseudo, dgram.ip.src_addr);
+  Put32(pseudo, dgram.ip.dst_addr);
+  pseudo.push_back(0);
+  pseudo.push_back(dgram.ip.protocol);
+  Put16(pseudo, udp_len);
+  pseudo.insert(pseudo.end(), out.begin() + static_cast<std::ptrdiff_t>(udp_off), out.end());
+  std::uint16_t udp_csum = InternetChecksum(pseudo.data(), pseudo.size());
+  if (udp_csum == 0) {
+    udp_csum = 0xffff;  // RFC 768: transmitted zero means "no checksum"
+  }
+  out[udp_off + 6] = static_cast<std::uint8_t>(udp_csum >> 8);
+  out[udp_off + 7] = static_cast<std::uint8_t>(udp_csum & 0xff);
+  return out;
+}
+
+std::optional<UdpDatagram> ParseUdp(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kIpHeaderLen + kUdpHeaderLen) {
+    return std::nullopt;
+  }
+  UdpDatagram dgram;
+  dgram.ip.version_ihl = bytes[0];
+  if (dgram.ip.version_ihl != 0x45) {
+    return std::nullopt;  // only plain IPv4/20-byte headers
+  }
+  dgram.ip.dscp_ecn = bytes[1];
+  dgram.ip.total_length = Get16(&bytes[2]);
+  dgram.ip.identification = Get16(&bytes[4]);
+  dgram.ip.flags_fragment = Get16(&bytes[6]);
+  dgram.ip.ttl = bytes[8];
+  dgram.ip.protocol = bytes[9];
+  if (dgram.ip.protocol != 17) {
+    return std::nullopt;
+  }
+  dgram.ip.checksum = Get16(&bytes[10]);
+  if (InternetChecksum(bytes.data(), kIpHeaderLen) != 0) {
+    return std::nullopt;  // header checksum over a valid header sums to zero
+  }
+  dgram.ip.src_addr = Get32(&bytes[12]);
+  dgram.ip.dst_addr = Get32(&bytes[16]);
+  if (dgram.ip.total_length != bytes.size()) {
+    return std::nullopt;
+  }
+
+  const std::uint8_t* udp = &bytes[kIpHeaderLen];
+  dgram.udp.src_port = Get16(udp);
+  dgram.udp.dst_port = Get16(udp + 2);
+  dgram.udp.length = Get16(udp + 4);
+  dgram.udp.checksum = Get16(udp + 6);
+  if (dgram.udp.length != bytes.size() - kIpHeaderLen) {
+    return std::nullopt;
+  }
+  if (dgram.udp.checksum != 0) {
+    std::vector<std::uint8_t> pseudo;
+    Put32(pseudo, dgram.ip.src_addr);
+    Put32(pseudo, dgram.ip.dst_addr);
+    pseudo.push_back(0);
+    pseudo.push_back(dgram.ip.protocol);
+    Put16(pseudo, dgram.udp.length);
+    pseudo.insert(pseudo.end(), bytes.begin() + static_cast<std::ptrdiff_t>(kIpHeaderLen),
+                  bytes.end());
+    if (InternetChecksum(pseudo.data(), pseudo.size()) != 0) {
+      return std::nullopt;
+    }
+  }
+  dgram.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(kIpHeaderLen + kUdpHeaderLen),
+                       bytes.end());
+  return dgram;
+}
+
+}  // namespace skyloft

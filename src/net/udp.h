@@ -1,0 +1,54 @@
+// Minimal IPv4/UDP header model for the user-space network stack (§3.5).
+//
+// The simulated dataplane carries Packet structs; this header codec is the
+// piece of the UDP stack that actually transforms bytes, used by the network
+// tests and the example KV server's wire format.
+#ifndef SRC_NET_UDP_H_
+#define SRC_NET_UDP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace skyloft {
+
+struct Ipv4Header {
+  std::uint8_t version_ihl = 0x45;  // IPv4, 20-byte header
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  std::uint16_t flags_fragment = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 17;  // UDP
+  std::uint16_t checksum = 0;
+  std::uint32_t src_addr = 0;
+  std::uint32_t dst_addr = 0;
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+  std::uint16_t checksum = 0;
+};
+
+struct UdpDatagram {
+  Ipv4Header ip;
+  UdpHeader udp;
+  std::vector<std::uint8_t> payload;
+};
+
+// RFC 1071 internet checksum over `data` (plus `initial` partial sum).
+std::uint16_t InternetChecksum(const std::uint8_t* data, std::size_t len,
+                               std::uint32_t initial = 0);
+
+// Serializes the datagram (network byte order), computing both checksums.
+std::vector<std::uint8_t> SerializeUdp(const UdpDatagram& dgram);
+
+// Parses and validates a datagram; nullopt on truncation, bad version,
+// non-UDP protocol, or checksum mismatch.
+std::optional<UdpDatagram> ParseUdp(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace skyloft
+
+#endif  // SRC_NET_UDP_H_

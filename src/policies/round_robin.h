@@ -1,0 +1,46 @@
+// Round-Robin / FIFO policy (paper §5.1, Table 4: "Skyloft Round-Robin",
+// 141 LOC in the original).
+//
+// Per-worker FIFO queues with time slicing: a task that has run for a full
+// time slice is preempted and requeued at the tail. An infinite time slice
+// degenerates to FIFO (the "Skyloft-FIFO" series of Fig. 6).
+#ifndef SRC_POLICIES_ROUND_ROBIN_H_
+#define SRC_POLICIES_ROUND_ROBIN_H_
+
+#include <vector>
+
+#include "src/base/intrusive_list.h"
+#include "src/libos/sched_policy.h"
+
+namespace skyloft {
+
+inline constexpr DurationNs kInfiniteSlice = INT64_MAX;
+
+class RoundRobinPolicy : public SchedPolicy {
+ public:
+  // `time_slice` of kInfiniteSlice disables slice-based preemption (FIFO).
+  explicit RoundRobinPolicy(DurationNs time_slice) : time_slice_(time_slice) {}
+
+  void SchedInit(EngineView* view) override;
+  void TaskInit(Task* task) override;
+  void TaskEnqueue(Task* task, unsigned flags, int worker_hint) override;
+  Task* TaskDequeue(int worker) override;
+  bool SchedTimerTick(int worker, Task* current, DurationNs ran_ns) override;
+  void SchedBalance(int worker) override;
+  std::size_t QueuedTasks() const override { return queued_; }
+  const char* Name() const override { return "skyloft-rr"; }
+
+ private:
+  struct RrData {
+    DurationNs slice_used = 0;
+  };
+
+  DurationNs time_slice_;
+  std::vector<IntrusiveList<Task>> queues_;
+  std::size_t queued_ = 0;
+  int next_queue_ = 0;  // round-robin placement for hintless tasks
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_POLICIES_ROUND_ROBIN_H_

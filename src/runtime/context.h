@@ -1,0 +1,36 @@
+// Bare-metal user-thread context switch for x86-64 SysV.
+//
+// This is the host-runtime analogue of the paper's "lightweight context
+// switching" (§2.4): a switch saves exactly the callee-saved registers and
+// the stack pointer — no kernel, no signal masks, no FPU state (the SysV ABI
+// makes all vector registers caller-saved across the call).
+#ifndef SRC_RUNTIME_CONTEXT_H_
+#define SRC_RUNTIME_CONTEXT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" {
+
+// Saves the current callee-saved state on the current stack, stores the
+// resulting stack pointer into *save_sp, switches to restore_sp, restores
+// callee-saved state, and returns on the new stack.
+void skyloft_ctx_switch(void** save_sp, void* restore_sp);
+
+}  // extern "C"
+
+namespace skyloft {
+
+// Entry function invoked on a fresh uthread stack; receives the pointer that
+// was passed to InitContext.
+using UthreadEntry = void (*)(void* arg);
+
+// Prepares a fresh stack so that switching into the returned stack pointer
+// lands in `entry(arg)` with a correctly aligned stack.
+//   stack_base: lowest address of the stack allocation
+//   stack_size: bytes
+void* InitContext(void* stack_base, std::size_t stack_size, UthreadEntry entry, void* arg);
+
+}  // namespace skyloft
+
+#endif  // SRC_RUNTIME_CONTEXT_H_

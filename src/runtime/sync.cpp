@@ -1,0 +1,112 @@
+#include "src/runtime/sync.h"
+
+#include "src/base/logging.h"
+
+namespace skyloft {
+
+void UthreadMutex::SpinAcquire() {
+  while (wait_spin_.test_and_set(std::memory_order_acquire)) {
+  }
+}
+
+void UthreadMutex::SpinRelease() { wait_spin_.clear(std::memory_order_release); }
+
+bool UthreadMutex::TryLock() {
+  bool expected = false;
+  return locked_.compare_exchange_strong(expected, true, std::memory_order_acquire);
+}
+
+void UthreadMutex::Lock() {
+  if (TryLock()) {
+    return;
+  }
+  Runtime::PreemptGuard guard;
+  Waiter waiter;
+  waiter.thread = Runtime::Current();
+  while (true) {
+    SpinAcquire();
+    if (TryLock()) {
+      SpinRelease();
+      return;
+    }
+    waiters_.PushBack(&waiter);
+    waiter_count_.fetch_add(1, std::memory_order_release);
+    SpinRelease();
+    // Recheck after publishing the waiter: an Unlock may have raced between
+    // our failed TryLock and the publish, and seen zero waiters.
+    if (TryLock()) {
+      SpinAcquire();
+      if (waiter.IsLinked()) {
+        waiters_.Remove(&waiter);
+        waiter_count_.fetch_sub(1, std::memory_order_release);
+      }
+      SpinRelease();
+      // If we were already popped, a stale unpark token is pending; Park()
+      // consumers (all loops) tolerate the resulting spurious return.
+      return;
+    }
+    Runtime::Park();
+    // Woken by an Unlock handoff attempt: loop and race for the lock.
+  }
+}
+
+void UthreadMutex::Unlock() {
+  locked_.store(false, std::memory_order_release);
+  if (waiter_count_.load(std::memory_order_acquire) == 0) {
+    return;  // uncontended fast path: one store + one load
+  }
+  Runtime::PreemptGuard guard;
+  SpinAcquire();
+  Waiter* next = waiters_.PopFront();
+  if (next != nullptr) {
+    waiter_count_.fetch_sub(1, std::memory_order_release);
+  }
+  SpinRelease();
+  if (next != nullptr) {
+    Runtime::Unpark(next->thread);
+  }
+}
+
+void UthreadCondVar::SpinAcquire() {
+  while (wait_spin_.test_and_set(std::memory_order_acquire)) {
+  }
+}
+
+void UthreadCondVar::SpinRelease() { wait_spin_.clear(std::memory_order_release); }
+
+void UthreadCondVar::Wait(UthreadMutex* mutex) {
+  Runtime::PreemptGuard guard;
+  Waiter waiter;
+  waiter.thread = Runtime::Current();
+  SpinAcquire();
+  waiters_.PushBack(&waiter);
+  SpinRelease();
+  mutex->Unlock();
+  Runtime::Park();
+  mutex->Lock();
+}
+
+void UthreadCondVar::Signal() {
+  Runtime::PreemptGuard guard;
+  SpinAcquire();
+  Waiter* waiter = waiters_.PopFront();
+  SpinRelease();
+  if (waiter != nullptr) {
+    Runtime::Unpark(waiter->thread);
+  }
+}
+
+void UthreadCondVar::Broadcast() {
+  Runtime::PreemptGuard guard;
+  while (true) {
+    SpinAcquire();
+    Waiter* waiter = waiters_.PopFront();
+    SpinRelease();
+    if (waiter == nullptr) {
+      return;
+    }
+    Runtime::Unpark(waiter->thread);
+  }
+}
+
+}  // namespace skyloft

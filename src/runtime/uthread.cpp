@@ -1,0 +1,458 @@
+#include "src/runtime/uthread.h"
+
+#include <pthread.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <new>
+
+#include "src/base/logging.h"
+#include "src/runtime/context.h"
+
+namespace skyloft {
+
+namespace {
+
+// One runtime at a time may be running; the static API resolves through this.
+Runtime* g_runtime = nullptr;
+
+// What the uthread asked the scheduler to do when it switched out.
+enum class SwitchAction : std::uint8_t { kNone, kYield, kPark, kExit };
+
+constexpr int kPreemptSignal = SIGURG;
+
+}  // namespace
+
+struct RuntimeWorker {
+  Runtime* runtime = nullptr;
+  int index = 0;
+
+  std::mutex mu;
+  std::deque<UThread*> runq;
+
+  void* sched_sp = nullptr;
+  UThread* current = nullptr;
+  SwitchAction action = SwitchAction::kNone;
+
+  // 0 => the preemption signal handler may switch; anything else defers.
+  std::atomic<int> preempt_disable{1};
+
+  std::uint64_t steal_rng = 0;
+  pthread_t pthread_handle{};
+  std::atomic<bool> handle_valid{false};
+};
+
+namespace {
+thread_local RuntimeWorker* tl_worker = nullptr;
+
+// UThread park/unpark handshake states (see Park/Unpark):
+//   0 running, 1 parking (announced), 2 unpark pending, 3 fully parked
+constexpr int kParkRunning = 0;
+constexpr int kParkParking = 1;
+constexpr int kParkUnparkPending = 2;
+constexpr int kParkParked = 3;
+}  // namespace
+
+// Park handshake word; kept out of UThread's public header to avoid leaking
+// scheduler internals. Allocated immediately after the UThread object in the
+// same storage block (see AllocUthread).
+struct UThreadExtra {
+  std::atomic<int> park{kParkRunning};
+};
+
+namespace {
+UThreadExtra* ExtraOf(UThread* t) { return reinterpret_cast<UThreadExtra*>(t + 1); }
+}  // namespace
+
+Runtime::Runtime(RuntimeOptions options) : options_(options) {
+  SKYLOFT_CHECK(options_.workers >= 1);
+  SKYLOFT_CHECK(options_.stack_size >= 4096);
+  for (int i = 0; i < options_.workers; i++) {
+    auto worker = std::make_unique<RuntimeWorker>();
+    worker->runtime = this;
+    worker->index = i;
+    worker->steal_rng = 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1);
+    workers_.push_back(std::move(worker));
+  }
+}
+
+Runtime::~Runtime() {
+  // Destroy the placement-new'd UThreads before their storage goes away.
+  for (auto& storage : uthread_storage_) {
+    reinterpret_cast<UThread*>(storage.get())->~UThread();
+  }
+}
+
+UThread* Runtime::AllocUthread(std::function<void()> fn) {
+  UThread* t = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(pool_lock_);
+    if (!free_pool_.empty()) {
+      t = free_pool_.back();
+      free_pool_.pop_back();
+    }
+  }
+  if (t == nullptr) {
+    // UThread and its handshake word share one allocation.
+    auto storage = std::make_unique<unsigned char[]>(sizeof(UThread) + sizeof(UThreadExtra));
+    t = new (storage.get()) UThread();
+    new (storage.get() + sizeof(UThread)) UThreadExtra();
+    t->stack = std::make_unique<unsigned char[]>(options_.stack_size);
+    t->stack_size = options_.stack_size;
+    {
+      std::lock_guard<std::mutex> lock(pool_lock_);
+      uthread_storage_.push_back(std::move(storage));
+    }
+  }
+  t->fn = std::move(fn);
+  t->state.store(UthreadState::kRunnable, std::memory_order_relaxed);
+  t->joiners.clear();
+  t->detached = false;
+  ExtraOf(t)->park.store(kParkRunning, std::memory_order_relaxed);
+  t->sp = InitContext(t->stack.get(), t->stack_size, &Runtime::UthreadMain, t);
+  return t;
+}
+
+void Runtime::FreeUthread(UThread* thread) {
+  std::lock_guard<std::mutex> lock(pool_lock_);
+  free_pool_.push_back(thread);
+}
+
+void Runtime::Run(std::function<void()> main_fn) {
+  SKYLOFT_CHECK(g_runtime == nullptr) << "only one Runtime may run at a time";
+  g_runtime = this;
+  stopping_.store(false);
+
+  // Install the preemption signal handler (idempotent).
+  if (options_.preempt_period_us > 0) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = &Runtime::PreemptSignalHandler;
+    sa.sa_flags = SA_NODEFER | SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    SKYLOFT_CHECK(sigaction(kPreemptSignal, &sa, nullptr) == 0);
+  }
+
+  live_uthreads_.store(1);
+  UThread* main_thread = AllocUthread(std::move(main_fn));
+  workers_[0]->runq.push_back(main_thread);
+
+  for (int i = 0; i < options_.workers; i++) {
+    worker_threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+
+  // Housekeeping thread: wakes expired sleepers and (when enabled) delivers
+  // the preemption signal to every worker each period — the host stand-in
+  // for per-core user timer interrupts.
+  std::thread timer_thread([this] {
+    const auto tick = std::chrono::microseconds(
+        options_.preempt_period_us > 0 ? options_.preempt_period_us : 100);
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      if (options_.preempt_period_us > 0) {
+        for (auto& worker : workers_) {
+          if (worker->handle_valid.load(std::memory_order_acquire)) {
+            pthread_kill(worker->pthread_handle, kPreemptSignal);
+          }
+        }
+      }
+      // Wake sleepers whose deadline passed.
+      const auto now = std::chrono::steady_clock::now();
+      std::vector<UThread*> due;
+      {
+        std::lock_guard<std::mutex> lock(sleep_lock_);
+        auto it = sleepers_.begin();
+        while (it != sleepers_.end() && it->first <= now) {
+          due.push_back(it->second);
+          it = sleepers_.erase(it);
+        }
+      }
+      for (UThread* t : due) {
+        Unpark(t);
+      }
+      std::this_thread::sleep_for(tick);
+    }
+  });
+
+  // Wait for every user thread to finish.
+  while (live_uthreads_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  stopping_.store(true);
+  for (auto& t : worker_threads_) {
+    t.join();
+  }
+  worker_threads_.clear();
+  timer_thread.join();
+  g_runtime = nullptr;
+}
+
+void Runtime::SleepFor(std::int64_t duration_us) {
+  Runtime* rt = g_runtime;
+  SKYLOFT_CHECK(rt != nullptr);
+  UThread* self = Current();
+  {
+    Runtime::PreemptGuard guard;
+    std::lock_guard<std::mutex> lock(rt->sleep_lock_);
+    rt->sleepers_.emplace(
+        std::chrono::steady_clock::now() + std::chrono::microseconds(duration_us), self);
+  }
+  Park();
+}
+
+void Runtime::WorkerLoop(int index) {
+  RuntimeWorker* worker = workers_[static_cast<std::size_t>(index)].get();
+  tl_worker = worker;
+  worker->pthread_handle = pthread_self();
+  worker->handle_valid.store(true, std::memory_order_release);
+
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    UThread* next = FindWork(worker);
+    if (next == nullptr) {
+      std::this_thread::yield();
+      continue;
+    }
+    SwitchTo(worker, next);
+
+    // Back on the scheduler stack: complete whatever the uthread asked.
+    UThread* prev = worker->current;
+    worker->current = nullptr;
+    const SwitchAction action = worker->action;
+    worker->action = SwitchAction::kNone;
+    switch (action) {
+      case SwitchAction::kYield: {
+        std::lock_guard<std::mutex> lock(worker->mu);
+        worker->runq.push_back(prev);
+        break;
+      }
+      case SwitchAction::kPark: {
+        // Publish "fully parked"; if an unpark raced in, requeue now.
+        auto& park = ExtraOf(prev)->park;
+        int old = park.exchange(kParkParked, std::memory_order_acq_rel);
+        if (old == kParkUnparkPending) {
+          park.store(kParkRunning, std::memory_order_release);
+          prev->state.store(UthreadState::kRunnable, std::memory_order_release);
+          std::lock_guard<std::mutex> lock(worker->mu);
+          worker->runq.push_back(prev);
+        }
+        break;
+      }
+      case SwitchAction::kExit: {
+        FreeUthread(prev);
+        live_uthreads_.fetch_sub(1, std::memory_order_acq_rel);
+        break;
+      }
+      case SwitchAction::kNone:
+        SKYLOFT_CHECK(false) << "uthread switched out without an action";
+    }
+  }
+  tl_worker = nullptr;
+}
+
+UThread* Runtime::FindWork(RuntimeWorker* worker) {
+  {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    if (!worker->runq.empty()) {
+      UThread* t = worker->runq.front();
+      worker->runq.pop_front();
+      return t;
+    }
+  }
+  // Steal half of a random victim's queue (paper §3.4 sched_balance /
+  // Shenango work stealing).
+  const int n = options_.workers;
+  if (n <= 1) {
+    return nullptr;
+  }
+  worker->steal_rng ^= worker->steal_rng << 13;
+  worker->steal_rng ^= worker->steal_rng >> 7;
+  worker->steal_rng ^= worker->steal_rng << 17;
+  const int start = static_cast<int>(worker->steal_rng % static_cast<std::uint64_t>(n));
+  for (int probe = 0; probe < n; probe++) {
+    const int vi = (start + probe) % n;
+    if (vi == worker->index) {
+      continue;
+    }
+    RuntimeWorker* victim = workers_[static_cast<std::size_t>(vi)].get();
+    std::scoped_lock lock(worker->mu, victim->mu);
+    if (victim->runq.empty()) {
+      continue;
+    }
+    const std::size_t take = (victim->runq.size() + 1) / 2;
+    for (std::size_t i = 0; i < take; i++) {
+      worker->runq.push_back(victim->runq.front());
+      victim->runq.pop_front();
+    }
+    steals_.fetch_add(take, std::memory_order_relaxed);
+    UThread* t = worker->runq.front();
+    worker->runq.pop_front();
+    return t;
+  }
+  return nullptr;
+}
+
+void Runtime::SwitchTo(RuntimeWorker* worker, UThread* next) {
+  next->state.store(UthreadState::kRunning, std::memory_order_relaxed);
+  worker->current = next;
+  // Enable preemption for the duration of the uthread's execution. The
+  // signal handler additionally verifies it is on the uthread's stack, so
+  // the window between this store and the switch is safe.
+  worker->preempt_disable.store(0, std::memory_order_release);
+  skyloft_ctx_switch(&worker->sched_sp, next->sp);
+  // Returned from the uthread (it yielded/parked/exited).
+  worker->preempt_disable.store(1, std::memory_order_release);
+}
+
+void Runtime::UthreadMain(void* arg) {
+  auto* self = static_cast<UThread*>(arg);
+  self->fn();
+  g_runtime->ExitCurrent();
+  SKYLOFT_CHECK(false) << "resumed an exited uthread";
+}
+
+UThread* Runtime::Current() {
+  SKYLOFT_CHECK(tl_worker != nullptr && tl_worker->current != nullptr)
+      << "not inside a user thread";
+  return tl_worker->current;
+}
+
+UThread* Runtime::Spawn(std::function<void()> fn) {
+  Runtime* rt = g_runtime;
+  SKYLOFT_CHECK(rt != nullptr);
+  PreemptGuard guard;
+  rt->live_uthreads_.fetch_add(1, std::memory_order_acq_rel);
+  UThread* t = rt->AllocUthread(std::move(fn));
+  rt->Schedule(t);
+  return t;
+}
+
+void Runtime::Schedule(UThread* thread) {
+  RuntimeWorker* worker = tl_worker;
+  if (worker == nullptr) {
+    worker = workers_[0].get();
+  }
+  std::lock_guard<std::mutex> lock(worker->mu);
+  worker->runq.push_back(thread);
+}
+
+void Runtime::Yield() {
+  RuntimeWorker* worker = tl_worker;
+  SKYLOFT_CHECK(worker != nullptr && worker->current != nullptr);
+  worker->preempt_disable.fetch_add(1, std::memory_order_acq_rel);
+  UThread* self = worker->current;
+  self->state.store(UthreadState::kRunnable, std::memory_order_relaxed);
+  worker->action = SwitchAction::kYield;
+  skyloft_ctx_switch(&self->sp, worker->sched_sp);
+  // Possibly resumed on a different worker; re-read the TLS.
+  tl_worker->preempt_disable.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Runtime::Park() {
+  RuntimeWorker* worker = tl_worker;
+  SKYLOFT_CHECK(worker != nullptr && worker->current != nullptr);
+  worker->preempt_disable.fetch_add(1, std::memory_order_acq_rel);
+  UThread* self = worker->current;
+  auto& park = ExtraOf(self)->park;
+  int expected = kParkRunning;
+  if (!park.compare_exchange_strong(expected, kParkParking, std::memory_order_acq_rel)) {
+    // An unpark already arrived: consume it and keep running.
+    SKYLOFT_CHECK(expected == kParkUnparkPending);
+    park.store(kParkRunning, std::memory_order_release);
+    worker->preempt_disable.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+  self->state.store(UthreadState::kBlocked, std::memory_order_relaxed);
+  worker->action = SwitchAction::kPark;
+  skyloft_ctx_switch(&self->sp, worker->sched_sp);
+  tl_worker->preempt_disable.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Runtime::Unpark(UThread* thread) {
+  Runtime* rt = g_runtime;
+  SKYLOFT_CHECK(rt != nullptr);
+  auto& park = ExtraOf(thread)->park;
+  const int old = park.exchange(kParkUnparkPending, std::memory_order_acq_rel);
+  if (old == kParkParked) {
+    // Fully parked: we own the wakeup.
+    park.store(kParkRunning, std::memory_order_release);
+    thread->state.store(UthreadState::kRunnable, std::memory_order_release);
+    PreemptGuard guard;
+    rt->Schedule(thread);
+  }
+  // old == kParkRunning or kParkParking: the parker (or its scheduler
+  // completion) observes kParkUnparkPending and self-requeues.
+}
+
+void Runtime::Join(UThread* thread) {
+  Runtime* rt = g_runtime;
+  SKYLOFT_CHECK(rt != nullptr);
+  // Loop: Park may return spuriously (e.g. a stale unpark token left by the
+  // mutex fast-path race), so completion is re-checked every wake.
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(rt->wait_lock_);
+      if (thread->state.load(std::memory_order_acquire) == UthreadState::kDone) {
+        return;
+      }
+      thread->joiners.push_back(Current());
+    }
+    Park();
+  }
+}
+
+void Runtime::ExitCurrent() {
+  RuntimeWorker* worker = tl_worker;
+  UThread* self = worker->current;
+  worker->preempt_disable.fetch_add(1, std::memory_order_acq_rel);
+  std::vector<UThread*> joiners;
+  {
+    std::lock_guard<std::mutex> lock(wait_lock_);
+    self->state.store(UthreadState::kDone, std::memory_order_release);
+    joiners.swap(self->joiners);
+  }
+  for (UThread* j : joiners) {
+    Unpark(j);
+  }
+  worker->action = SwitchAction::kExit;
+  skyloft_ctx_switch(&self->sp, worker->sched_sp);
+  SKYLOFT_CHECK(false) << "resumed an exited uthread";
+}
+
+Runtime::PreemptGuard::PreemptGuard() {
+  if (tl_worker != nullptr) {
+    tl_worker->preempt_disable.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+Runtime::PreemptGuard::~PreemptGuard() {
+  if (tl_worker != nullptr) {
+    tl_worker->preempt_disable.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void Runtime::PreemptSignalHandler(int /*signo*/) {
+  RuntimeWorker* worker = tl_worker;
+  if (worker == nullptr || worker->runtime == nullptr) {
+    return;
+  }
+  if (worker->preempt_disable.load(std::memory_order_acquire) != 0) {
+    return;  // scheduler or a sync primitive is mid-flight
+  }
+  UThread* current = worker->current;
+  if (current == nullptr) {
+    return;
+  }
+  // Only preempt if we interrupted code running on the uthread's own stack;
+  // anything else means we're in a transition window.
+  char probe;
+  const auto sp = reinterpret_cast<std::uintptr_t>(&probe);
+  const auto lo = reinterpret_cast<std::uintptr_t>(current->stack.get());
+  const auto hi = lo + current->stack_size;
+  if (sp < lo || sp >= hi) {
+    return;
+  }
+  worker->runtime->preemptions_.fetch_add(1, std::memory_order_relaxed);
+  Yield();
+}
+
+}  // namespace skyloft

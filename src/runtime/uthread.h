@@ -1,0 +1,138 @@
+// Host M:N user-level threading runtime.
+//
+// This is the part of Skyloft that runs for real on this machine: user
+// threads multiplexed over N worker pthreads with per-worker runqueues and
+// work stealing, a stack pool, and optional signal-timer preemption standing
+// in for UINTR (which needs Sapphire Rapids hardware — see DESIGN.md).
+// Table 7's threading-operation benchmarks measure these primitives.
+//
+// API sketch (all static calls are valid only inside Runtime::Run):
+//   Runtime rt(options);
+//   rt.Run([] {
+//     UThread* t = Runtime::Spawn([] { ... });
+//     Runtime::Yield();
+//     Runtime::Join(t);
+//   });
+#ifndef SRC_RUNTIME_UTHREAD_H_
+#define SRC_RUNTIME_UTHREAD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/base/compiler.h"
+#include "src/base/intrusive_list.h"
+
+namespace skyloft {
+
+class Runtime;
+struct RuntimeWorker;
+
+enum class UthreadState : std::uint8_t {
+  kRunnable,
+  kRunning,
+  kBlocked,
+  kDone,
+};
+
+struct UThread : ListNode {
+  std::function<void()> fn;
+  void* sp = nullptr;
+  std::unique_ptr<unsigned char[]> stack;
+  std::size_t stack_size = 0;
+  std::atomic<UthreadState> state{UthreadState::kRunnable};
+  // Threads waiting in Join(); protected by the runtime's wait lock.
+  std::vector<UThread*> joiners;
+  bool detached = false;
+};
+
+struct RuntimeOptions {
+  int workers = 1;
+  std::size_t stack_size = 64 * 1024;
+  // Preemption timer period; 0 disables preemption (cooperative only).
+  std::int64_t preempt_period_us = 0;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Runs `main_fn` as the first user thread and returns when every user
+  // thread has finished.
+  void Run(std::function<void()> main_fn);
+
+  // ---- Callable from inside user threads ----
+  static UThread* Spawn(std::function<void()> fn);
+  static void Yield();
+  static void Join(UThread* thread);
+  static UThread* Current();
+
+  // Blocks the current uthread until Unpark; used by the sync primitives.
+  static void Park();
+  static void Unpark(UThread* thread);
+
+  // Blocks the current uthread for at least `duration_us` (the worker runs
+  // other uthreads meanwhile; wakeup granularity is the housekeeping tick).
+  static void SleepFor(std::int64_t duration_us);
+
+  // Scope guard that delays signal-timer preemption (scheduler and sync
+  // primitives hold it around non-reentrant sections).
+  class PreemptGuard {
+   public:
+    PreemptGuard();
+    ~PreemptGuard();
+  };
+
+  std::uint64_t preemptions() const { return preemptions_.load(std::memory_order_relaxed); }
+  std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  friend struct RuntimeWorker;
+
+  void WorkerLoop(int index);
+  void Schedule(UThread* thread);          // enqueue on the current/least-loaded worker
+  UThread* FindWork(RuntimeWorker* worker);
+  void SwitchTo(RuntimeWorker* worker, UThread* next);
+  static void UthreadMain(void* arg);
+  void ExitCurrent();                       // terminate the running uthread
+  UThread* AllocUthread(std::function<void()> fn);
+  void FreeUthread(UThread* thread);
+  void InstallPreemptTimer(RuntimeWorker* worker);
+  static void PreemptSignalHandler(int signo);
+
+  RuntimeOptions options_;
+  std::vector<std::unique_ptr<RuntimeWorker>> workers_;
+  std::vector<std::thread> worker_threads_;
+  std::atomic<std::int64_t> live_uthreads_{0};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex wait_lock_;  // protects joiners lists and park/unpark races
+
+  std::mutex sleep_lock_;
+  std::multimap<std::chrono::steady_clock::time_point, UThread*> sleepers_;
+
+  std::mutex pool_lock_;
+  std::vector<UThread*> free_pool_;
+  // Raw storage blocks: each holds a placement-new'd UThread plus its
+  // internal handshake word. UThreads are recycled, never destroyed, until
+  // the runtime itself is.
+  std::vector<std::unique_ptr<unsigned char[]>> uthread_storage_;
+
+  std::atomic<std::uint64_t> preemptions_{0};
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_RUNTIME_UTHREAD_H_

@@ -1,0 +1,90 @@
+#include "src/simcore/simulation.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace skyloft {
+
+EventId Simulation::ScheduleAt(TimeNs at, Callback fn) {
+  SKYLOFT_CHECK(at >= now_) << "cannot schedule in the past: " << at << " < " << now_;
+  const EventId id = next_id_++;
+  heap_.push(Event{at, id, std::move(fn)});
+  return id;
+}
+
+bool Simulation::Cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_id_) {
+    return false;
+  }
+  // Lazy deletion: remember the id, skip it when popped.
+  return cancelled_.insert(id).second;
+}
+
+bool Simulation::PopNext(Event* out) {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; we move out via const_cast, which is
+    // safe because we pop immediately.
+    Event& top = const_cast<Event&>(heap_.top());
+    Event ev{top.when, top.id, std::move(top.fn)};
+    heap_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    *out = std::move(ev);
+    return true;
+  }
+  return false;
+}
+
+void Simulation::Run() {
+  stopped_ = false;
+  Event ev;
+  while (!stopped_ && PopNext(&ev)) {
+    now_ = ev.when;
+    executed_++;
+    ev.fn();
+  }
+}
+
+void Simulation::RunUntil(TimeNs deadline) {
+  stopped_ = false;
+  Event ev;
+  while (!stopped_) {
+    if (heap_.empty()) {
+      break;
+    }
+    if (heap_.top().when > deadline) {
+      break;
+    }
+    if (!PopNext(&ev)) {
+      break;
+    }
+    if (ev.when > deadline) {
+      // Rare: next non-cancelled event is past the deadline; put it back.
+      heap_.push(std::move(ev));
+      break;
+    }
+    now_ = ev.when;
+    executed_++;
+    ev.fn();
+  }
+  if (!stopped_ && now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+bool Simulation::Step() {
+  Event ev;
+  if (!PopNext(&ev)) {
+    return false;
+  }
+  now_ = ev.when;
+  executed_++;
+  ev.fn();
+  return true;
+}
+
+}  // namespace skyloft

@@ -1,0 +1,95 @@
+// Deterministic discrete-event simulation engine.
+//
+// Every hardware and software component of the simulated machine (LAPIC
+// timers, user-interrupt delivery, kernel scheduling ticks, network arrivals,
+// task completions) is an event on a single totally-ordered queue. Ties are
+// broken by schedule order, so a given seed always produces the same trace —
+// a property the test suite asserts directly.
+#ifndef SRC_SIMCORE_SIMULATION_H_
+#define SRC_SIMCORE_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace skyloft {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Current simulated time.
+  TimeNs Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (>= Now()). Returns an id
+  // usable with Cancel().
+  EventId ScheduleAt(TimeNs at, Callback fn);
+
+  // Schedules `fn` to run `delay` ns from now.
+  EventId ScheduleAfter(DurationNs delay, Callback fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event. Cancelling an already-fired or already-cancelled
+  // event is a no-op. Returns true if the event was pending.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue is empty or Stop() is called.
+  void Run();
+
+  // Runs events with timestamp <= `deadline`; afterwards Now() == deadline
+  // (unless Stop() was called earlier).
+  void RunUntil(TimeNs deadline);
+
+  // Runs exactly one event if available. Returns false when the queue is empty.
+  bool Step();
+
+  // Makes Run()/RunUntil() return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+  std::size_t PendingEvents() const { return heap_.size() - cancelled_.size(); }
+
+  // Total number of events executed so far (for determinism checks).
+  std::uint64_t EventsExecuted() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeNs when;
+    EventId id;
+    Callback fn;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  // Pops the next non-cancelled event, or returns false.
+  bool PopNext(Event* out);
+
+  TimeNs now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_SIMCORE_SIMULATION_H_

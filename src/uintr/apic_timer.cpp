@@ -1,0 +1,58 @@
+#include "src/uintr/apic_timer.h"
+
+#include "src/base/logging.h"
+#include "src/uintr/upid.h"
+
+namespace skyloft {
+
+void ApicTimer::SetHz(std::int64_t hz) {
+  SKYLOFT_CHECK(hz >= 0);
+  hz_ = hz;
+  if (enabled_) {
+    // Reprogramming the timer restarts the current period.
+    if (pending_ != kInvalidEventId) {
+      sim_->Cancel(pending_);
+      pending_ = kInvalidEventId;
+    }
+    next_deadline_ = sim_->Now();
+    Arm();
+  }
+}
+
+void ApicTimer::Enable() {
+  if (enabled_) {
+    return;
+  }
+  enabled_ = true;
+  next_deadline_ = sim_->Now();
+  Arm();
+}
+
+void ApicTimer::Disable() {
+  enabled_ = false;
+  if (pending_ != kInvalidEventId) {
+    sim_->Cancel(pending_);
+    pending_ = kInvalidEventId;
+  }
+}
+
+void ApicTimer::Arm() {
+  if (!enabled_ || hz_ <= 0) {
+    return;
+  }
+  // Drift-free periodic deadlines: each deadline is the previous plus the
+  // period, independent of handler execution time.
+  next_deadline_ += HzToPeriodNs(hz_);
+  pending_ = sim_->ScheduleAt(next_deadline_, [this] { Fire(); });
+}
+
+void ApicTimer::Fire() {
+  pending_ = kInvalidEventId;
+  if (!enabled_) {
+    return;
+  }
+  Arm();
+  on_fire_(core_, kApicTimerVector);
+}
+
+}  // namespace skyloft

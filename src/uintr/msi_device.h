@@ -1,0 +1,56 @@
+// Message-Signaled Interrupt device model (§6 "Peripheral interrupts").
+//
+// The paper observes that Skyloft's timer-delegation mechanism generalizes:
+// any interrupt whose vector is programmed into UINV — including MSIs from
+// peripherals like NICs — can be handled in user space once the PIR is
+// primed with the SN-bit self-SENDUIPI trick, enabling interrupt-driven
+// kernel-bypass drivers instead of polling.
+//
+// An MsiDevice owns a (target core, vector) route, as a device's MSI
+// capability would after configuration, and raises interrupts with a modeled
+// wire delay. Whether the interrupt lands in user space or the kernel is
+// decided by the receiving core's UINV state, exactly as for timers.
+#ifndef SRC_UINTR_MSI_DEVICE_H_
+#define SRC_UINTR_MSI_DEVICE_H_
+
+#include "src/uintr/uintr_chip.h"
+
+namespace skyloft {
+
+class MsiDevice {
+ public:
+  // `delivery_ns`: bus + interrupt-remapping latency from Raise() to the
+  // core observing the interrupt.
+  MsiDevice(UintrChip* chip, CoreId target, int vector, DurationNs delivery_ns = 200)
+      : chip_(chip), target_(target), vector_(vector), delivery_ns_(delivery_ns) {}
+
+  // Reprograms the MSI route (kernel-privileged in reality; the Skyloft
+  // kernel module would expose this like timer configuration).
+  void Route(CoreId target, int vector) {
+    target_ = target;
+    vector_ = vector;
+  }
+
+  // Asserts the interrupt. Edge-triggered: every call is one message.
+  void Raise() {
+    raised_++;
+    chip_->machine().sim().ScheduleAfter(delivery_ns_, [this] {
+      chip_->RaiseHardwareInterrupt(target_, vector_);
+    });
+  }
+
+  CoreId target() const { return target_; }
+  int vector() const { return vector_; }
+  std::uint64_t raised() const { return raised_; }
+
+ private:
+  UintrChip* chip_;
+  CoreId target_;
+  int vector_;
+  DurationNs delivery_ns_;
+  std::uint64_t raised_ = 0;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_UINTR_MSI_DEVICE_H_

@@ -1,0 +1,148 @@
+// Functional model of the per-core user-interrupt hardware.
+//
+// Models the architectural state machine of Intel UINTR (§3.2 of the paper):
+//   - UINV: the vector the core recognizes as a user interrupt
+//   - UIRR: 64-bit pending user-interrupt request register
+//   - UIF:  user-interrupt flag (delivery enabled)
+//   - UIHANDLER: the registered user-space handler
+//   - SENDUIPI: posts into the target UPID's PIR and, unless UPID.SN is set,
+//     sends a physical IPI with vector UPID.NV to UPID.NDST
+//   - recognition: an arriving physical interrupt whose vector equals UINV
+//     moves PIR into UIRR and clears UPID.ON; anything else takes the legacy
+//     (kernel) interrupt path
+//   - delivery: when the core is in user mode with UIF set and UIRR != 0, the
+//     highest pending vector is delivered to the handler
+//
+// The model also reproduces the paper's key discovery: a hardware timer
+// interrupt whose vector matches UINV is only *recognized* as a user
+// interrupt; because the timer does not write the PIR, recognition finds an
+// empty PIR and nothing is delivered — unless software pre-populated the PIR
+// via a self-SENDUIPI with SN=1.
+#ifndef SRC_UINTR_UINTR_CHIP_H_
+#define SRC_UINTR_UINTR_CHIP_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/base/bitmap.h"
+#include "src/simcore/machine.h"
+#include "src/uintr/apic_timer.h"
+#include "src/uintr/upid.h"
+
+namespace skyloft {
+
+// Context passed to a user-interrupt handler. `receive_cost_ns` is the
+// receiver-side overhead (context save/restore + handler dispatch) that the
+// scheduling engine must charge to the interrupted core.
+struct UintrFrame {
+  int vector = 0;
+  DurationNs receive_cost_ns = 0;
+  bool from_timer = false;
+  CoreId sender = kInvalidCore;  // kInvalidCore for hardware-generated
+};
+
+class UserInterruptUnit {
+ public:
+  using UserHandler = std::function<void(const UintrFrame&)>;
+
+  // UINV register: which physical vector is recognized as a user interrupt.
+  // -1 disables user-interrupt recognition entirely.
+  void SetUinv(int vector) { uinv_ = vector; }
+  int uinv() const { return uinv_; }
+
+  void SetHandler(UserHandler handler) { handler_ = std::move(handler); }
+
+  // The UPID of the thread currently running on this core (IA32_UINTR_PD).
+  void SetActiveUpid(Upid* upid) { active_upid_ = upid; }
+  Upid* active_upid() const { return active_upid_; }
+
+  // User-interrupt flag; clearing it blocks delivery (pending interrupts stay
+  // in UIRR until re-enabled).
+  void SetUif(bool enabled);
+  bool uif() const { return uif_; }
+
+  // Whether the core currently executes in user mode; delivery only happens
+  // in user mode (kernel-mode arrival stays pending).
+  void SetUserMode(bool user_mode);
+  bool user_mode() const { return user_mode_; }
+
+  const Bitmap64& uirr() const { return uirr_; }
+
+  // Direct user-interrupt delivery without going through a UPID: models the
+  // User-Timer Event architecture (§6 "Kernel-bypass timer reset", Intel ISE
+  // ch. 13), where a per-thread deadline timer raises a user interrupt on
+  // the running core with no PIR posting and no IPI.
+  void DeliverDirect(int vector, DurationNs receive_cost_ns, bool from_timer);
+
+ private:
+  friend class UintrChip;
+
+  void Recognize(DurationNs receive_cost_ns, bool from_timer, CoreId sender);
+  void TryDeliver();
+
+  int uinv_ = -1;
+  bool uif_ = true;
+  bool user_mode_ = true;
+  Bitmap64 uirr_;
+  Upid* active_upid_ = nullptr;
+  UserHandler handler_;
+
+  // Metadata describing the pending recognition, consumed at delivery.
+  DurationNs pending_receive_cost_ns_ = 0;
+  bool pending_from_timer_ = false;
+  CoreId pending_sender_ = kInvalidCore;
+};
+
+class UintrChip {
+ public:
+  // Handler for interrupts that are NOT recognized as user interrupts (the
+  // legacy path into the kernel).
+  using LegacyHandler = std::function<void(CoreId core, int vector)>;
+
+  explicit UintrChip(Machine* machine);
+
+  UserInterruptUnit& unit(CoreId core) { return *units_[static_cast<std::size_t>(core)]; }
+  ApicTimer& timer(CoreId core) { return *timers_[static_cast<std::size_t>(core)]; }
+
+  void SetLegacyHandler(LegacyHandler handler) { legacy_handler_ = std::move(handler); }
+
+  // Registers a UITT entry for `sender_core`; returns the index SENDUIPI uses.
+  int RegisterUittEntry(CoreId sender_core, Upid* target, int user_vector);
+
+  // Executes SENDUIPI on `sender_core` with the given UITT index. Posts into
+  // the target PIR; unless SN is set, emits a physical IPI (vector UPID.NV)
+  // that arrives at UPID.NDST after the modeled delivery latency. Returns the
+  // sender-side cost in ns, which the caller must charge to the sender.
+  DurationNs SendUipi(CoreId sender_core, int uitt_index);
+
+  // Raises a hardware-generated interrupt (LAPIC timer, MSI, ...) on `core`.
+  // Dispatches to user-interrupt recognition or the legacy kernel path.
+  void RaiseHardwareInterrupt(CoreId core, int vector);
+
+  // ---- User-Timer Events (§6 / Intel ISE ch. 13) ----
+  // Programs the per-core user deadline timer: at absolute time `deadline`
+  // the unit receives a direct user interrupt (vector kUserTimerUivec, cost
+  // of a user timer receive) with no kernel, APIC, or PIR involvement.
+  // Reprogramming replaces any pending deadline. Requires hardware support
+  // (the simulated machine always has it; real parts are future Intel).
+  void ProgramUserTimerDeadline(CoreId core, TimeNs deadline);
+  void CancelUserTimerDeadline(CoreId core);
+  bool UserTimerArmed(CoreId core) const;
+
+  Machine& machine() { return *machine_; }
+
+ private:
+  void DeliverPhysicalIpi(CoreId core, int vector, Upid* upid, CoreId sender);
+
+  Machine* machine_;
+  std::vector<std::unique_ptr<UserInterruptUnit>> units_;
+  std::vector<std::unique_ptr<ApicTimer>> timers_;
+  std::vector<std::vector<UittEntry>> uitts_;  // per sender core
+  std::vector<EventId> user_timer_events_;     // per-core UTE deadline events
+  LegacyHandler legacy_handler_;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_UINTR_UINTR_CHIP_H_

@@ -1,0 +1,54 @@
+// User Posted-Interrupt Descriptor (UPID) and User-Interrupt Target Table
+// (UITT) entries, as defined by the Intel UINTR architecture (SDM ch. 7) and
+// summarized in §3.2 of the paper.
+//
+// One UPID exists per receiving thread. Senders hold a UITT whose entries
+// point at receiver UPIDs; SENDUIPI takes a UITT index.
+#ifndef SRC_UINTR_UPID_H_
+#define SRC_UINTR_UPID_H_
+
+#include <cstdint>
+
+#include "src/base/bitmap.h"
+#include "src/simcore/machine.h"
+
+namespace skyloft {
+
+// Interrupt vector numbers used by the simulated platform.
+inline constexpr int kUserIpiVector = 0xe1;    // kernel-chosen UINTR notification vector
+inline constexpr int kApicTimerVector = 0xec;  // LAPIC timer vector
+inline constexpr int kNicMsiVector = 0xd0;     // NIC MSI vector (peripheral delegation)
+
+// User-interrupt vector (UIRR bit) used by User-Timer Events (§6).
+inline constexpr int kUserTimerUivec = 62;
+
+struct Upid {
+  // Outstanding Notification: a notification IPI for this UPID is in flight
+  // or pending; suppresses duplicate IPIs.
+  bool on = false;
+
+  // Suppress Notification: when set, SENDUIPI posts into PIR but sends no
+  // IPI. Skyloft's user-space timer trick (§3.2) relies on this: each core
+  // sends *itself* a user IPI with SN=1 to pre-populate the PIR so that the
+  // next hardware timer interrupt is recognized as a user interrupt.
+  bool sn = false;
+
+  // Notification Vector: the IPI vector used to notify the destination.
+  int nv = kUserIpiVector;
+
+  // Notification Destination: core where the receiving thread runs.
+  CoreId ndst = kInvalidCore;
+
+  // Posted-Interrupt Requests: one bit per user-interrupt vector (0..63).
+  Bitmap64 pir;
+};
+
+struct UittEntry {
+  bool valid = false;
+  Upid* target = nullptr;
+  int user_vector = 0;  // bit set in target->pir on SENDUIPI
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_UINTR_UPID_H_

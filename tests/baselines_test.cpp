@@ -1,0 +1,101 @@
+// Tests for the baseline-system factories: each modelled system must exhibit
+// the configuration effects its model claims (kernel wake costs, parking
+// penalties, dispatcher weight), since the figure benchmarks build on them.
+#include <gtest/gtest.h>
+
+#include "src/baselines/systems.h"
+
+namespace skyloft {
+namespace {
+
+TEST(BaselineFactoryTest, AllFactoriesConstructAndRun) {
+  // Smoke: every factory yields a runnable system that completes one task.
+  std::vector<SystemSetup> setups;
+  setups.push_back(MakeSkyloftPerCpu(SkyloftSched::kRr, 2));
+  setups.push_back(MakeSkyloftPerCpu(SkyloftSched::kCfs, 2));
+  setups.push_back(MakeSkyloftPerCpu(SkyloftSched::kEevdf, 2));
+  setups.push_back(MakeSkyloftPerCpu(SkyloftSched::kFifo, 2));
+  setups.push_back(MakeLinuxPerCpu(LinuxSched::kRrDefault, 2));
+  setups.push_back(MakeLinuxPerCpu(LinuxSched::kCfsDefault, 2));
+  setups.push_back(MakeLinuxPerCpu(LinuxSched::kCfsTuned, 2));
+  setups.push_back(MakeLinuxPerCpu(LinuxSched::kEevdfDefault, 2));
+  setups.push_back(MakeLinuxPerCpu(LinuxSched::kEevdfTuned, 2));
+  setups.push_back(MakeSkyloftShinjuku(2, Micros(30), false));
+  setups.push_back(MakeSkyloftShinjuku(2, Micros(30), true));
+  setups.push_back(MakeShinjukuOriginal(2, Micros(30)));
+  setups.push_back(MakeGhost(2, Micros(30), false));
+  setups.push_back(MakeLinuxCfsCentralWorkload(2));
+  setups.push_back(MakeSkyloftWorkStealing(2, Micros(5)));
+  setups.push_back(MakeSkyloftWorkStealing(2, Micros(5), /*utimer=*/true));
+  setups.push_back(MakeShenango(2));
+  for (SystemSetup& setup : setups) {
+    setup.engine->Submit(setup.engine->NewTask(setup.app, Micros(10)));
+    setup.sim->RunUntil(Millis(2));
+    EXPECT_EQ(setup.engine->stats().completed, 1u) << setup.name;
+    setup.kernel->CheckBindingRule();
+  }
+}
+
+TEST(BaselineFactoryTest, LinuxWakeupPathIsCostly) {
+  // The same block/wake sequence costs ~2.5 us on Linux (kernel wake +
+  // switch) vs ~0.1 us on Skyloft.
+  auto measure = [](SystemSetup setup) {
+    Task* task = setup.engine->NewTask(setup.app, Micros(5));
+    task->on_segment_end = [](Task*) { return SegmentAction::kBlock; };
+    setup.engine->Submit(task);
+    setup.sim->RunUntil(Micros(100));
+    setup.sim->ScheduleAt(Micros(200), [&] { setup.engine->WakeTask(task, Micros(5)); });
+    setup.sim->RunUntil(Millis(1));
+    return setup.engine->stats().wakeup_latency.Max();
+  };
+  const auto skyloft = measure(MakeSkyloftPerCpu(SkyloftSched::kCfs, 2));
+  const auto linux = measure(MakeLinuxPerCpu(LinuxSched::kCfsTuned, 2));
+  EXPECT_LT(skyloft, 500);
+  EXPECT_GT(linux, 2000);
+}
+
+TEST(BaselineFactoryTest, ShenangoPaysUnparkAfterIdle) {
+  // A request arriving at a long-idle Shenango worker pays the kernel
+  // unpark; a Skyloft spinning worker does not.
+  auto measure = [](SystemSetup setup) {
+    // Let the worker sit idle well past any park threshold.
+    setup.sim->RunUntil(Millis(1));
+    setup.engine->Submit(setup.engine->NewTask(setup.app, Micros(5)));
+    setup.sim->RunUntil(Millis(2));
+    return setup.engine->stats().request_latency.Max();
+  };
+  const auto skyloft = measure(MakeSkyloftWorkStealing(2, kInfiniteSliceWs));
+  const auto shenango = measure(MakeShenango(2));
+  EXPECT_GT(shenango, skyloft + 1500) << "unpark cost must appear";
+}
+
+TEST(BaselineFactoryTest, GhostDispatchHeavierThanSkyloft) {
+  auto measure = [](SystemSetup setup) {
+    setup.engine->Submit(setup.engine->NewTask(setup.app, Micros(4)));
+    setup.sim->RunUntil(Millis(1));
+    return setup.engine->stats().request_latency.Max();
+  };
+  const auto skyloft = measure(MakeSkyloftShinjuku(2, Micros(30), false));
+  const auto ghost = measure(MakeGhost(2, Micros(30), false));
+  EXPECT_GT(ghost, skyloft + 2000) << "kernel-transaction dispatch must show up";
+}
+
+TEST(BaselineFactoryTest, SkyloftTimerHzMatchesTable5) {
+  SystemSetup setup = MakeSkyloftPerCpu(SkyloftSched::kCfs, 2);
+  EXPECT_EQ(setup.chip->timer(0).hz(), 100'000);
+  SystemSetup linux_setup = MakeLinuxPerCpu(LinuxSched::kCfsDefault, 2);
+  EXPECT_EQ(linux_setup.chip->timer(0).hz(), 250);
+  SystemSetup tuned = MakeLinuxPerCpu(LinuxSched::kCfsTuned, 2);
+  EXPECT_EQ(tuned.chip->timer(0).hz(), 1000);
+}
+
+TEST(BaselineFactoryTest, UtimerVariantUsesExtraCore) {
+  SystemSetup with_utimer = MakeSkyloftWorkStealing(4, Micros(5), /*utimer=*/true);
+  EXPECT_EQ(with_utimer.machine->num_cores(), 5);
+  EXPECT_EQ(with_utimer.engine->NumWorkers(), 4);
+  SystemSetup local = MakeSkyloftWorkStealing(4, Micros(5));
+  EXPECT_EQ(local.machine->num_cores(), 4);
+}
+
+}  // namespace
+}  // namespace skyloft

@@ -1,0 +1,226 @@
+// End-to-end integration tests: miniature versions of the paper's headline
+// experiments asserted as invariants, plus cross-module property checks.
+// These guard the benchmark results against regressions.
+#include <gtest/gtest.h>
+
+#include "src/apps/schbench.h"
+#include "src/apps/workloads.h"
+#include "src/baselines/systems.h"
+#include "src/net/loadgen.h"
+
+namespace skyloft {
+namespace {
+
+std::int64_t SchbenchP99(SystemSetup setup, int workers) {
+  SchbenchSim bench(setup.engine.get(), setup.app, SchbenchOptions{.worker_threads = workers});
+  bench.Start();
+  setup.sim->RunUntil(Millis(50));
+  setup.engine->ResetStats();
+  setup.sim->RunUntil(Millis(250));
+  return bench.WakeupPercentileNs(0.99);
+}
+
+// Fig. 5 in miniature: Skyloft's user-space 100 kHz timer beats Linux's
+// kernel tick by orders of magnitude on oversubscribed wakeup latency.
+TEST(PaperShapeTest, SkyloftWakeupBeatsLinuxByOrdersOfMagnitude) {
+  constexpr int kCores = 8;
+  constexpr int kWorkers = 16;  // 2x oversubscribed
+  const auto skyloft = SchbenchP99(MakeSkyloftPerCpu(SkyloftSched::kCfs, kCores), kWorkers);
+  const auto linux = SchbenchP99(MakeLinuxPerCpu(LinuxSched::kCfsTuned, kCores), kWorkers);
+  EXPECT_LT(skyloft, Micros(200));
+  EXPECT_GT(linux, Micros(500));
+  EXPECT_GT(linux / std::max<std::int64_t>(skyloft, 1), 5);
+}
+
+TEST(PaperShapeTest, EevdfBeatsCfsBeatsRrOnWakeup) {
+  constexpr int kCores = 8;
+  constexpr int kWorkers = 16;
+  const auto rr = SchbenchP99(MakeSkyloftPerCpu(SkyloftSched::kRr, kCores), kWorkers);
+  const auto cfs = SchbenchP99(MakeSkyloftPerCpu(SkyloftSched::kCfs, kCores), kWorkers);
+  const auto eevdf = SchbenchP99(MakeSkyloftPerCpu(SkyloftSched::kEevdf, kCores), kWorkers);
+  EXPECT_LE(cfs, rr);
+  EXPECT_LE(eevdf, cfs);
+}
+
+// Fig. 6 in miniature: wakeup latency tracks the RR slice.
+TEST(PaperShapeTest, WakeupLatencyProportionalToTimeSlice) {
+  constexpr int kCores = 8;
+  constexpr int kWorkers = 16;
+  const auto slice_5us =
+      SchbenchP99(MakeSkyloftPerCpu(SkyloftSched::kRr, kCores, Micros(5)), kWorkers);
+  const auto slice_500us =
+      SchbenchP99(MakeSkyloftPerCpu(SkyloftSched::kRr, kCores, Micros(500)), kWorkers);
+  EXPECT_GT(slice_500us, slice_5us * 5);
+}
+
+struct LoadResult {
+  std::int64_t p99_short_ns = 0;
+  std::int64_t p999_slowdown_x100 = 0;
+  std::uint64_t completed = 0;
+};
+
+LoadResult RunDispersive(SystemSetup setup, double rate_rps, DurationNs measure = Millis(200)) {
+  PoissonClient::Options copts;
+  copts.rate_rps = rate_rps;
+  copts.seed = 11;
+  copts.rss_route = false;
+  PoissonClient client(setup.engine.get(), setup.app, DispersiveMix(), copts);
+  client.Start();
+  setup.sim->RunUntil(Millis(30));
+  setup.engine->ResetStats();
+  setup.sim->RunUntil(Millis(30) + measure);
+  LoadResult r;
+  r.p99_short_ns = setup.engine->stats().latency_by_kind[kKindShort].Percentile(0.99);
+  r.p999_slowdown_x100 = setup.engine->stats().slowdown_x100.Percentile(0.999);
+  r.completed = setup.engine->stats().completed;
+  return r;
+}
+
+// Fig. 7a in miniature: with quantum preemption, short requests dodge the
+// 10 ms long requests; ghOSt pays visibly more than Skyloft at low load.
+TEST(PaperShapeTest, QuantumPreemptionProtectsShortRequests) {
+  constexpr int kWorkers = 8;
+  const double rate = 0.5 * kWorkers / (MixMeanNs(DispersiveMix()) / 1e9);
+  const auto skyloft = RunDispersive(MakeSkyloftShinjuku(kWorkers, Micros(30), false), rate);
+  EXPECT_LT(skyloft.p99_short_ns, Micros(120));
+  const auto ghost = RunDispersive(MakeGhost(kWorkers, Micros(30), false), rate);
+  EXPECT_GT(ghost.p99_short_ns, skyloft.p99_short_ns);
+}
+
+// Fig. 8b in miniature: preemptive work stealing crushes the 99.9% slowdown
+// of the RocksDB bimodal mix relative to non-preemptive Shenango.
+TEST(PaperShapeTest, PreemptiveWorkStealingBeatsShenangoOnSlowdown) {
+  constexpr int kWorkers = 8;
+  const RequestMix mix = RocksdbBimodalMix();
+  const double rate = 0.6 * kWorkers / (MixMeanNs(mix) / 1e9);
+
+  auto run = [&](SystemSetup setup) {
+    PoissonClient::Options copts;
+    copts.rate_rps = rate;
+    copts.seed = 13;
+    PoissonClient client(setup.engine.get(), setup.app, mix, copts);
+    client.Start();
+    setup.sim->RunUntil(Millis(50));
+    setup.engine->ResetStats();
+    setup.sim->RunUntil(Millis(450));
+    return setup.engine->stats().slowdown_x100.Percentile(0.999) / 100;
+  };
+  const auto skyloft_slowdown = run(MakeSkyloftWorkStealing(kWorkers, Micros(5)));
+  const auto shenango_slowdown = run(MakeShenango(kWorkers));
+  EXPECT_LT(skyloft_slowdown, 50);
+  EXPECT_GT(shenango_slowdown, skyloft_slowdown * 3);
+}
+
+// §5.3 utimer: emulating timers from a dedicated core still preempts.
+TEST(PaperShapeTest, UtimerEmulationPreempts) {
+  constexpr int kWorkers = 7;
+  const RequestMix mix = RocksdbBimodalMix();
+  const double rate = 0.5 * kWorkers / (MixMeanNs(mix) / 1e9);
+  SystemSetup setup = MakeSkyloftWorkStealing(kWorkers, Micros(5), /*utimer=*/true);
+  PoissonClient::Options copts;
+  copts.rate_rps = rate;
+  copts.seed = 17;
+  PoissonClient client(setup.engine.get(), setup.app, mix, copts);
+  client.Start();
+  setup.sim->RunUntil(Millis(300));
+  EXPECT_GT(setup.percpu()->ticks(), 1000u) << "utimer IPIs must tick the workers";
+  EXPECT_LT(setup.engine->stats().slowdown_x100.Percentile(0.999) / 100, 60);
+}
+
+// Work conservation: everything submitted eventually completes, across all
+// engines and policies, under random load (property check).
+class WorkConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkConservationTest, NoTaskIsLost) {
+  SystemSetup setup;
+  switch (GetParam()) {
+    case 0:
+      setup = MakeSkyloftPerCpu(SkyloftSched::kRr, 4);
+      break;
+    case 1:
+      setup = MakeSkyloftPerCpu(SkyloftSched::kCfs, 4);
+      break;
+    case 2:
+      setup = MakeSkyloftPerCpu(SkyloftSched::kEevdf, 4);
+      break;
+    case 3:
+      setup = MakeSkyloftShinjuku(4, Micros(30), false);
+      break;
+    case 4:
+      setup = MakeSkyloftWorkStealing(4, Micros(5));
+      break;
+    case 5:
+      setup = MakeShenango(4);
+      break;
+    case 6:
+      setup = MakeGhost(4, Micros(30), false);
+      break;
+    case 7:
+      setup = MakeLinuxPerCpu(LinuxSched::kCfsTuned, 4);
+      break;
+  }
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  std::uint64_t submitted = 0;
+  for (int i = 0; i < 2000; i++) {
+    const auto at = static_cast<TimeNs>(rng.NextBelow(Millis(20)));
+    setup.sim->ScheduleAt(at, [&setup, &rng, &submitted] {
+      submitted++;
+      const auto service = 200 + static_cast<DurationNs>(rng.NextBelow(Micros(200)));
+      setup.engine->Submit(setup.engine->NewTask(setup.app, service),
+                           static_cast<int>(rng.NextBelow(4)));
+    });
+  }
+  setup.sim->RunUntil(kSecond);
+  EXPECT_EQ(setup.engine->stats().completed, submitted);
+  setup.kernel->CheckBindingRule();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, WorkConservationTest, ::testing::Range(0, 8));
+
+// Multi-application stress: LC + BE with the core allocator under a bursty
+// load; binding rule must hold throughout and all LC work must finish.
+TEST(MultiAppStressTest, AllocatorSurvivesBursts) {
+  SystemSetup setup = MakeSkyloftShinjuku(6, Micros(30), /*core_alloc=*/true);
+  App* be = setup.engine->CreateApp("batch", true);
+  setup.central()->AttachBestEffortApp(be);
+  Rng rng(77);
+  std::uint64_t submitted = 0;
+  // Alternating quiet and burst phases.
+  for (int phase = 0; phase < 10; phase++) {
+    const TimeNs base = phase * Millis(10);
+    const int burst = (phase % 2 == 0) ? 400 : 10;
+    for (int i = 0; i < burst; i++) {
+      const auto at = base + static_cast<TimeNs>(rng.NextBelow(Millis(10)));
+      setup.sim->ScheduleAt(at, [&setup, &rng, &submitted] {
+        submitted++;
+        setup.engine->Submit(
+            setup.engine->NewTask(setup.app, 1000 + static_cast<DurationNs>(rng.NextBelow(Micros(50)))));
+      });
+    }
+  }
+  setup.sim->RunUntil(Millis(200));
+  EXPECT_EQ(setup.engine->stats().completed, submitted);
+  EXPECT_GT(setup.engine->CpuShare(be), 0.1) << "batch must get quiet-phase cores";
+  setup.kernel->CheckBindingRule();
+}
+
+// Determinism across the whole stack: identical seeds => identical traces.
+TEST(DeterminismTest, FullSystemTraceIsReproducible) {
+  auto run = [] {
+    SystemSetup setup = MakeSkyloftWorkStealing(4, Micros(5));
+    PoissonClient::Options copts;
+    copts.rate_rps = 5000;
+    copts.seed = 42;
+    PoissonClient client(setup.engine.get(), setup.app, RocksdbBimodalMix(), copts);
+    client.Start();
+    setup.sim->RunUntil(Millis(100));
+    return std::make_tuple(setup.engine->stats().completed,
+                           setup.engine->stats().request_latency.Max(),
+                           setup.engine->stats().request_latency.Percentile(0.99),
+                           setup.sim->EventsExecuted());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace skyloft

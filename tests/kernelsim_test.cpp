@@ -1,0 +1,190 @@
+// Tests for the simulated kernel and the Skyloft kernel module: thread state
+// transitions, the Single Binding Rule (§3.3), signal/kernel-IPI costs
+// (Table 6), and timer-delegation configuration (§4.2).
+#include <gtest/gtest.h>
+
+#include "src/kernelsim/kernel_sim.h"
+#include "src/simcore/machine.h"
+#include "src/uintr/uintr_chip.h"
+
+namespace skyloft {
+namespace {
+
+class KernelSimTest : public ::testing::Test {
+ protected:
+  KernelSimTest() : machine_(&sim_, MakeConfig()), chip_(&machine_), kernel_(&machine_, &chip_) {
+    kernel_.IsolateCores({0, 1, 2, 3});
+  }
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.num_cores = 8;
+    return config;
+  }
+
+  Simulation sim_;
+  Machine machine_;
+  UintrChip chip_;
+  KernelSim kernel_;
+};
+
+TEST_F(KernelSimTest, CreateThreadStartsRunnable) {
+  const Tid tid = kernel_.CreateThread(/*app_id=*/0);
+  EXPECT_EQ(kernel_.thread(tid).state, KthreadState::kRunnable);
+  EXPECT_EQ(kernel_.thread(tid).app_id, 0);
+  EXPECT_EQ(kernel_.thread(tid).affinity, kInvalidCore);
+}
+
+TEST_F(KernelSimTest, IsolationFlags) {
+  EXPECT_TRUE(kernel_.IsIsolated(0));
+  EXPECT_TRUE(kernel_.IsIsolated(3));
+  EXPECT_FALSE(kernel_.IsIsolated(4));
+}
+
+TEST_F(KernelSimTest, BindMakesThreadActiveOnCore) {
+  const Tid tid = kernel_.CreateThread(0);
+  kernel_.BindToCore(tid, 2);
+  EXPECT_EQ(kernel_.ActiveOn(2), &kernel_.thread(tid));
+  EXPECT_EQ(kernel_.ActiveOn(1), nullptr);
+}
+
+TEST_F(KernelSimTest, ParkOnCpuBindsAndSuspends) {
+  const Tid tid = kernel_.CreateThread(1);
+  const DurationNs cost = kernel_.SkyloftParkOnCpu(tid, 1);
+  EXPECT_GT(cost, 0);
+  EXPECT_EQ(kernel_.thread(tid).state, KthreadState::kSuspended);
+  EXPECT_EQ(kernel_.thread(tid).affinity, 1);
+  EXPECT_EQ(kernel_.ActiveOn(1), nullptr) << "parked threads are inactive";
+}
+
+TEST_F(KernelSimTest, SwitchToSwapsActiveThread) {
+  const Tid a = kernel_.CreateThread(0);
+  kernel_.BindToCore(a, 0);
+  const Tid b = kernel_.CreateThread(1);
+  kernel_.SkyloftParkOnCpu(b, 0);
+
+  const DurationNs cost = kernel_.SkyloftSwitchTo(a, b);
+  EXPECT_EQ(cost, machine_.costs().skyloft_app_switch_ns);  // §5.4: 1905 ns
+  EXPECT_EQ(kernel_.thread(a).state, KthreadState::kSuspended);
+  EXPECT_EQ(kernel_.thread(b).state, KthreadState::kRunnable);
+  EXPECT_EQ(kernel_.ActiveOn(0), &kernel_.thread(b));
+}
+
+TEST_F(KernelSimTest, SwitchToRoundTrip) {
+  const Tid a = kernel_.CreateThread(0);
+  kernel_.BindToCore(a, 0);
+  const Tid b = kernel_.CreateThread(1);
+  kernel_.SkyloftParkOnCpu(b, 0);
+  kernel_.SkyloftSwitchTo(a, b);
+  kernel_.SkyloftSwitchTo(b, a);
+  EXPECT_EQ(kernel_.ActiveOn(0), &kernel_.thread(a));
+  kernel_.CheckBindingRule();
+}
+
+TEST_F(KernelSimTest, WakeupActivatesParkedThread) {
+  const Tid tid = kernel_.CreateThread(0);
+  kernel_.SkyloftParkOnCpu(tid, 3);
+  kernel_.SkyloftWakeup(tid);
+  EXPECT_EQ(kernel_.ActiveOn(3), &kernel_.thread(tid));
+}
+
+TEST_F(KernelSimTest, BindingRuleViolationOnWakeupAborts) {
+  const Tid a = kernel_.CreateThread(0);
+  kernel_.BindToCore(a, 0);
+  const Tid b = kernel_.CreateThread(1);
+  kernel_.SkyloftParkOnCpu(b, 0);
+  // Waking b while a is active on core 0 breaks the Single Binding Rule.
+  EXPECT_DEATH(kernel_.SkyloftWakeup(b), "Single Binding Rule");
+}
+
+TEST_F(KernelSimTest, BindingRuleViolationOnBindAborts) {
+  const Tid a = kernel_.CreateThread(0);
+  kernel_.BindToCore(a, 0);
+  const Tid b = kernel_.CreateThread(1);
+  EXPECT_DEATH(kernel_.BindToCore(b, 0), "Single Binding Rule");
+}
+
+TEST_F(KernelSimTest, NonIsolatedCoresAllowOversubscription) {
+  const Tid a = kernel_.CreateThread(0);
+  const Tid b = kernel_.CreateThread(1);
+  kernel_.BindToCore(a, 5);
+  kernel_.BindToCore(b, 5);  // fine: core 5 is not isolated
+  kernel_.CheckBindingRule();
+}
+
+TEST_F(KernelSimTest, SwitchToAcrossCoresAborts) {
+  const Tid a = kernel_.CreateThread(0);
+  kernel_.BindToCore(a, 0);
+  const Tid b = kernel_.CreateThread(1);
+  kernel_.SkyloftParkOnCpu(b, 1);
+  EXPECT_DEATH(kernel_.SkyloftSwitchTo(a, b), "across cores");
+}
+
+TEST_F(KernelSimTest, SwitchToNonSuspendedTargetAborts) {
+  const Tid a = kernel_.CreateThread(0);
+  kernel_.BindToCore(a, 0);
+  const Tid b = kernel_.CreateThread(1);
+  kernel_.BindToCore(b, 1);
+  EXPECT_DEATH(kernel_.SkyloftSwitchTo(a, b), "not suspended");
+}
+
+TEST_F(KernelSimTest, SignalDeliveryTiming) {
+  const Tid tid = kernel_.CreateThread(0);
+  kernel_.BindToCore(tid, 1);
+  TimeNs delivered_at = -1;
+  const DurationNs send_cost =
+      kernel_.SendSignal(/*from_core=*/0, tid, [&] { delivered_at = sim_.Now(); });
+  EXPECT_EQ(send_cost, machine_.costs().SignalSendNs());
+  sim_.Run();
+  EXPECT_EQ(delivered_at, machine_.costs().SignalDeliveryNs());
+  EXPECT_GT(kernel_.SignalReceiveCost(), 0);
+}
+
+TEST_F(KernelSimTest, KernelIpiFasterThanSignal) {
+  TimeNs signal_at = -1;
+  TimeNs ipi_at = -1;
+  const Tid tid = kernel_.CreateThread(0);
+  kernel_.SendSignal(0, tid, [&] { signal_at = sim_.Now(); });
+  kernel_.SendKernelIpi(0, 1, [&] { ipi_at = sim_.Now(); });
+  sim_.Run();
+  EXPECT_LT(ipi_at, signal_at) << "Table 6: kernel IPI beats signal delivery";
+}
+
+TEST_F(KernelSimTest, TimerEnableConfiguresDelegation) {
+  Upid upid;
+  kernel_.SkyloftTimerEnable(2, &upid);
+  EXPECT_TRUE(upid.sn) << "SN must be pre-set for the self-IPI trick";
+  EXPECT_EQ(upid.ndst, 2);
+  EXPECT_EQ(upid.nv, kApicTimerVector);
+  EXPECT_EQ(chip_.unit(2).uinv(), kApicTimerVector);
+  EXPECT_EQ(chip_.unit(2).active_upid(), &upid);
+}
+
+TEST_F(KernelSimTest, TimerSetHzStartsTimer) {
+  Upid upid;
+  kernel_.SkyloftTimerEnable(2, &upid);
+  kernel_.SkyloftTimerSetHz(2, 100'000);
+  EXPECT_TRUE(chip_.timer(2).enabled());
+  EXPECT_EQ(chip_.timer(2).hz(), 100'000);
+}
+
+// End-to-end: kernel-module configuration + self-IPI priming => timer
+// interrupts handled in user space, repeatedly, with re-arm.
+TEST_F(KernelSimTest, UserSpaceTimerEndToEnd) {
+  Upid upid;
+  kernel_.SkyloftTimerEnable(2, &upid);
+  const int self_idx = chip_.RegisterUittEntry(2, &upid, 1);
+  int ticks = 0;
+  chip_.unit(2).SetHandler([&](const UintrFrame& frame) {
+    EXPECT_TRUE(frame.from_timer);
+    ticks++;
+    chip_.SendUipi(2, self_idx);  // re-arm (Listing 1)
+  });
+  chip_.SendUipi(2, self_idx);  // initial priming
+  kernel_.SkyloftTimerSetHz(2, 100'000);
+  sim_.RunUntil(Millis(1));
+  EXPECT_EQ(ticks, 100);
+}
+
+}  // namespace
+}  // namespace skyloft

@@ -1,0 +1,195 @@
+// Parameterized property tests: invariants that must hold across policy
+// types, worker counts, seeds, and load levels.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "src/libos/percpu_engine.h"
+#include "src/policies/cfs.h"
+#include "src/policies/eevdf.h"
+#include "src/policies/round_robin.h"
+#include "src/policies/work_stealing.h"
+
+namespace skyloft {
+namespace {
+
+enum class PolicyKind { kRr, kCfs, kEevdf, kWs };
+
+std::unique_ptr<SchedPolicy> MakePolicy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kRr:
+      return std::make_unique<RoundRobinPolicy>(Micros(50));
+    case PolicyKind::kCfs:
+      return std::make_unique<CfsPolicy>(CfsParams{Micros(12) + 500, Micros(50)});
+    case PolicyKind::kEevdf:
+      return std::make_unique<EevdfPolicy>(EevdfParams{Micros(12) + 500});
+    case PolicyKind::kWs:
+      return std::make_unique<WorkStealingPolicy>(WorkStealingParams{Micros(10), 3});
+  }
+  return nullptr;
+}
+
+const char* PolicyName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kRr:
+      return "rr";
+    case PolicyKind::kCfs:
+      return "cfs";
+    case PolicyKind::kEevdf:
+      return "eevdf";
+    case PolicyKind::kWs:
+      return "ws";
+  }
+  return "?";
+}
+
+struct Rig {
+  explicit Rig(int cores, std::unique_ptr<SchedPolicy> p, std::int64_t hz = 100'000)
+      : policy(std::move(p)) {
+    MachineConfig mcfg;
+    mcfg.num_cores = cores;
+    machine = std::make_unique<Machine>(&sim, mcfg);
+    chip = std::make_unique<UintrChip>(machine.get());
+    kernel = std::make_unique<KernelSim>(machine.get(), chip.get());
+    PerCpuEngineConfig cfg;
+    for (int i = 0; i < cores; i++) {
+      cfg.base.worker_cores.push_back(i);
+    }
+    cfg.timer_hz = hz;
+    cfg.tick_path = TickPath::kUserTimer;
+    engine = std::make_unique<PerCpuEngine>(machine.get(), chip.get(), kernel.get(),
+                                            policy.get(), cfg);
+    app = engine->CreateApp("app");
+    engine->Start();
+  }
+  Simulation sim;
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<UintrChip> chip;
+  std::unique_ptr<KernelSim> kernel;
+  std::unique_ptr<SchedPolicy> policy;
+  std::unique_ptr<PerCpuEngine> engine;
+  App* app = nullptr;
+};
+
+using SweepParam = std::tuple<PolicyKind, int /*cores*/, std::uint64_t /*seed*/>;
+
+class PolicySweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+// Property 1: conservation — every submitted task completes exactly once,
+// regardless of policy, core count, or arrival pattern.
+TEST_P(PolicySweepTest, TasksConservedUnderRandomLoad) {
+  const auto [kind, cores, seed] = GetParam();
+  Rig rig(cores, MakePolicy(kind));
+  Rng rng(seed);
+  std::uint64_t submitted = 0;
+  for (int i = 0; i < 1500; i++) {
+    const auto at = static_cast<TimeNs>(rng.NextBelow(Millis(15)));
+    rig.sim.ScheduleAt(at, [&rig, &rng, &submitted, cores] {
+      submitted++;
+      const auto service = 100 + static_cast<DurationNs>(rng.NextBelow(Micros(300)));
+      rig.engine->Submit(rig.engine->NewTask(rig.app, service),
+                         static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(cores))));
+    });
+  }
+  rig.sim.RunUntil(kSecond);
+  EXPECT_EQ(rig.engine->stats().completed, submitted) << PolicyName(kind);
+  rig.kernel->CheckBindingRule();
+}
+
+// Property 2: latency >= service — no task can finish faster than its
+// service time, and busy time never exceeds wall time x cores.
+TEST_P(PolicySweepTest, PhysicalSanity) {
+  const auto [kind, cores, seed] = GetParam();
+  Rig rig(cores, MakePolicy(kind));
+  Rng rng(seed + 1);
+  constexpr DurationNs kService = Micros(20);
+  for (int i = 0; i < 500; i++) {
+    const auto at = static_cast<TimeNs>(rng.NextBelow(Millis(5)));
+    rig.sim.ScheduleAt(at, [&rig] {
+      rig.engine->Submit(rig.engine->NewTask(rig.app, kService));
+    });
+  }
+  rig.sim.RunUntil(kSecond);
+  EXPECT_GE(rig.engine->stats().request_latency.Min(), kService);
+  rig.engine->FlushAccounting();
+  EXPECT_LE(rig.app->cpu_time_ns, rig.sim.Now() * cores);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PolicySweepTest,
+    ::testing::Combine(::testing::Values(PolicyKind::kRr, PolicyKind::kCfs, PolicyKind::kEevdf,
+                                         PolicyKind::kWs),
+                       ::testing::Values(1, 2, 8), ::testing::Values<std::uint64_t>(1, 42)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return std::string(PolicyName(std::get<0>(info.param))) + "_c" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// Property 3: fairness — for the fair-share policies, N CPU-bound chunked
+// tasks on one core each receive within 25% of 1/N of the CPU.
+class FairnessTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(FairnessTest, EqualShareForCpuBoundTasks) {
+  const PolicyKind kind = GetParam();
+  Rig rig(1, MakePolicy(kind));
+  constexpr int kTasks = 4;
+  // Each task continuously re-submits 200 us chunks; count per-task time.
+  std::array<DurationNs, kTasks> consumed = {};
+  std::function<void(int)> submit_chunk = [&](int idx) {
+    Task* task = rig.engine->NewTask(rig.app, Micros(200));
+    task->on_segment_end = [&, idx](Task*) {
+      consumed[static_cast<std::size_t>(idx)] += Micros(200);
+      rig.sim.ScheduleAfter(0, [&submit_chunk, idx] { submit_chunk(idx); });
+      return SegmentAction::kFinish;
+    };
+    rig.engine->Submit(task);
+  };
+  for (int i = 0; i < kTasks; i++) {
+    submit_chunk(i);
+  }
+  rig.sim.RunUntil(Millis(100));
+  DurationNs total = 0;
+  for (const DurationNs c : consumed) {
+    total += c;
+  }
+  ASSERT_GT(total, 0);
+  for (int i = 0; i < kTasks; i++) {
+    const double share = static_cast<double>(consumed[static_cast<std::size_t>(i)]) /
+                         static_cast<double>(total);
+    EXPECT_NEAR(share, 1.0 / kTasks, 0.25 / kTasks)
+        << PolicyName(kind) << " task " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FairPolicies, FairnessTest,
+                         ::testing::Values(PolicyKind::kRr, PolicyKind::kCfs,
+                                           PolicyKind::kEevdf),
+                         [](const ::testing::TestParamInfo<PolicyKind>& info) {
+                           return PolicyName(info.param);
+                         });
+
+// Property 4: preemption count scales with timer frequency for a CPU hog
+// with backlog (the overhead/granularity tradeoff of Fig. 6).
+class TickRateTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(TickRateTest, HogPreemptionTracksTimerHz) {
+  const std::int64_t hz = GetParam();
+  Rig rig(1, std::make_unique<RoundRobinPolicy>(HzToPeriodNs(hz)), hz);
+  // Two CPU hogs sharing one core: each slice boundary preempts.
+  for (int i = 0; i < 2; i++) {
+    rig.engine->Submit(rig.engine->NewTask(rig.app, Millis(40)));
+  }
+  rig.sim.RunUntil(Millis(50));
+  // Ticks delivered should match hz over the busy window (~50 ms).
+  const double expected_ticks = static_cast<double>(hz) * 0.05;
+  EXPECT_NEAR(static_cast<double>(rig.engine->ticks()), expected_ticks,
+              expected_ticks * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, TickRateTest,
+                         ::testing::Values<std::int64_t>(10'000, 100'000, 200'000));
+
+}  // namespace
+}  // namespace skyloft

@@ -1,0 +1,161 @@
+// Tests for the memcached text-protocol codec and its execution against the
+// real KvStore, plus an end-to-end request stream over the TCP model.
+#include <gtest/gtest.h>
+
+#include "src/apps/memcached_protocol.h"
+#include "src/net/tcp.h"
+
+namespace skyloft {
+namespace {
+
+TEST(McProtocolTest, ParseGet) {
+  std::size_t pos = 0;
+  const auto cmd = ParseMcCommand("get user42\r\n", &pos);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->op, McOp::kGet);
+  EXPECT_EQ(cmd->key, "user42");
+  EXPECT_EQ(pos, 12u);
+}
+
+TEST(McProtocolTest, ParseSetWithData) {
+  std::size_t pos = 0;
+  const auto cmd = ParseMcCommand("set k 7 0 5\r\nhello\r\n", &pos);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->op, McOp::kSet);
+  EXPECT_EQ(cmd->key, "k");
+  EXPECT_EQ(cmd->flags, 7u);
+  EXPECT_EQ(cmd->data, "hello");
+  EXPECT_EQ(pos, 20u);
+}
+
+TEST(McProtocolTest, ParseDelete) {
+  std::size_t pos = 0;
+  const auto cmd = ParseMcCommand("delete gone\r\n", &pos);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->op, McOp::kDelete);
+  EXPECT_EQ(cmd->key, "gone");
+}
+
+TEST(McProtocolTest, IncompleteLineReturnsNullopt) {
+  std::size_t pos = 0;
+  EXPECT_FALSE(ParseMcCommand("get user", &pos).has_value());
+  EXPECT_EQ(pos, 0u);
+}
+
+TEST(McProtocolTest, IncompleteSetDataReturnsNullopt) {
+  std::size_t pos = 0;
+  EXPECT_FALSE(ParseMcCommand("set k 0 0 10\r\nshort\r\n", &pos).has_value());
+  EXPECT_EQ(pos, 0u);
+}
+
+TEST(McProtocolTest, MalformedRejected) {
+  std::size_t pos = 0;
+  EXPECT_FALSE(ParseMcCommand("frobnicate x\r\n", &pos).has_value());
+  pos = 0;
+  EXPECT_FALSE(ParseMcCommand("set k x 0 3\r\nabc\r\n", &pos).has_value());
+  pos = 0;
+  EXPECT_FALSE(ParseMcCommand("set k 0 0 3\r\nabcXY", &pos).has_value());
+}
+
+TEST(McProtocolTest, MultipleCommandsInOneBuffer) {
+  const std::string buffer = "set a 0 0 1\r\nx\r\nget a\r\ndelete a\r\n";
+  std::size_t pos = 0;
+  const auto c1 = ParseMcCommand(buffer, &pos);
+  const auto c2 = ParseMcCommand(buffer, &pos);
+  const auto c3 = ParseMcCommand(buffer, &pos);
+  ASSERT_TRUE(c1 && c2 && c3);
+  EXPECT_EQ(c1->op, McOp::kSet);
+  EXPECT_EQ(c2->op, McOp::kGet);
+  EXPECT_EQ(c3->op, McOp::kDelete);
+  EXPECT_EQ(pos, buffer.size());
+}
+
+TEST(McProtocolTest, ExecuteAgainstStore) {
+  KvStore store;
+  McCommand set;
+  set.op = McOp::kSet;
+  set.key = "k";
+  set.data = "value";
+  EXPECT_EQ(ExecuteMcCommand(store, set), "STORED\r\n");
+
+  McCommand get;
+  get.op = McOp::kGet;
+  get.key = "k";
+  EXPECT_EQ(ExecuteMcCommand(store, get), "VALUE k 0 5\r\nvalue\r\nEND\r\n");
+
+  McCommand del;
+  del.op = McOp::kDelete;
+  del.key = "k";
+  EXPECT_EQ(ExecuteMcCommand(store, del), "DELETED\r\n");
+  EXPECT_EQ(ExecuteMcCommand(store, get), "END\r\n");
+  EXPECT_EQ(ExecuteMcCommand(store, del), "NOT_FOUND\r\n");
+}
+
+TEST(McProtocolTest, FormatParseRoundTrip) {
+  McCommand set;
+  set.op = McOp::kSet;
+  set.key = "roundtrip";
+  set.flags = 3;
+  set.data = "payload with spaces";
+  std::size_t pos = 0;
+  const auto parsed = ParseMcCommand(FormatMcCommand(set), &pos);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->key, set.key);
+  EXPECT_EQ(parsed->flags, set.flags);
+  EXPECT_EQ(parsed->data, set.data);
+}
+
+// End-to-end: memcached commands streamed over the lossy TCP model into a
+// server that parses incrementally and executes against the store — the full
+// §3.5 user-space stack in miniature.
+TEST(McProtocolTest, CommandsOverLossyTcp) {
+  Simulation sim;
+  TcpWire wire(&sim, Micros(10), /*loss=*/0.15, /*seed=*/5);
+  TcpEndpoint client(&sim, &wire, "client");
+  TcpEndpoint server(&sim, &wire, "server");
+  wire.Attach(&client, &server);
+
+  KvStore store;
+  std::string rx_buffer;
+  int executed = 0;
+  std::string last_response;
+  server.SetReceiveCallback([&](const std::string& data) {
+    rx_buffer += data;
+    std::size_t pos = 0;
+    while (true) {
+      const auto cmd = ParseMcCommand(rx_buffer, &pos);
+      if (!cmd) {
+        break;
+      }
+      last_response = ExecuteMcCommand(store, *cmd);
+      executed++;
+    }
+    rx_buffer.erase(0, pos);
+  });
+
+  server.Listen();
+  client.Connect();
+  sim.RunUntil(Millis(100));
+  ASSERT_EQ(client.state(), TcpState::kEstablished);
+
+  for (int i = 0; i < 30; i++) {
+    McCommand set;
+    set.op = McOp::kSet;
+    set.key = "key" + std::to_string(i);
+    set.data = "value" + std::to_string(i);
+    client.Send(FormatMcCommand(set));
+    sim.RunUntil(sim.Now() + Millis(5));
+  }
+  McCommand get;
+  get.op = McOp::kGet;
+  get.key = "key7";
+  client.Send(FormatMcCommand(get));
+  sim.RunUntil(sim.Now() + kSecond);
+
+  EXPECT_EQ(executed, 31);
+  EXPECT_EQ(store.Size(), 30u);
+  EXPECT_EQ(last_response, "VALUE key7 0 6\r\nvalue7\r\nEND\r\n");
+}
+
+}  // namespace
+}  // namespace skyloft

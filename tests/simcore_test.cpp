@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/simcore/cost_model.h"
+#include "src/simcore/machine.h"
+#include "src/simcore/simulation.h"
+
+namespace skyloft {
+namespace {
+
+TEST(SimulationTest, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulationTest, SameTimeEventsRunFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; i++) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; i++) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SimulationTest, ScheduleAfterIsRelative) {
+  Simulation sim;
+  TimeNs seen = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAfter(50, [&] { seen = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  const EventId id = sim.ScheduleAt(10, [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulationTest, CancelTwiceIsNoop) {
+  Simulation sim;
+  const EventId id = sim.ScheduleAt(10, [] {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(kInvalidEventId));
+  EXPECT_FALSE(sim.Cancel(999999));
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int count = 0;
+  sim.ScheduleAt(10, [&] { count++; });
+  sim.ScheduleAt(20, [&] { count++; });
+  sim.ScheduleAt(30, [&] { count++; });
+  sim.RunUntil(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.Now(), 20);
+  sim.RunUntil(100);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.Now(), 100);  // clock advances to the deadline
+}
+
+TEST(SimulationTest, RunUntilWithCancelledHead) {
+  Simulation sim;
+  bool ran = false;
+  const EventId id = sim.ScheduleAt(5, [&] { ran = true; });
+  sim.ScheduleAt(50, [&] { ran = true; });
+  sim.Cancel(id);
+  sim.RunUntil(10);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.Now(), 10);
+}
+
+TEST(SimulationTest, StopEndsRun) {
+  Simulation sim;
+  int count = 0;
+  sim.ScheduleAt(1, [&] {
+    count++;
+    sim.Stop();
+  });
+  sim.ScheduleAt(2, [&] { count++; });
+  sim.Run();
+  EXPECT_EQ(count, 1);
+  sim.Run();  // resumes
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulationTest, StepRunsExactlyOne) {
+  Simulation sim;
+  int count = 0;
+  sim.ScheduleAt(1, [&] { count++; });
+  sim.ScheduleAt(2, [&] { count++; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulationDeathTest, SchedulingInThePastAborts) {
+  Simulation sim;
+  sim.ScheduleAt(100, [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.ScheduleAt(50, [] {}), "cannot schedule in the past");
+}
+
+TEST(SimulationTest, PendingEventsExcludesCancelled) {
+  Simulation sim;
+  const EventId a = sim.ScheduleAt(1, [] {});
+  sim.ScheduleAt(2, [] {});
+  EXPECT_EQ(sim.PendingEvents(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+}
+
+// Property: identical schedules produce identical traces (determinism).
+TEST(SimulationTest, DeterministicTraces) {
+  auto run_once = [] {
+    Simulation sim;
+    std::vector<TimeNs> trace;
+    int budget = 5000;  // total events to spawn
+    // A self-propagating cascade of events.
+    std::function<void(int)> spawn = [&](int depth) {
+      trace.push_back(sim.Now());
+      if (budget-- > 0) {
+        sim.ScheduleAfter(depth % 7 + 1, [&spawn, depth] { spawn(depth + 1); });
+        if (depth % 3 == 0 && budget-- > 0) {
+          sim.ScheduleAfter(depth % 5 + 1, [&spawn, depth] { spawn(depth + 2); });
+        }
+      }
+    };
+    sim.ScheduleAt(0, [&] { spawn(0); });
+    sim.Run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// ---- machine.h ----
+
+TEST(MachineTest, SocketTopology) {
+  Simulation sim;
+  MachineConfig config;
+  config.num_cores = 48;
+  config.cores_per_socket = 24;
+  Machine machine(&sim, config);
+  EXPECT_EQ(machine.SocketOf(0), 0);
+  EXPECT_EQ(machine.SocketOf(23), 0);
+  EXPECT_EQ(machine.SocketOf(24), 1);
+  EXPECT_FALSE(machine.CrossNuma(0, 23));
+  EXPECT_TRUE(machine.CrossNuma(0, 24));
+}
+
+// ---- cost_model.h ----
+
+TEST(CostModelTest, Table6ConversionsAt2GHz) {
+  CostModel costs;
+  // 1211 cycles at 2 GHz = 605 ns.
+  EXPECT_EQ(costs.UserIpiDeliveryNs(), 605);
+  EXPECT_EQ(costs.UserTimerReceiveNs(), 321);
+  EXPECT_EQ(costs.SignalDeliveryNs(), 2637);
+  EXPECT_EQ(costs.KernelIpiDeliveryNs(), 672);
+  EXPECT_EQ(costs.SetitimerReceiveNs(), 2528);
+}
+
+TEST(CostModelTest, CrossNumaCostsAreHigher) {
+  CostModel costs;
+  EXPECT_GT(costs.UserIpiDeliveryNs(true), costs.UserIpiDeliveryNs(false));
+  EXPECT_GT(costs.UserIpiReceiveNs(true), costs.UserIpiReceiveNs(false));
+}
+
+}  // namespace
+}  // namespace skyloft

@@ -1,0 +1,158 @@
+// Tests for the lightweight TCP model: handshake, reliable in-order
+// exactly-once delivery (including under loss), retransmission, windowing,
+// and teardown.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/net/tcp.h"
+
+namespace skyloft {
+namespace {
+
+struct TcpRig {
+  explicit TcpRig(double loss = 0.0, std::uint64_t seed = 1)
+      : wire(&sim, /*delay=*/Micros(10), loss, seed),
+        client(&sim, &wire, "client"),
+        server(&sim, &wire, "server") {
+    wire.Attach(&client, &server);
+    server.SetReceiveCallback([this](const std::string& data) { server_received += data; });
+    client.SetReceiveCallback([this](const std::string& data) { client_received += data; });
+  }
+
+  void Establish() {
+    server.Listen();
+    client.Connect();
+    sim.RunUntil(Millis(1));
+    ASSERT_EQ(client.state(), TcpState::kEstablished);
+    ASSERT_EQ(server.state(), TcpState::kEstablished);
+  }
+
+  Simulation sim;
+  TcpWire wire;
+  TcpEndpoint client;
+  TcpEndpoint server;
+  std::string server_received;
+  std::string client_received;
+};
+
+TEST(TcpTest, ThreeWayHandshake) {
+  TcpRig rig;
+  rig.Establish();
+}
+
+TEST(TcpTest, SimpleDataTransfer) {
+  TcpRig rig;
+  rig.Establish();
+  rig.client.Send("hello tcp");
+  rig.sim.RunUntil(Millis(2));
+  EXPECT_EQ(rig.server_received, "hello tcp");
+}
+
+TEST(TcpTest, BidirectionalTransfer) {
+  TcpRig rig;
+  rig.Establish();
+  rig.client.Send("ping");
+  rig.server.Send("pong");
+  rig.sim.RunUntil(Millis(2));
+  EXPECT_EQ(rig.server_received, "ping");
+  EXPECT_EQ(rig.client_received, "pong");
+}
+
+TEST(TcpTest, LargeTransferSegments) {
+  TcpRig rig;
+  rig.Establish();
+  std::string blob;
+  for (int i = 0; i < 5000; i++) {
+    blob += static_cast<char>('a' + i % 26);
+  }
+  rig.client.Send(blob);
+  rig.sim.RunUntil(Millis(20));
+  EXPECT_EQ(rig.server_received, blob) << "multi-segment payload must arrive intact";
+}
+
+TEST(TcpTest, SendBeforeEstablishedIsQueued) {
+  TcpRig rig;
+  rig.server.Listen();
+  rig.client.Connect();
+  rig.client.Send("early");  // handshake still in flight
+  rig.sim.RunUntil(Millis(2));
+  EXPECT_EQ(rig.server_received, "early");
+}
+
+TEST(TcpTest, RetransmissionRecoversFromLoss) {
+  TcpRig rig(/*loss=*/0.2, /*seed=*/7);
+  rig.server.Listen();
+  rig.client.Connect();
+  rig.sim.RunUntil(Millis(50));  // handshake may itself need retransmits
+  ASSERT_EQ(rig.client.state(), TcpState::kEstablished);
+  std::string blob;
+  for (int i = 0; i < 3000; i++) {
+    blob += static_cast<char>('0' + i % 10);
+  }
+  rig.client.Send(blob);
+  rig.sim.RunUntil(kSecond);
+  EXPECT_EQ(rig.server_received, blob) << "exactly-once in-order delivery under 20% loss";
+  EXPECT_GT(rig.client.retransmits() + rig.server.retransmits(), 0u);
+  EXPECT_GT(rig.wire.dropped(), 0u);
+}
+
+TEST(TcpTest, HeavyLossManyMessages) {
+  TcpRig rig(/*loss=*/0.35, /*seed=*/99);
+  rig.server.Listen();
+  rig.client.Connect();
+  rig.sim.RunUntil(Millis(200));
+  ASSERT_EQ(rig.client.state(), TcpState::kEstablished);
+  std::string expected;
+  for (int i = 0; i < 50; i++) {
+    const std::string msg = "msg-" + std::to_string(i) + ";";
+    expected += msg;
+    rig.client.Send(msg);
+    rig.sim.RunUntil(rig.sim.Now() + Millis(10));
+  }
+  rig.sim.RunUntil(rig.sim.Now() + kSecond);
+  EXPECT_EQ(rig.server_received, expected);
+}
+
+TEST(TcpTest, CloseAfterDrain) {
+  TcpRig rig;
+  rig.Establish();
+  rig.client.Send("last words");
+  rig.client.Close();
+  rig.sim.RunUntil(Millis(5));
+  EXPECT_EQ(rig.server_received, "last words");
+  EXPECT_EQ(rig.server.state(), TcpState::kCloseWait);
+  EXPECT_EQ(rig.client.state(), TcpState::kTimeWait);
+}
+
+TEST(TcpTest, BothSidesClose) {
+  TcpRig rig;
+  rig.Establish();
+  rig.client.Send("a");
+  rig.server.Send("b");
+  rig.sim.RunUntil(Millis(2));
+  rig.client.Close();
+  rig.sim.RunUntil(Millis(4));
+  rig.server.Close();
+  rig.sim.RunUntil(Millis(10));
+  EXPECT_EQ(rig.client.state(), TcpState::kTimeWait);
+  EXPECT_EQ(rig.server.state(), TcpState::kTimeWait);
+}
+
+TEST(TcpTest, DeterministicUnderLoss) {
+  auto run = [] {
+    TcpRig rig(0.25, 1234);
+    rig.server.Listen();
+    rig.client.Connect();
+    rig.sim.RunUntil(Millis(100));
+    rig.client.Send(std::string(2000, 'x'));
+    rig.sim.RunUntil(kSecond);
+    return std::make_tuple(rig.server_received.size(), rig.client.retransmits(),
+                           rig.wire.dropped(), rig.sim.EventsExecuted());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace skyloft

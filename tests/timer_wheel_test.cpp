@@ -1,0 +1,154 @@
+// Tests for the hierarchical timing wheel, including an exhaustive
+// cross-check against a sorted reference over random workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/base/random.h"
+#include "src/base/timer_wheel.h"
+
+namespace skyloft {
+namespace {
+
+TEST(TimerWheelTest, FiresAtExactTick) {
+  TimerWheel wheel;
+  std::uint64_t fired_at = 0;
+  wheel.ScheduleAt(37, [&] { fired_at = wheel.Now(); });
+  wheel.AdvanceTo(36);
+  EXPECT_EQ(fired_at, 0u);
+  wheel.AdvanceTo(37);
+  EXPECT_EQ(fired_at, 37u);
+}
+
+TEST(TimerWheelTest, ScheduleAfterIsRelative) {
+  TimerWheel wheel;
+  wheel.AdvanceTo(100);
+  bool fired = false;
+  wheel.ScheduleAfter(10, [&] { fired = true; });
+  wheel.AdvanceTo(109);
+  EXPECT_FALSE(fired);
+  wheel.AdvanceTo(110);
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheelTest, MultipleTimersSameTick) {
+  TimerWheel wheel;
+  std::vector<int> order;
+  wheel.ScheduleAt(5, [&] { order.push_back(1); });
+  wheel.ScheduleAt(5, [&] { order.push_back(2); });
+  wheel.ScheduleAt(5, [&] { order.push_back(3); });
+  wheel.AdvanceTo(10);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3})) << "insertion order on ties";
+}
+
+TEST(TimerWheelTest, LongTimerCascades) {
+  TimerWheel wheel;
+  // Far beyond level 0's 64-tick range: must cascade through levels.
+  bool fired = false;
+  wheel.ScheduleAt(100'000, [&] { fired = true; });
+  wheel.AdvanceTo(99'999);
+  EXPECT_FALSE(fired);
+  wheel.AdvanceTo(100'000);
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheelTest, CancelPreventsFire) {
+  TimerWheel wheel;
+  bool fired = false;
+  const TimerId id = wheel.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(wheel.Cancel(id));
+  EXPECT_FALSE(wheel.Cancel(id));
+  wheel.AdvanceTo(100);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(wheel.Pending(), 0u);
+}
+
+TEST(TimerWheelTest, PendingCount) {
+  TimerWheel wheel;
+  wheel.ScheduleAt(10, [] {});
+  wheel.ScheduleAt(20, [] {});
+  EXPECT_EQ(wheel.Pending(), 2u);
+  wheel.AdvanceTo(15);
+  EXPECT_EQ(wheel.Pending(), 1u);
+}
+
+TEST(TimerWheelTest, RescheduleFromCallback) {
+  TimerWheel wheel;
+  int fires = 0;
+  std::function<void()> periodic = [&] {
+    fires++;
+    if (fires < 5) {
+      wheel.ScheduleAfter(10, periodic);
+    }
+  };
+  wheel.ScheduleAfter(10, periodic);
+  wheel.AdvanceTo(100);
+  EXPECT_EQ(fires, 5);
+}
+
+TEST(TimerWheelTest, SameSlotDifferentLapNotFiredEarly) {
+  TimerWheel wheel;
+  // Ticks 2 and 66 share level-0 slot 2; only the due one may fire.
+  std::vector<std::uint64_t> fired;
+  wheel.ScheduleAt(2, [&] { fired.push_back(2); });
+  wheel.ScheduleAt(66, [&] { fired.push_back(66); });
+  wheel.AdvanceTo(2);
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{2}));
+  wheel.AdvanceTo(66);
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{2, 66}));
+}
+
+// Property: the wheel fires exactly the same (time, count) multiset as a
+// sorted reference, across random schedules spanning all levels.
+TEST(TimerWheelTest, MatchesReferenceOnRandomWorkload) {
+  Rng rng(2024);
+  TimerWheel wheel;
+  std::multimap<std::uint64_t, int> reference;
+  std::vector<std::pair<std::uint64_t, int>> fired;
+  for (int i = 0; i < 2000; i++) {
+    const std::uint64_t when = 1 + rng.NextBelow(1 << 20);  // spans 4 levels
+    reference.emplace(when, i);
+    wheel.ScheduleAt(when, [&fired, &wheel, i] { fired.emplace_back(wheel.Now(), i); });
+  }
+  wheel.AdvanceTo(1 << 20);
+  ASSERT_EQ(fired.size(), reference.size());
+  // Every firing must be at its scheduled time.
+  std::multimap<std::uint64_t, int> got;
+  for (const auto& [when, idx] : fired) {
+    got.emplace(when, idx);
+  }
+  // Compare as sets of (time, id).
+  std::vector<std::pair<std::uint64_t, int>> a(reference.begin(), reference.end());
+  std::vector<std::pair<std::uint64_t, int>> b(got.begin(), got.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  // And firing order must be non-decreasing in time.
+  for (std::size_t i = 1; i < fired.size(); i++) {
+    EXPECT_LE(fired[i - 1].first, fired[i].first);
+  }
+}
+
+TEST(TimerWheelTest, RandomCancellations) {
+  Rng rng(7);
+  TimerWheel wheel;
+  std::vector<TimerId> ids;
+  int fired = 0;
+  for (int i = 0; i < 500; i++) {
+    ids.push_back(wheel.ScheduleAt(1 + rng.NextBelow(10'000), [&] { fired++; }));
+  }
+  int cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    if (wheel.Cancel(ids[i])) {
+      cancelled++;
+    }
+  }
+  wheel.AdvanceTo(10'000);
+  EXPECT_EQ(fired + cancelled, 500);
+  EXPECT_EQ(cancelled, 250);
+}
+
+}  // namespace
+}  // namespace skyloft

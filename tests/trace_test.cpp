@@ -1,0 +1,120 @@
+// Tests for the scheduling tracer and its engine integration.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/libos/percpu_engine.h"
+#include "src/libos/trace.h"
+#include "src/policies/round_robin.h"
+
+namespace skyloft {
+namespace {
+
+TEST(TracerTest, RecordsInOrder) {
+  SchedTracer tracer(16);
+  tracer.Record(10, TraceEventType::kAssign, 0, 1, 0);
+  tracer.Record(20, TraceEventType::kPreempt, 0, 1, 0);
+  const auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].when, 10);
+  EXPECT_EQ(events[1].type, TraceEventType::kPreempt);
+  EXPECT_EQ(tracer.total_recorded(), 2u);
+}
+
+TEST(TracerTest, RingOverwritesOldest) {
+  SchedTracer tracer(4);
+  for (int i = 0; i < 10; i++) {
+    tracer.Record(i, TraceEventType::kAssign, 0, static_cast<std::uint64_t>(i), 0);
+  }
+  const auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().when, 6);
+  EXPECT_EQ(events.back().when, 9);
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+}
+
+TEST(TracerTest, JsonIsWellFormedIsh) {
+  SchedTracer tracer(8);
+  tracer.Record(1000, TraceEventType::kAppSwitch, 2, 7, 1);
+  const std::string json = tracer.ToJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"app_switch\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"task\":7"), std::string::npos);
+}
+
+TEST(TracerTest, ClearResets) {
+  SchedTracer tracer(4);
+  tracer.Record(1, TraceEventType::kAssign, 0, 1, 0);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Snapshot().empty());
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+}
+
+struct Rig {
+  Rig() {
+    MachineConfig mcfg;
+    mcfg.num_cores = 1;
+    machine = std::make_unique<Machine>(&sim, mcfg);
+    chip = std::make_unique<UintrChip>(machine.get());
+    kernel = std::make_unique<KernelSim>(machine.get(), chip.get());
+  }
+  Simulation sim;
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<UintrChip> chip;
+  std::unique_ptr<KernelSim> kernel;
+};
+
+TEST(TracerTest, EngineEmitsLifecycleEvents) {
+  Rig rig;
+  RoundRobinPolicy policy(Micros(50));
+  PerCpuEngineConfig cfg;
+  cfg.base.worker_cores = {0};
+  cfg.timer_hz = 100'000;
+  cfg.tick_path = TickPath::kUserTimer;
+  PerCpuEngine engine(rig.machine.get(), rig.chip.get(), rig.kernel.get(), &policy, cfg);
+  App* app_a = engine.CreateApp("a");
+  App* app_b = engine.CreateApp("b");
+  engine.Start();
+  SchedTracer tracer;
+  engine.SetTracer(&tracer);
+
+  // Two CPU hogs from different apps on one core: expect assigns, preempts
+  // (RR slices), and app switches.
+  engine.Submit(engine.NewTask(app_a, Millis(1)));
+  engine.Submit(engine.NewTask(app_b, Millis(1)));
+  rig.sim.RunUntil(Millis(5));
+
+  EXPECT_GT(tracer.CountOf(TraceEventType::kAssign), 10u);
+  EXPECT_GT(tracer.CountOf(TraceEventType::kPreempt), 10u);
+  EXPECT_GT(tracer.CountOf(TraceEventType::kAppSwitch), 10u);
+  EXPECT_EQ(tracer.CountOf(TraceEventType::kSegmentEnd), 2u);
+
+  // Trace timestamps must be monotonically non-decreasing.
+  const auto events = tracer.Snapshot();
+  for (std::size_t i = 1; i < events.size(); i++) {
+    EXPECT_LE(events[i - 1].when, events[i].when);
+  }
+}
+
+TEST(TracerTest, FaultEventsTraced) {
+  Rig rig;
+  RoundRobinPolicy policy(kInfiniteSlice);
+  PerCpuEngineConfig cfg;
+  cfg.base.worker_cores = {0};
+  cfg.tick_path = TickPath::kNone;
+  PerCpuEngine engine(rig.machine.get(), rig.chip.get(), rig.kernel.get(), &policy, cfg);
+  App* app = engine.CreateApp("a");
+  engine.Start();
+  SchedTracer tracer;
+  engine.SetTracer(&tracer);
+  engine.Submit(engine.NewTask(app, Millis(1)));
+  rig.sim.ScheduleAt(Micros(100), [&] { engine.InjectPageFault(0, Micros(200)); });
+  rig.sim.RunUntil(Millis(10));
+  EXPECT_EQ(tracer.CountOf(TraceEventType::kFault), 1u);
+  EXPECT_EQ(tracer.CountOf(TraceEventType::kFaultDone), 1u);
+}
+
+}  // namespace
+}  // namespace skyloft

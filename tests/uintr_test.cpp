@@ -1,0 +1,280 @@
+// Tests for the UINTR architectural model, including the paper's key §3.2
+// behaviours: SENDUIPI posting, SN suppression, hardware-timer delegation
+// (and its failure without the PIR-priming trick), delivery gating on
+// UIF/user mode, and the LAPIC timer.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "src/simcore/machine.h"
+#include "src/uintr/uintr_chip.h"
+
+namespace skyloft {
+namespace {
+
+class UintrTest : public ::testing::Test {
+ protected:
+  UintrTest() : machine_(&sim_, MakeConfig()), chip_(&machine_) {}
+
+  static MachineConfig MakeConfig() {
+    MachineConfig config;
+    config.num_cores = 48;
+    config.cores_per_socket = 24;
+    return config;
+  }
+
+  // Configures core `recv` to receive user IPIs into `frames`.
+  Upid* SetupReceiver(CoreId recv, std::vector<UintrFrame>* frames) {
+    auto* upid = &upids_.emplace_back();
+    upid->nv = kUserIpiVector;
+    upid->ndst = recv;
+    UserInterruptUnit& unit = chip_.unit(recv);
+    unit.SetUinv(kUserIpiVector);
+    unit.SetActiveUpid(upid);
+    unit.SetHandler([frames](const UintrFrame& frame) { frames->push_back(frame); });
+    return upid;
+  }
+
+  Simulation sim_;
+  Machine machine_;
+  UintrChip chip_;
+  std::deque<Upid> upids_;
+};
+
+TEST_F(UintrTest, SendUipiDeliversToHandler) {
+  std::vector<UintrFrame> frames;
+  Upid* upid = SetupReceiver(1, &frames);
+  const int idx = chip_.RegisterUittEntry(0, upid, 5);
+
+  const DurationNs send_cost = chip_.SendUipi(0, idx);
+  EXPECT_EQ(send_cost, machine_.costs().UserIpiSendNs());
+  EXPECT_TRUE(upid->pir.Test(5));
+  EXPECT_TRUE(frames.empty()) << "delivery takes wire time";
+
+  sim_.Run();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].vector, 5);
+  EXPECT_FALSE(frames[0].from_timer);
+  EXPECT_EQ(frames[0].sender, 0);
+  EXPECT_EQ(frames[0].receive_cost_ns, machine_.costs().UserIpiReceiveNs());
+  EXPECT_TRUE(upid->pir.None()) << "recognition drains the PIR";
+}
+
+TEST_F(UintrTest, DeliveryLatencyMatchesTable6) {
+  std::vector<UintrFrame> frames;
+  Upid* upid = SetupReceiver(1, &frames);
+  const int idx = chip_.RegisterUittEntry(0, upid, 5);
+  TimeNs handler_at = -1;
+  chip_.unit(1).SetHandler([&](const UintrFrame&) { handler_at = sim_.Now(); });
+  const TimeNs sent_at = sim_.Now();
+  chip_.SendUipi(0, idx);
+  sim_.Run();
+  EXPECT_EQ(handler_at - sent_at, machine_.costs().UserIpiDeliveryNs());
+}
+
+TEST_F(UintrTest, CrossNumaDeliveryIsSlower) {
+  std::vector<UintrFrame> frames;
+  Upid* upid = SetupReceiver(30, &frames);  // other socket
+  const int idx = chip_.RegisterUittEntry(0, upid, 5);
+  TimeNs handler_at = -1;
+  chip_.unit(30).SetHandler([&](const UintrFrame&) { handler_at = sim_.Now(); });
+  chip_.SendUipi(0, idx);
+  sim_.Run();
+  EXPECT_EQ(handler_at, machine_.costs().UserIpiDeliveryNs(true));
+  EXPECT_GT(handler_at, machine_.costs().UserIpiDeliveryNs(false));
+}
+
+TEST_F(UintrTest, SnBitSuppressesIpiButPostsPir) {
+  // The heart of the Skyloft timer trick: SENDUIPI with UPID.SN=1 updates
+  // the PIR without generating an IPI.
+  std::vector<UintrFrame> frames;
+  Upid* upid = SetupReceiver(1, &frames);
+  upid->sn = true;
+  const int idx = chip_.RegisterUittEntry(0, upid, 5);
+  chip_.SendUipi(0, idx);
+  sim_.Run();
+  EXPECT_TRUE(frames.empty()) << "SN must suppress the notification IPI";
+  EXPECT_TRUE(upid->pir.Test(5)) << "but the PIR must still be posted";
+}
+
+TEST_F(UintrTest, OutstandingNotificationCoalesces) {
+  std::vector<UintrFrame> frames;
+  Upid* upid = SetupReceiver(1, &frames);
+  const int idx = chip_.RegisterUittEntry(0, upid, 5);
+  chip_.SendUipi(0, idx);
+  chip_.SendUipi(0, idx);  // ON set: no second IPI
+  sim_.Run();
+  EXPECT_EQ(frames.size(), 1u) << "hardware coalesces while ON is set";
+}
+
+TEST_F(UintrTest, MultipleVectorsDeliveredHighestFirst) {
+  std::vector<UintrFrame> frames;
+  Upid* upid = SetupReceiver(1, &frames);
+  upid->sn = true;  // post without IPIs, then trigger once
+  const int idx3 = chip_.RegisterUittEntry(0, upid, 3);
+  const int idx9 = chip_.RegisterUittEntry(0, upid, 9);
+  chip_.SendUipi(0, idx3);
+  chip_.SendUipi(0, idx9);
+  upid->sn = false;
+  const int idx5 = chip_.RegisterUittEntry(0, upid, 5);
+  chip_.SendUipi(0, idx5);
+  sim_.Run();
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].vector, 9);
+  EXPECT_EQ(frames[1].vector, 5);
+  EXPECT_EQ(frames[2].vector, 3);
+}
+
+TEST_F(UintrTest, UifClearHoldsDelivery) {
+  std::vector<UintrFrame> frames;
+  Upid* upid = SetupReceiver(1, &frames);
+  chip_.unit(1).SetUif(false);
+  const int idx = chip_.RegisterUittEntry(0, upid, 5);
+  chip_.SendUipi(0, idx);
+  sim_.Run();
+  EXPECT_TRUE(frames.empty());
+  EXPECT_TRUE(chip_.unit(1).uirr().Test(5)) << "recognized but pending";
+  chip_.unit(1).SetUif(true);
+  EXPECT_EQ(frames.size(), 1u) << "delivered as soon as UIF is set";
+}
+
+TEST_F(UintrTest, KernelModeHoldsDelivery) {
+  std::vector<UintrFrame> frames;
+  Upid* upid = SetupReceiver(1, &frames);
+  chip_.unit(1).SetUserMode(false);
+  const int idx = chip_.RegisterUittEntry(0, upid, 5);
+  chip_.SendUipi(0, idx);
+  sim_.Run();
+  EXPECT_TRUE(frames.empty());
+  chip_.unit(1).SetUserMode(true);
+  EXPECT_EQ(frames.size(), 1u);
+}
+
+TEST_F(UintrTest, VectorMismatchTakesLegacyPath) {
+  std::vector<UintrFrame> frames;
+  SetupReceiver(1, &frames);
+  std::vector<std::pair<CoreId, int>> legacy;
+  chip_.SetLegacyHandler([&](CoreId core, int vector) { legacy.emplace_back(core, vector); });
+  chip_.RaiseHardwareInterrupt(1, 0x99);
+  EXPECT_TRUE(frames.empty());
+  ASSERT_EQ(legacy.size(), 1u);
+  EXPECT_EQ(legacy[0].first, 1);
+  EXPECT_EQ(legacy[0].second, 0x99);
+}
+
+// The paper's central discovery (§3.2): matching UINV alone is NOT enough
+// for hardware interrupts — the timer does not write the PIR, so recognition
+// finds it empty and nothing is delivered.
+TEST_F(UintrTest, TimerWithEmptyPirIsLost) {
+  std::vector<UintrFrame> frames;
+  Upid* upid = SetupReceiver(1, &frames);
+  upid->nv = kApicTimerVector;
+  chip_.unit(1).SetUinv(kApicTimerVector);  // step 1 only
+  chip_.RaiseHardwareInterrupt(1, kApicTimerVector);
+  EXPECT_TRUE(frames.empty()) << "no PIR priming => no user delivery";
+  EXPECT_TRUE(upid->pir.None());
+}
+
+TEST_F(UintrTest, TimerWithPrimedPirDeliversInUserSpace) {
+  std::vector<UintrFrame> frames;
+  Upid* upid = SetupReceiver(1, &frames);
+  upid->nv = kApicTimerVector;
+  upid->sn = true;  // self-IPIs must not generate real IPIs
+  chip_.unit(1).SetUinv(kApicTimerVector);
+  // Step 2: self-SENDUIPI primes the PIR.
+  const int self_idx = chip_.RegisterUittEntry(1, upid, 1);
+  chip_.SendUipi(1, self_idx);
+  // Now a hardware timer interrupt is recognized AND delivered in user space.
+  chip_.RaiseHardwareInterrupt(1, kApicTimerVector);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].from_timer);
+  EXPECT_EQ(frames[0].receive_cost_ns, machine_.costs().UserTimerReceiveNs());
+}
+
+TEST_F(UintrTest, TimerDeliveryRequiresReArmEachTime) {
+  std::vector<UintrFrame> frames;
+  Upid* upid = SetupReceiver(1, &frames);
+  upid->nv = kApicTimerVector;
+  upid->sn = true;
+  chip_.unit(1).SetUinv(kApicTimerVector);
+  const int self_idx = chip_.RegisterUittEntry(1, upid, 1);
+  chip_.SendUipi(1, self_idx);
+
+  chip_.RaiseHardwareInterrupt(1, kApicTimerVector);
+  EXPECT_EQ(frames.size(), 1u);
+  // Without re-arming, the next timer interrupt is lost (PIR drained).
+  chip_.RaiseHardwareInterrupt(1, kApicTimerVector);
+  EXPECT_EQ(frames.size(), 1u);
+  // Re-arm (Listing 1's senduipi in the handler) and it flows again.
+  chip_.SendUipi(1, self_idx);
+  chip_.RaiseHardwareInterrupt(1, kApicTimerVector);
+  EXPECT_EQ(frames.size(), 2u);
+}
+
+TEST_F(UintrTest, IpiToStaleUpidFallsBackToLegacy) {
+  // If the receiving thread was switched out (active UPID changed), the
+  // notification IPI takes the kernel path.
+  std::vector<UintrFrame> frames;
+  Upid* upid = SetupReceiver(1, &frames);
+  const int idx = chip_.RegisterUittEntry(0, upid, 5);
+  chip_.SendUipi(0, idx);
+  Upid other;
+  chip_.unit(1).SetActiveUpid(&other);  // thread switched while IPI in flight
+  int legacy_count = 0;
+  chip_.SetLegacyHandler([&](CoreId, int) { legacy_count++; });
+  sim_.Run();
+  EXPECT_TRUE(frames.empty());
+  EXPECT_EQ(legacy_count, 1);
+}
+
+// ---- LAPIC timer ----
+
+TEST_F(UintrTest, ApicTimerFiresPeriodically) {
+  std::vector<TimeNs> fires;
+  chip_.SetLegacyHandler([&](CoreId core, int vector) {
+    if (vector == kApicTimerVector) {
+      fires.push_back(sim_.Now());
+    }
+  });
+  chip_.timer(2).SetHz(100'000);  // 10 us period
+  chip_.timer(2).Enable();
+  sim_.RunUntil(Micros(100));
+  ASSERT_EQ(fires.size(), 10u);
+  for (std::size_t i = 0; i < fires.size(); i++) {
+    EXPECT_EQ(fires[i], static_cast<TimeNs>(Micros(10) * (i + 1)));
+  }
+}
+
+TEST_F(UintrTest, ApicTimerDisableStopsFiring) {
+  int fires = 0;
+  chip_.SetLegacyHandler([&](CoreId, int) { fires++; });
+  chip_.timer(2).SetHz(100'000);
+  chip_.timer(2).Enable();
+  sim_.RunUntil(Micros(35));
+  EXPECT_EQ(fires, 3);
+  chip_.timer(2).Disable();
+  sim_.RunUntil(Micros(100));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST_F(UintrTest, ApicTimerSetHzReprograms) {
+  std::vector<TimeNs> fires;
+  chip_.SetLegacyHandler([&](CoreId, int) { fires.push_back(sim_.Now()); });
+  chip_.timer(2).SetHz(100'000);
+  chip_.timer(2).Enable();
+  sim_.RunUntil(Micros(20));
+  chip_.timer(2).SetHz(1'000'000);  // 1 us period from now on
+  sim_.RunUntil(Micros(25));
+  // Fires at 10, 20, then 21..25.
+  ASSERT_EQ(fires.size(), 7u);
+  EXPECT_EQ(fires[2], Micros(21));
+}
+
+TEST_F(UintrTest, SendUipiOutOfRangeIndexAborts) {
+  EXPECT_DEATH(chip_.SendUipi(0, 42), "out-of-range UITT index");
+}
+
+}  // namespace
+}  // namespace skyloft
