@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mechanism.dir/bench_ablation_mechanism.cpp.o"
+  "CMakeFiles/bench_ablation_mechanism.dir/bench_ablation_mechanism.cpp.o.d"
+  "bench_ablation_mechanism"
+  "bench_ablation_mechanism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

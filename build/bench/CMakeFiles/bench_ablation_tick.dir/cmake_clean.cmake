@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tick.dir/bench_ablation_tick.cpp.o"
+  "CMakeFiles/bench_ablation_tick.dir/bench_ablation_tick.cpp.o.d"
+  "bench_ablation_tick"
+  "bench_ablation_tick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

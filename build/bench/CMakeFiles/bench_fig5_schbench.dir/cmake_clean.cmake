@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_schbench.dir/bench_fig5_schbench.cpp.o"
+  "CMakeFiles/bench_fig5_schbench.dir/bench_fig5_schbench.cpp.o.d"
+  "bench_fig5_schbench"
+  "bench_fig5_schbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_schbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

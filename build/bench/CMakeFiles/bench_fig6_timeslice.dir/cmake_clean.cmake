@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_timeslice.dir/bench_fig6_timeslice.cpp.o"
+  "CMakeFiles/bench_fig6_timeslice.dir/bench_fig6_timeslice.cpp.o.d"
+  "bench_fig6_timeslice"
+  "bench_fig6_timeslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_timeslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_single.dir/bench_fig7a_single.cpp.o"
+  "CMakeFiles/bench_fig7a_single.dir/bench_fig7a_single.cpp.o.d"
+  "bench_fig7a_single"
+  "bench_fig7a_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

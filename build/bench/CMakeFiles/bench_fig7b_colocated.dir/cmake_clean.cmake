@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_colocated.dir/bench_fig7b_colocated.cpp.o"
+  "CMakeFiles/bench_fig7b_colocated.dir/bench_fig7b_colocated.cpp.o.d"
+  "bench_fig7b_colocated"
+  "bench_fig7b_colocated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_colocated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

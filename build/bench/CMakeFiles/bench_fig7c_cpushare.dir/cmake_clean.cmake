@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7c_cpushare.dir/bench_fig7c_cpushare.cpp.o"
+  "CMakeFiles/bench_fig7c_cpushare.dir/bench_fig7c_cpushare.cpp.o.d"
+  "bench_fig7c_cpushare"
+  "bench_fig7c_cpushare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7c_cpushare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7c_cpushare.
+# This may be replaced when dependencies are built.

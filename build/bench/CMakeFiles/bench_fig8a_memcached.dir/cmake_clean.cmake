@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a_memcached.dir/bench_fig8a_memcached.cpp.o"
+  "CMakeFiles/bench_fig8a_memcached.dir/bench_fig8a_memcached.cpp.o.d"
+  "bench_fig8a_memcached"
+  "bench_fig8a_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

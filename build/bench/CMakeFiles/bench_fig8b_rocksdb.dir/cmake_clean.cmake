@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8b_rocksdb.dir/bench_fig8b_rocksdb.cpp.o"
+  "CMakeFiles/bench_fig8b_rocksdb.dir/bench_fig8b_rocksdb.cpp.o.d"
+  "bench_fig8b_rocksdb"
+  "bench_fig8b_rocksdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_rocksdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s54_appswitch.dir/bench_s54_appswitch.cpp.o"
+  "CMakeFiles/bench_s54_appswitch.dir/bench_s54_appswitch.cpp.o.d"
+  "bench_s54_appswitch"
+  "bench_s54_appswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s54_appswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

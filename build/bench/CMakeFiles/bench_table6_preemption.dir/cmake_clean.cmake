@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_preemption.dir/bench_table6_preemption.cpp.o"
+  "CMakeFiles/bench_table6_preemption.dir/bench_table6_preemption.cpp.o.d"
+  "bench_table6_preemption"
+  "bench_table6_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_threadops.dir/bench_table7_threadops.cpp.o"
+  "CMakeFiles/bench_table7_threadops.dir/bench_table7_threadops.cpp.o.d"
+  "bench_table7_threadops"
+  "bench_table7_threadops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_threadops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interrupt_driven_nic.dir/interrupt_driven_nic.cpp.o"
+  "CMakeFiles/interrupt_driven_nic.dir/interrupt_driven_nic.cpp.o.d"
+  "interrupt_driven_nic"
+  "interrupt_driven_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interrupt_driven_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

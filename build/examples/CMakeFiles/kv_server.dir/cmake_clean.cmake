@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_server.dir/kv_server.cpp.o"
+  "CMakeFiles/kv_server.dir/kv_server.cpp.o.d"
+  "kv_server"
+  "kv_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_app.dir/multi_app.cpp.o"
+  "CMakeFiles/multi_app.dir/multi_app.cpp.o.d"
+  "multi_app"
+  "multi_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

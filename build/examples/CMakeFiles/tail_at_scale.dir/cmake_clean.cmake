@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tail_at_scale.dir/tail_at_scale.cpp.o"
+  "CMakeFiles/tail_at_scale.dir/tail_at_scale.cpp.o.d"
+  "tail_at_scale"
+  "tail_at_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tail_at_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/batch_app.cpp" "src/apps/CMakeFiles/skyloft_apps.dir/batch_app.cpp.o" "gcc" "src/apps/CMakeFiles/skyloft_apps.dir/batch_app.cpp.o.d"
+  "/root/repo/src/apps/kvstore.cpp" "src/apps/CMakeFiles/skyloft_apps.dir/kvstore.cpp.o" "gcc" "src/apps/CMakeFiles/skyloft_apps.dir/kvstore.cpp.o.d"
+  "/root/repo/src/apps/memcached_protocol.cpp" "src/apps/CMakeFiles/skyloft_apps.dir/memcached_protocol.cpp.o" "gcc" "src/apps/CMakeFiles/skyloft_apps.dir/memcached_protocol.cpp.o.d"
+  "/root/repo/src/apps/schbench.cpp" "src/apps/CMakeFiles/skyloft_apps.dir/schbench.cpp.o" "gcc" "src/apps/CMakeFiles/skyloft_apps.dir/schbench.cpp.o.d"
+  "/root/repo/src/apps/workloads.cpp" "src/apps/CMakeFiles/skyloft_apps.dir/workloads.cpp.o" "gcc" "src/apps/CMakeFiles/skyloft_apps.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/skyloft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/libos/CMakeFiles/skyloft_libos.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/skyloft_kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/uintr/CMakeFiles/skyloft_uintr.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/skyloft_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/skyloft_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloft_apps.dir/batch_app.cpp.o"
+  "CMakeFiles/skyloft_apps.dir/batch_app.cpp.o.d"
+  "CMakeFiles/skyloft_apps.dir/kvstore.cpp.o"
+  "CMakeFiles/skyloft_apps.dir/kvstore.cpp.o.d"
+  "CMakeFiles/skyloft_apps.dir/memcached_protocol.cpp.o"
+  "CMakeFiles/skyloft_apps.dir/memcached_protocol.cpp.o.d"
+  "CMakeFiles/skyloft_apps.dir/schbench.cpp.o"
+  "CMakeFiles/skyloft_apps.dir/schbench.cpp.o.d"
+  "CMakeFiles/skyloft_apps.dir/workloads.cpp.o"
+  "CMakeFiles/skyloft_apps.dir/workloads.cpp.o.d"
+  "libskyloft_apps.a"
+  "libskyloft_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloft_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloft_base.dir/histogram.cpp.o"
+  "CMakeFiles/skyloft_base.dir/histogram.cpp.o.d"
+  "CMakeFiles/skyloft_base.dir/logging.cpp.o"
+  "CMakeFiles/skyloft_base.dir/logging.cpp.o.d"
+  "libskyloft_base.a"
+  "libskyloft_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloft_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

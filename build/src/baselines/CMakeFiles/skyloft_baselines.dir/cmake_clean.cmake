@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloft_baselines.dir/systems.cpp.o"
+  "CMakeFiles/skyloft_baselines.dir/systems.cpp.o.d"
+  "libskyloft_baselines.a"
+  "libskyloft_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloft_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

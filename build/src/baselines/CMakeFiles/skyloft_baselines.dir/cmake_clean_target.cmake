@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libskyloft_baselines.a"
+)

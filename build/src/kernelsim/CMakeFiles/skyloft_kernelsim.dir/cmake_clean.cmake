@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloft_kernelsim.dir/kernel_sim.cpp.o"
+  "CMakeFiles/skyloft_kernelsim.dir/kernel_sim.cpp.o.d"
+  "libskyloft_kernelsim.a"
+  "libskyloft_kernelsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloft_kernelsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

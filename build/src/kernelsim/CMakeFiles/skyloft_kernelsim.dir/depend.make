@@ -1,0 +1,2 @@
+# Empty dependencies file for skyloft_kernelsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/libos/central_engine.cpp" "src/libos/CMakeFiles/skyloft_libos.dir/central_engine.cpp.o" "gcc" "src/libos/CMakeFiles/skyloft_libos.dir/central_engine.cpp.o.d"
+  "/root/repo/src/libos/engine.cpp" "src/libos/CMakeFiles/skyloft_libos.dir/engine.cpp.o" "gcc" "src/libos/CMakeFiles/skyloft_libos.dir/engine.cpp.o.d"
+  "/root/repo/src/libos/percpu_engine.cpp" "src/libos/CMakeFiles/skyloft_libos.dir/percpu_engine.cpp.o" "gcc" "src/libos/CMakeFiles/skyloft_libos.dir/percpu_engine.cpp.o.d"
+  "/root/repo/src/libos/trace.cpp" "src/libos/CMakeFiles/skyloft_libos.dir/trace.cpp.o" "gcc" "src/libos/CMakeFiles/skyloft_libos.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernelsim/CMakeFiles/skyloft_kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/uintr/CMakeFiles/skyloft_uintr.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/skyloft_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/skyloft_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

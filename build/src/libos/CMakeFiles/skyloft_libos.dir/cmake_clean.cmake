@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloft_libos.dir/central_engine.cpp.o"
+  "CMakeFiles/skyloft_libos.dir/central_engine.cpp.o.d"
+  "CMakeFiles/skyloft_libos.dir/engine.cpp.o"
+  "CMakeFiles/skyloft_libos.dir/engine.cpp.o.d"
+  "CMakeFiles/skyloft_libos.dir/percpu_engine.cpp.o"
+  "CMakeFiles/skyloft_libos.dir/percpu_engine.cpp.o.d"
+  "CMakeFiles/skyloft_libos.dir/trace.cpp.o"
+  "CMakeFiles/skyloft_libos.dir/trace.cpp.o.d"
+  "libskyloft_libos.a"
+  "libskyloft_libos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloft_libos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

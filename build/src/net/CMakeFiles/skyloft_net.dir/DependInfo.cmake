@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/loadgen.cpp" "src/net/CMakeFiles/skyloft_net.dir/loadgen.cpp.o" "gcc" "src/net/CMakeFiles/skyloft_net.dir/loadgen.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/net/CMakeFiles/skyloft_net.dir/nic.cpp.o" "gcc" "src/net/CMakeFiles/skyloft_net.dir/nic.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/skyloft_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/skyloft_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/net/CMakeFiles/skyloft_net.dir/udp.cpp.o" "gcc" "src/net/CMakeFiles/skyloft_net.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/libos/CMakeFiles/skyloft_libos.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/skyloft_kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/uintr/CMakeFiles/skyloft_uintr.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/skyloft_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/skyloft_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloft_net.dir/loadgen.cpp.o"
+  "CMakeFiles/skyloft_net.dir/loadgen.cpp.o.d"
+  "CMakeFiles/skyloft_net.dir/nic.cpp.o"
+  "CMakeFiles/skyloft_net.dir/nic.cpp.o.d"
+  "CMakeFiles/skyloft_net.dir/tcp.cpp.o"
+  "CMakeFiles/skyloft_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/skyloft_net.dir/udp.cpp.o"
+  "CMakeFiles/skyloft_net.dir/udp.cpp.o.d"
+  "libskyloft_net.a"
+  "libskyloft_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloft_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/cfs.cpp" "src/policies/CMakeFiles/skyloft_policies.dir/cfs.cpp.o" "gcc" "src/policies/CMakeFiles/skyloft_policies.dir/cfs.cpp.o.d"
+  "/root/repo/src/policies/eevdf.cpp" "src/policies/CMakeFiles/skyloft_policies.dir/eevdf.cpp.o" "gcc" "src/policies/CMakeFiles/skyloft_policies.dir/eevdf.cpp.o.d"
+  "/root/repo/src/policies/round_robin.cpp" "src/policies/CMakeFiles/skyloft_policies.dir/round_robin.cpp.o" "gcc" "src/policies/CMakeFiles/skyloft_policies.dir/round_robin.cpp.o.d"
+  "/root/repo/src/policies/shinjuku.cpp" "src/policies/CMakeFiles/skyloft_policies.dir/shinjuku.cpp.o" "gcc" "src/policies/CMakeFiles/skyloft_policies.dir/shinjuku.cpp.o.d"
+  "/root/repo/src/policies/work_stealing.cpp" "src/policies/CMakeFiles/skyloft_policies.dir/work_stealing.cpp.o" "gcc" "src/policies/CMakeFiles/skyloft_policies.dir/work_stealing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/libos/CMakeFiles/skyloft_libos.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/skyloft_kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/uintr/CMakeFiles/skyloft_uintr.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/skyloft_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/skyloft_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloft_policies.dir/cfs.cpp.o"
+  "CMakeFiles/skyloft_policies.dir/cfs.cpp.o.d"
+  "CMakeFiles/skyloft_policies.dir/eevdf.cpp.o"
+  "CMakeFiles/skyloft_policies.dir/eevdf.cpp.o.d"
+  "CMakeFiles/skyloft_policies.dir/round_robin.cpp.o"
+  "CMakeFiles/skyloft_policies.dir/round_robin.cpp.o.d"
+  "CMakeFiles/skyloft_policies.dir/shinjuku.cpp.o"
+  "CMakeFiles/skyloft_policies.dir/shinjuku.cpp.o.d"
+  "CMakeFiles/skyloft_policies.dir/work_stealing.cpp.o"
+  "CMakeFiles/skyloft_policies.dir/work_stealing.cpp.o.d"
+  "libskyloft_policies.a"
+  "libskyloft_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloft_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/context.cpp" "src/runtime/CMakeFiles/skyloft_runtime.dir/context.cpp.o" "gcc" "src/runtime/CMakeFiles/skyloft_runtime.dir/context.cpp.o.d"
+  "/root/repo/src/runtime/sync.cpp" "src/runtime/CMakeFiles/skyloft_runtime.dir/sync.cpp.o" "gcc" "src/runtime/CMakeFiles/skyloft_runtime.dir/sync.cpp.o.d"
+  "/root/repo/src/runtime/uthread.cpp" "src/runtime/CMakeFiles/skyloft_runtime.dir/uthread.cpp.o" "gcc" "src/runtime/CMakeFiles/skyloft_runtime.dir/uthread.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/skyloft_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

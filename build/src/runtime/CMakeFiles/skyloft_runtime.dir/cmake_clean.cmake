@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloft_runtime.dir/context.cpp.o"
+  "CMakeFiles/skyloft_runtime.dir/context.cpp.o.d"
+  "CMakeFiles/skyloft_runtime.dir/sync.cpp.o"
+  "CMakeFiles/skyloft_runtime.dir/sync.cpp.o.d"
+  "CMakeFiles/skyloft_runtime.dir/uthread.cpp.o"
+  "CMakeFiles/skyloft_runtime.dir/uthread.cpp.o.d"
+  "libskyloft_runtime.a"
+  "libskyloft_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloft_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloft_simcore.dir/simulation.cpp.o"
+  "CMakeFiles/skyloft_simcore.dir/simulation.cpp.o.d"
+  "libskyloft_simcore.a"
+  "libskyloft_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloft_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

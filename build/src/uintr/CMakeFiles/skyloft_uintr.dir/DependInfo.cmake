@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uintr/apic_timer.cpp" "src/uintr/CMakeFiles/skyloft_uintr.dir/apic_timer.cpp.o" "gcc" "src/uintr/CMakeFiles/skyloft_uintr.dir/apic_timer.cpp.o.d"
+  "/root/repo/src/uintr/uintr_chip.cpp" "src/uintr/CMakeFiles/skyloft_uintr.dir/uintr_chip.cpp.o" "gcc" "src/uintr/CMakeFiles/skyloft_uintr.dir/uintr_chip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/skyloft_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/skyloft_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloft_uintr.dir/apic_timer.cpp.o"
+  "CMakeFiles/skyloft_uintr.dir/apic_timer.cpp.o.d"
+  "CMakeFiles/skyloft_uintr.dir/uintr_chip.cpp.o"
+  "CMakeFiles/skyloft_uintr.dir/uintr_chip.cpp.o.d"
+  "libskyloft_uintr.a"
+  "libskyloft_uintr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloft_uintr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

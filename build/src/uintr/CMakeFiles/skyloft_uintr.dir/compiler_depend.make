@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for skyloft_uintr.
+# This may be replaced when dependencies are built.

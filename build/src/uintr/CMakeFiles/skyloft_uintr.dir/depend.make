@@ -1,0 +1,2 @@
+# Empty dependencies file for skyloft_uintr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/central_engine2_test.cpp" "tests/CMakeFiles/central_engine2_test.dir/central_engine2_test.cpp.o" "gcc" "tests/CMakeFiles/central_engine2_test.dir/central_engine2_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/skyloft_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/skyloft_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/skyloft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/skyloft_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/libos/CMakeFiles/skyloft_libos.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/skyloft_kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/uintr/CMakeFiles/skyloft_uintr.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/skyloft_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/skyloft_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/skyloft_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

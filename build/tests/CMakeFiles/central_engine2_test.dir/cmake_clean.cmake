@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/central_engine2_test.dir/central_engine2_test.cpp.o"
+  "CMakeFiles/central_engine2_test.dir/central_engine2_test.cpp.o.d"
+  "central_engine2_test"
+  "central_engine2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/central_engine2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

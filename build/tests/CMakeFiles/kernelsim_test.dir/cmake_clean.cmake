@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernelsim_test.dir/kernelsim_test.cpp.o"
+  "CMakeFiles/kernelsim_test.dir/kernelsim_test.cpp.o.d"
+  "kernelsim_test"
+  "kernelsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernelsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libos_test.dir/libos_test.cpp.o"
+  "CMakeFiles/libos_test.dir/libos_test.cpp.o.d"
+  "libos_test"
+  "libos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

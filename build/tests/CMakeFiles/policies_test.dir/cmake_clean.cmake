@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policies_test.dir/policies_test.cpp.o"
+  "CMakeFiles/policies_test.dir/policies_test.cpp.o.d"
+  "policies_test"
+  "policies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_test.dir/simcore_test.cpp.o"
+  "CMakeFiles/simcore_test.dir/simcore_test.cpp.o.d"
+  "simcore_test"
+  "simcore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

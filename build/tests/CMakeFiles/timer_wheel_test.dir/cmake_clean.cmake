@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timer_wheel_test.dir/timer_wheel_test.cpp.o"
+  "CMakeFiles/timer_wheel_test.dir/timer_wheel_test.cpp.o.d"
+  "timer_wheel_test"
+  "timer_wheel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timer_wheel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uintr_test.dir/uintr_test.cpp.o"
+  "CMakeFiles/uintr_test.dir/uintr_test.cpp.o.d"
+  "uintr_test"
+  "uintr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uintr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
