@@ -1,0 +1,114 @@
+// Move-only `void()` callable with inline small-buffer storage.
+//
+// The simulation engine invokes millions of callbacks per simulated second;
+// `std::function`'s 16-byte small-object buffer forces a heap allocation for
+// anything bigger than a single captured pointer pair. InplaceFunction stores
+// closures up to kCapacity bytes inline (enough for every hot-path lambda in
+// the tree: `this` plus a few scalars) and falls back to the heap only for
+// oversized or throwing-move captures, so the schedule/fire path allocates
+// nothing.
+#ifndef SRC_BASE_INPLACE_FUNCTION_H_
+#define SRC_BASE_INPLACE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace skyloft {
+
+class InplaceFunction {
+ public:
+  static constexpr std::size_t kCapacity = 48;
+
+  InplaceFunction() = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InplaceFunction> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InplaceFunction(F&& fn) {  // NOLINT: implicit like std::function
+    if constexpr (sizeof(D) <= kCapacity &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &InlineOps<D>::kOps;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &HeapOps<D>::kOps;
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      if (other.ops_ != nullptr) {
+        ops_ = other.ops_;
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { Reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs into dst and destroys src (both point at buffers).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  struct InlineOps {
+    static void Invoke(void* p) { (*static_cast<D*>(p))(); }
+    static void Relocate(void* dst, void* src) {
+      ::new (dst) D(std::move(*static_cast<D*>(src)));
+      static_cast<D*>(src)->~D();
+    }
+    static void Destroy(void* p) { static_cast<D*>(p)->~D(); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename D>
+  struct HeapOps {
+    static D* Ptr(void* p) { return *static_cast<D**>(p); }
+    static void Invoke(void* p) { (*Ptr(p))(); }
+    static void Relocate(void* dst, void* src) {
+      ::new (dst) D*(Ptr(src));  // ownership transfers with the pointer
+    }
+    static void Destroy(void* p) { delete Ptr(p); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy};
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_BASE_INPLACE_FUNCTION_H_

@@ -116,6 +116,12 @@ DurationNs KernelSim::SkyloftTimerEnable(CoreId core, Upid* upid) {
 
 DurationNs KernelSim::SkyloftTimerSetHz(CoreId core, std::int64_t hz) {
   ApicTimer& timer = chip_->timer(core);
+  if (timer.enabled() && timer.hz() == hz) {
+    // Redundant reprogram: the periodic tick stream is already armed at this
+    // frequency; keep its event node in place instead of restarting the
+    // period (the dominant caller re-issues the ioctl with the same rate).
+    return machine_->costs().syscall_ns;
+  }
   timer.SetHz(hz);
   timer.Enable();
   return machine_->costs().syscall_ns;

@@ -50,7 +50,8 @@ void CentralizedEngine::Start() {
   }
 
   if (ccfg_.core_alloc) {
-    machine_->sim().ScheduleAfter(ccfg_.alloc_period, [this] { AllocatorTick(); });
+    machine_->sim().SchedulePeriodic(machine_->sim().Now() + ccfg_.alloc_period,
+                                     ccfg_.alloc_period, [this] { AllocatorTick(); });
   }
 }
 
@@ -185,7 +186,7 @@ void CentralizedEngine::OnPreemptIpi(int worker, const UintrFrame& frame) {
 }
 
 void CentralizedEngine::AllocatorTick() {
-  machine_->sim().ScheduleAfter(ccfg_.alloc_period, [this] { AllocatorTick(); });
+  // Re-armed in place by the periodic event that invoked us.
   if (be_app_ == nullptr) {
     return;
   }

@@ -74,7 +74,12 @@ void PerCpuEngine::Start() {
   }
 
   if (pcfg_.tick_path == TickPath::kUtimerIpi && pcfg_.timer_hz > 0) {
-    machine_->sim().ScheduleAfter(HzToPeriodNs(pcfg_.timer_hz), [this] { UtimerRound(); });
+    // One periodic node drives every round; it re-arms in place (fresh
+    // sequence number before the round runs, so same-tick ordering matches
+    // the old schedule-at-top-of-callback pattern).
+    const DurationNs period = HzToPeriodNs(pcfg_.timer_hz);
+    machine_->sim().SchedulePeriodic(machine_->sim().Now() + period, period,
+                                     [this] { UtimerRound(); });
   }
 
   if (pcfg_.tick_path == TickPath::kKernelTimer) {
@@ -128,7 +133,7 @@ void PerCpuEngine::UtimerRound() {
   // The utimer core loops over the workers executing one SENDUIPI each; the
   // sends are serial on the utimer core, so each worker's IPI departs a
   // little later than the previous one (Table 6: 167 cycles per send).
-  machine_->sim().ScheduleAfter(HzToPeriodNs(pcfg_.timer_hz), [this] { UtimerRound(); });
+  // (The next round is armed by the periodic event that invoked us.)
   DurationNs offset = 0;
   for (int w = 0; w < NumWorkers(); w++) {
     const int idx = self_uitt_index_[static_cast<std::size_t>(w)];

@@ -10,12 +10,7 @@ void ApicTimer::SetHz(std::int64_t hz) {
   hz_ = hz;
   if (enabled_) {
     // Reprogramming the timer restarts the current period.
-    if (pending_ != kInvalidEventId) {
-      sim_->Cancel(pending_);
-      pending_ = kInvalidEventId;
-    }
-    next_deadline_ = sim_->Now();
-    Arm();
+    Rearm();
   }
 }
 
@@ -24,8 +19,7 @@ void ApicTimer::Enable() {
     return;
   }
   enabled_ = true;
-  next_deadline_ = sim_->Now();
-  Arm();
+  Rearm();
 }
 
 void ApicTimer::Disable() {
@@ -36,23 +30,21 @@ void ApicTimer::Disable() {
   }
 }
 
-void ApicTimer::Arm() {
-  if (!enabled_ || hz_ <= 0) {
+void ApicTimer::Rearm() {
+  if (pending_ != kInvalidEventId) {
+    sim_->Cancel(pending_);
+    pending_ = kInvalidEventId;
+  }
+  if (hz_ <= 0) {
     return;
   }
-  // Drift-free periodic deadlines: each deadline is the previous plus the
-  // period, independent of handler execution time.
-  next_deadline_ += HzToPeriodNs(hz_);
-  pending_ = sim_->ScheduleAt(next_deadline_, [this] { Fire(); });
+  // One periodic node carries the whole tick stream. Deadlines are
+  // drift-free: each is the previous plus the period, independent of handler
+  // execution time.
+  const DurationNs period = HzToPeriodNs(hz_);
+  pending_ = sim_->SchedulePeriodic(sim_->Now() + period, period, [this] { Fire(); });
 }
 
-void ApicTimer::Fire() {
-  pending_ = kInvalidEventId;
-  if (!enabled_) {
-    return;
-  }
-  Arm();
-  on_fire_(core_, kApicTimerVector);
-}
+void ApicTimer::Fire() { on_fire_(core_, kApicTimerVector); }
 
 }  // namespace skyloft

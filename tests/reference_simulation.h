@@ -1,0 +1,151 @@
+// Reference discrete-event engine: the original `std::priority_queue` +
+// lazy-cancellation implementation that `Simulation` replaced.
+//
+// Kept under tests/ as the ground truth for the determinism property tests
+// (same schedule => identical event order and counts in both engines) and as
+// the baseline core for bench_simcore_events. Apart from the Cancel()
+// id-validation fix (an already-fired id must not be inserted into the
+// cancelled set), this is the seed implementation verbatim.
+#ifndef TESTS_REFERENCE_SIMULATION_H_
+#define TESTS_REFERENCE_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/base/time.h"
+
+namespace skyloft {
+
+class ReferenceSimulation {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+  static constexpr EventId kInvalidId = 0;
+
+  ReferenceSimulation() = default;
+  ReferenceSimulation(const ReferenceSimulation&) = delete;
+  ReferenceSimulation& operator=(const ReferenceSimulation&) = delete;
+
+  TimeNs Now() const { return now_; }
+
+  EventId ScheduleAt(TimeNs at, Callback fn) {
+    SKYLOFT_CHECK(at >= now_) << "cannot schedule in the past: " << at << " < " << now_;
+    const EventId id = next_id_++;
+    heap_.push(Event{at, id, std::move(fn)});
+    live_.insert(id);
+    return id;
+  }
+
+  EventId ScheduleAfter(DurationNs delay, Callback fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  bool Cancel(EventId id) {
+    if (id == kInvalidId || id >= next_id_) {
+      return false;
+    }
+    if (live_.find(id) == live_.end()) {
+      return false;  // already fired or already cancelled
+    }
+    live_.erase(id);
+    return cancelled_.insert(id).second;
+  }
+
+  void Run() {
+    stopped_ = false;
+    Event ev;
+    while (!stopped_ && PopNext(&ev)) {
+      now_ = ev.when;
+      executed_++;
+      ev.fn();
+    }
+  }
+
+  void RunUntil(TimeNs deadline) {
+    stopped_ = false;
+    Event ev;
+    while (!stopped_) {
+      if (heap_.empty() || heap_.top().when > deadline) {
+        break;
+      }
+      if (!PopNext(&ev)) {
+        break;
+      }
+      if (ev.when > deadline) {
+        heap_.push(std::move(ev));
+        break;
+      }
+      now_ = ev.when;
+      executed_++;
+      ev.fn();
+    }
+    if (!stopped_ && now_ < deadline) {
+      now_ = deadline;
+    }
+  }
+
+  bool Step() {
+    Event ev;
+    if (!PopNext(&ev)) {
+      return false;
+    }
+    now_ = ev.when;
+    executed_++;
+    ev.fn();
+    return true;
+  }
+
+  void Stop() { stopped_ = true; }
+
+  std::size_t PendingEvents() const { return heap_.size() - cancelled_.size(); }
+  std::uint64_t EventsExecuted() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeNs when;
+    EventId id;
+    Callback fn;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  bool PopNext(Event* out) {
+    while (!heap_.empty()) {
+      Event& top = const_cast<Event&>(heap_.top());
+      Event ev{top.when, top.id, std::move(top.fn)};
+      heap_.pop();
+      auto it = cancelled_.find(ev.id);
+      if (it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+      live_.erase(ev.id);
+      *out = std::move(ev);
+      return true;
+    }
+    return false;
+  }
+
+  TimeNs now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> live_;
+};
+
+}  // namespace skyloft
+
+#endif  // TESTS_REFERENCE_SIMULATION_H_

@@ -150,6 +150,183 @@ TEST(SimulationTest, DeterministicTraces) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+// Regression: the seed implementation accepted Cancel() on an already-fired
+// id, permanently leaking a lazy-cancellation entry and underflowing
+// PendingEvents() (computed as heap size minus cancelled size, unsigned).
+TEST(SimulationTest, CancelAfterFireIsRejected) {
+  Simulation sim;
+  bool ran = false;
+  const EventId id = sim.ScheduleAt(10, [&] { ran = true; });
+  sim.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_EQ(sim.PendingEvents(), 0u);  // seed bug: underflowed to ~2^64
+  EXPECT_FALSE(sim.Cancel(id));        // stays rejected
+}
+
+TEST(SimulationTest, PendingEventsNeverUnderflows) {
+  Simulation sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 3; i++) {
+    ids.push_back(sim.ScheduleAt(10 + i, [] {}));
+  }
+  sim.Run();
+  for (const EventId id : ids) {
+    EXPECT_FALSE(sim.Cancel(id));
+  }
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  sim.ScheduleAfter(5, [] {});
+  sim.ScheduleAfter(6, [] {});
+  EXPECT_EQ(sim.PendingEvents(), 2u);
+}
+
+// A cancelled id must stay dead even after its slab slot is reused by a new
+// event (generation tag check).
+TEST(SimulationTest, StaleIdDoesNotAliasReusedSlot) {
+  Simulation sim;
+  bool a_ran = false;
+  bool b_ran = false;
+  const EventId a = sim.ScheduleAt(10, [&] { a_ran = true; });
+  EXPECT_TRUE(sim.Cancel(a));
+  const EventId b = sim.ScheduleAt(10, [&] { b_ran = true; });  // reuses a's slot
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(sim.Cancel(a));  // must not cancel b through a's stale id
+  sim.Run();
+  EXPECT_FALSE(a_ran);
+  EXPECT_TRUE(b_ran);
+}
+
+// ---- periodic events ----
+
+TEST(SimulationTest, PeriodicFiresAtFixedIntervals) {
+  Simulation sim;
+  std::vector<TimeNs> fires;
+  const EventId id = sim.SchedulePeriodic(100, 50, [&] { fires.push_back(sim.Now()); });
+  sim.RunUntil(260);
+  EXPECT_EQ(fires, (std::vector<TimeNs>{100, 150, 200, 250}));
+  // The id remains valid across fires; cancelling stops the series.
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.RunUntil(1000);
+  EXPECT_EQ(fires.size(), 4u);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulationTest, PeriodicCancelFromOwnCallback) {
+  Simulation sim;
+  int fires = 0;
+  EventId id = kInvalidEventId;
+  id = sim.SchedulePeriodic(10, 10, [&] {
+    fires++;
+    if (fires == 3) {
+      EXPECT_TRUE(sim.Cancel(id));
+    }
+  });
+  sim.RunUntil(1000);
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+// Re-arm-in-place must order same-tick ties exactly like the seed idiom of
+// re-scheduling at the top of the callback: an older one-shot scheduled for
+// the same instant fires first (smaller sequence number).
+TEST(SimulationTest, PeriodicSameTickOrderMatchesReschedule) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(200, [&] { order.push_back(1); });  // scheduled before t=100
+  sim.SchedulePeriodic(100, 100, [&] { order.push_back(2); });
+  sim.ScheduleAt(50, [&] {
+    // Scheduled at t=50 for t=300: younger than the periodic's t=200 re-arm
+    // (sequenced at t=100)? No — the re-arm at t=100 gets a fresh sequence
+    // number, so this t=50 schedule is older and fires first at t=300.
+    sim.ScheduleAt(300, [&] { order.push_back(3); });
+  });
+  sim.RunUntil(300);
+  // t=100: periodic(2). t=200: one-shot(1) then periodic(2).
+  // t=300: one-shot(3) scheduled at t=50, then periodic(2) re-armed at t=200.
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 2, 3, 2}));
+}
+
+// ---- timing-wheel edge cases ----
+
+// Events exactly at level boundaries (64^k) and at the wheel horizon (2^24,
+// where events spill into the overflow heap) must fire in time order.
+TEST(SimulationTest, LevelBoundaryEventsFireInOrder) {
+  Simulation sim;
+  const std::vector<TimeNs> deltas = {
+      1,      63,     64,         65,         4095,        4096,        4097,
+      262143, 262144, 16777215,   16777216,   16777217,    40'000'000};
+  std::vector<TimeNs> fired;
+  // Schedule in reverse so insertion order disagrees with time order.
+  for (auto it = deltas.rbegin(); it != deltas.rend(); ++it) {
+    const TimeNs at = *it;
+    sim.ScheduleAt(at, [&fired, &sim] { fired.push_back(sim.Now()); });
+  }
+  sim.Run();
+  EXPECT_EQ(fired, deltas);
+  EXPECT_EQ(sim.EventsExecuted(), deltas.size());
+}
+
+// Cancelling an event after it has been cascaded into a lower level (and one
+// still waiting at a higher level) must both unlink cleanly.
+TEST(SimulationTest, CancelDuringCascadeWindow) {
+  Simulation sim;
+  std::vector<int> order;
+  // A and B land in the same level-1 slot as C; entering that window at
+  // t=64 cascades all three into level 0.
+  const EventId a = sim.ScheduleAt(100, [&] { order.push_back(0); });
+  sim.ScheduleAt(101, [&] { order.push_back(1); });
+  const EventId d = sim.ScheduleAt(100'000, [&] { order.push_back(2); });
+  sim.ScheduleAt(70, [&] {
+    order.push_back(3);
+    EXPECT_TRUE(sim.Cancel(a));  // already cascaded to level 0
+    EXPECT_TRUE(sim.Cancel(d));  // still parked at a higher level
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{3, 1}));
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+// An overflow-heap event and a wheel event at the same timestamp must fire
+// in schedule order.
+TEST(SimulationTest, OverflowAndWheelTieBreakBySeq) {
+  Simulation sim;
+  std::vector<int> order;
+  const TimeNs t = Millis(20);  // beyond the 2^24 ns wheel horizon at t=0
+  sim.ScheduleAt(t, [&] { order.push_back(1); });  // overflow heap
+  sim.ScheduleAt(Millis(19), [&] {
+    // By now the horizon covers t: this one lands in the wheel but was
+    // scheduled later, so it must fire second.
+    sim.ScheduleAt(t, [&] { order.push_back(2); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulationTest, CancelOverflowEvent) {
+  Simulation sim;
+  bool ran = false;
+  const EventId far = sim.ScheduleAt(Millis(30), [&] { ran = true; });
+  sim.ScheduleAt(5, [] {});
+  EXPECT_TRUE(sim.Cancel(far));
+  EXPECT_FALSE(sim.Cancel(far));
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.Now(), 5);  // the cancelled far event never advances time
+}
+
+TEST(SimulationTest, ScheduleAtNowFromCallbackRunsSameTick) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(10, [&] {
+    order.push_back(1);
+    sim.ScheduleAt(sim.Now(), [&] { order.push_back(2); });
+  });
+  sim.ScheduleAt(11, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 // ---- machine.h ----
 
 TEST(MachineTest, SocketTopology) {

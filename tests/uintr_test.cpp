@@ -272,6 +272,40 @@ TEST_F(UintrTest, ApicTimerSetHzReprograms) {
   EXPECT_EQ(fires[2], Micros(21));
 }
 
+TEST_F(UintrTest, ApicTimerSetHzMidFlightTakesEffectNextPeriodOnce) {
+  // Reprogramming in the middle of a period (not at a fire boundary) must
+  // restart the period exactly once: the next fire is one *new* period after
+  // the SetHz call, and every later fire follows at the new period — no
+  // double fire from the old pending deadline, no skipped period.
+  std::vector<TimeNs> fires;
+  chip_.SetLegacyHandler([&](CoreId, int) { fires.push_back(sim_.Now()); });
+  chip_.timer(2).SetHz(100'000);  // 10 us period
+  chip_.timer(2).Enable();
+  sim_.RunUntil(Micros(25));  // fires at 10, 20; next old deadline would be 30
+  ASSERT_EQ(fires.size(), 2u);
+  chip_.timer(2).SetHz(250'000);  // 4 us period, reprogrammed at t = 25 us
+  sim_.RunUntil(Micros(42));
+  // 25 + 4 = 29, then 33, 37, 41. The old 30 us deadline must not fire.
+  ASSERT_EQ(fires.size(), 6u);
+  EXPECT_EQ(fires[2], Micros(29));
+  EXPECT_EQ(fires[3], Micros(33));
+  EXPECT_EQ(fires[4], Micros(37));
+  EXPECT_EQ(fires[5], Micros(41));
+}
+
+TEST_F(UintrTest, ApicTimerPeriodicNodeReuse) {
+  // The periodic fast path keeps one event id alive across fires: the
+  // simulator's pending-event count stays flat while the timer runs.
+  chip_.SetLegacyHandler([&](CoreId, int) {});
+  chip_.timer(2).SetHz(1'000'000);
+  chip_.timer(2).Enable();
+  const std::size_t pending_at_start = sim_.PendingEvents();
+  sim_.RunUntil(Micros(50));
+  EXPECT_EQ(sim_.PendingEvents(), pending_at_start);
+  chip_.timer(2).Disable();
+  EXPECT_EQ(sim_.PendingEvents(), pending_at_start - 1);
+}
+
 TEST_F(UintrTest, SendUipiOutOfRangeIndexAborts) {
   EXPECT_DEATH(chip_.SendUipi(0, 42), "out-of-range UITT index");
 }
