@@ -75,8 +75,17 @@ int main() {
                 "src/libos/central_engine.h"}));
   Row("Skyloft Work-Stealing (Preemptive)", 150,
       CountLoc({"src/policies/work_stealing.h", "src/policies/work_stealing.cpp"}));
+  // Not a policy: the substrate-neutral Table 2 interface every policy above
+  // is written against (SchedItem + SchedPolicy/EngineView + registry). The
+  // paper gives no LOC for it; the point is that ~200 lines of interface buy
+  // both the simulated engines and the real host runtime.
+  Row("Table 2 interface (shared src/sched)", 0,
+      CountLoc({"src/sched/sched_item.h", "src/sched/policy.h", "src/sched/registry.h",
+                "src/sched/registry.cpp"}));
   std::printf(
       "\nShape check: every Skyloft policy lands in the hundreds of lines,\n"
-      "one to two orders of magnitude below the kernel implementations.\n");
+      "one to two orders of magnitude below the kernel implementations.\n"
+      "The same policy sources count for BOTH substrates: they include only\n"
+      "src/sched and link into the simulator and the host runtime unchanged.\n");
   return 0;
 }

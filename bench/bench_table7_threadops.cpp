@@ -14,6 +14,7 @@
 #include <sched.h>
 
 #include <chrono>
+#include <string_view>
 #include <cstdio>
 #include <vector>
 
@@ -25,6 +26,14 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// --smoke divides every round count for CI; full runs use scale 1.
+long g_scale = 1;
+
+long Rounds(long full) {
+  const long r = full / g_scale;
+  return r > 0 ? r : 1;
+}
+
 double NsPerOp(Clock::time_point start, Clock::time_point end, long ops) {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count() /
          static_cast<double>(ops);
@@ -32,12 +41,18 @@ double NsPerOp(Clock::time_point start, Clock::time_point end, long ops) {
 
 // ---- Skyloft runtime ----
 
-double SkyloftYield() {
-  constexpr long kRounds = 200'000;
-  Runtime rt(RuntimeOptions{.workers = 1});
+RuntimeOptions OneWorker(RuntimePolicy policy) {
+  RuntimeOptions opts{.workers = 1};
+  opts.sched.policy = policy;
+  return opts;
+}
+
+double SkyloftYield(RuntimePolicy policy) {
+  const long kRounds = Rounds(200'000);
+  Runtime rt(OneWorker(policy));
   double result = 0;
   rt.Run([&] {
-    UThread* peer = Runtime::Spawn([] {
+    UThread* peer = Runtime::Spawn([kRounds] {
       for (long i = 0; i < kRounds; i++) {
         Runtime::Yield();
       }
@@ -54,9 +69,9 @@ double SkyloftYield() {
   return result;
 }
 
-double SkyloftSpawn() {
-  constexpr long kRounds = 50'000;
-  Runtime rt(RuntimeOptions{.workers = 1});
+double SkyloftSpawn(RuntimePolicy policy) {
+  const long kRounds = Rounds(50'000);
+  Runtime rt(OneWorker(policy));
   double result = 0;
   rt.Run([&] {
     const auto start = Clock::now();
@@ -71,7 +86,7 @@ double SkyloftSpawn() {
 }
 
 double SkyloftMutex() {
-  constexpr long kRounds = 2'000'000;
+  const long kRounds = Rounds(2'000'000);
   Runtime rt(RuntimeOptions{.workers = 1});
   double result = 0;
   rt.Run([&] {
@@ -88,7 +103,7 @@ double SkyloftMutex() {
 }
 
 double SkyloftCondvar() {
-  constexpr long kRounds = 100'000;
+  const long kRounds = Rounds(100'000);
   Runtime rt(RuntimeOptions{.workers = 1});
   double result = 0;
   rt.Run([&] {
@@ -128,7 +143,7 @@ double SkyloftCondvar() {
 double PthreadYield() {
   // Two runnable pthreads on shared cores: sched_yield round-robins them
   // through the kernel scheduler.
-  constexpr long kRounds = 100'000;
+  const long kRounds = Rounds(100'000);
   std::atomic<bool> stop{false};
   pthread_t peer;
   pthread_create(
@@ -152,7 +167,7 @@ double PthreadYield() {
 }
 
 double PthreadSpawn() {
-  constexpr long kRounds = 2'000;
+  const long kRounds = Rounds(2'000);
   const auto start = Clock::now();
   for (long i = 0; i < kRounds; i++) {
     pthread_t t;
@@ -164,7 +179,7 @@ double PthreadSpawn() {
 }
 
 double PthreadMutex() {
-  constexpr long kRounds = 2'000'000;
+  const long kRounds = Rounds(2'000'000);
   pthread_mutex_t mutex = PTHREAD_MUTEX_INITIALIZER;
   const auto start = Clock::now();
   for (long i = 0; i < kRounds; i++) {
@@ -183,7 +198,7 @@ struct PingPong {
 };
 
 double PthreadCondvar() {
-  constexpr long kRounds = 20'000;
+  const long kRounds = Rounds(20'000);
   PingPong pp;
   pp.rounds = kRounds;
   pthread_t peer;
@@ -222,14 +237,25 @@ void Main() {
   std::printf("=== Table 7: threading operations (ns), measured on this host ===\n");
   std::printf("%-10s %14s %14s %18s %18s\n", "op", "pthread", "skyloft", "paper pthread",
               "paper skyloft");
-  std::printf("%-10s %14.0f %14.0f %18d %18d\n", "Yield", PthreadYield(), SkyloftYield(), 898,
-              37);
-  std::printf("%-10s %14.0f %14.0f %18d %18d\n", "Spawn", PthreadSpawn(), SkyloftSpawn(), 15418,
-              191);
+  std::printf("%-10s %14.0f %14.0f %18d %18d\n", "Yield", PthreadYield(),
+              SkyloftYield(RuntimePolicy::kWorkStealing), 898, 37);
+  std::printf("%-10s %14.0f %14.0f %18d %18d\n", "Spawn", PthreadSpawn(),
+              SkyloftSpawn(RuntimePolicy::kWorkStealing), 15418, 191);
   std::printf("%-10s %14.0f %14.0f %18d %18d\n", "Mutex", PthreadMutex(), SkyloftMutex(), 28,
               27);
   std::printf("%-10s %14.0f %14.0f %18d %18d\n", "Condvar", PthreadCondvar(), SkyloftCondvar(),
               2532, 86);
+
+  // The Table 2 interface makes the host policy swappable; the op cost must
+  // not depend on which policy fills the runqueues. FIFO exercises the
+  // plain-queue path, work stealing the pre-refactor default.
+  std::printf("\n=== Policy column: same ops through the Table 2 layer ===\n");
+  std::printf("%-10s %14s %14s\n", "op", "ws", "fifo");
+  std::printf("%-10s %14.0f %14.0f\n", "Yield", SkyloftYield(RuntimePolicy::kWorkStealing),
+              SkyloftYield(RuntimePolicy::kFifo));
+  std::printf("%-10s %14.0f %14.0f\n", "Spawn", SkyloftSpawn(RuntimePolicy::kWorkStealing),
+              SkyloftSpawn(RuntimePolicy::kFifo));
+
   std::printf(
       "\n(Go column omitted: no offline Go toolchain — see DESIGN.md.)\n"
       "Shape check: skyloft << pthread on Yield/Spawn/Condvar; Mutex ~ tie.\n");
@@ -238,4 +264,11 @@ void Main() {
 }  // namespace
 }  // namespace skyloft
 
-int main() { skyloft::Main(); }
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      skyloft::g_scale = 20;  // CI: same code paths, ~1/20th the rounds
+    }
+  }
+  skyloft::Main();
+}

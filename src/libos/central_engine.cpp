@@ -79,7 +79,7 @@ DurationNs CentralizedEngine::DispatcherOccupy(DurationNs occupancy_ns) {
 }
 
 bool CentralizedEngine::Dispatch(int worker, DurationNs overhead_ns) {
-  Task* task = policy_->TaskDequeue(/*worker=*/-1);
+  Task* task = static_cast<Task*>(policy_->TaskDequeue(/*worker=*/-1));
   if (task == nullptr) {
     return false;
   }

@@ -20,7 +20,7 @@
 #include "src/kernelsim/kernel_sim.h"
 #include "src/libos/app.h"
 #include "src/libos/engine_stats.h"
-#include "src/libos/sched_policy.h"
+#include "src/sched/policy.h"
 #include "src/libos/task.h"
 #include "src/libos/trace.h"
 #include "src/simcore/machine.h"

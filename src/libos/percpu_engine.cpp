@@ -175,10 +175,10 @@ void PerCpuEngine::Tick(int worker, DurationNs handler_cost_ns, DurationNs preem
 }
 
 bool PerCpuEngine::TryRunNext(int worker, DurationNs overhead_ns) {
-  Task* task = policy_->TaskDequeue(worker);
+  Task* task = static_cast<Task*>(policy_->TaskDequeue(worker));
   if (task == nullptr && pcfg_.steal_on_idle) {
     policy_->SchedBalance(worker);
-    task = policy_->TaskDequeue(worker);
+    task = static_cast<Task*>(policy_->TaskDequeue(worker));
   }
   if (task == nullptr) {
     return false;

@@ -12,8 +12,8 @@
 #include <cstdint>
 #include <functional>
 
-#include "src/base/intrusive_list.h"
 #include "src/base/time.h"
+#include "src/sched/sched_item.h"
 #include "src/simcore/machine.h"
 
 namespace skyloft {
@@ -35,16 +35,13 @@ enum class SegmentAction {
   kBlock,   // task blocks; someone must WakeTask() it with a new segment
 };
 
-// Flags passed to SchedPolicy::TaskEnqueue (paper: task_enqueue flags).
-enum EnqueueFlags : unsigned {
-  kEnqueueNew = 1u << 0,        // first enqueue after creation
-  kEnqueueWakeup = 1u << 1,     // task was blocked and is waking (CFS sleeper credit)
-  kEnqueuePreempted = 1u << 2,  // task was preempted mid-segment
-  kEnqueueYield = 1u << 3,      // task voluntarily yielded
-};
+// EnqueueFlags (kEnqueueNew/kEnqueueWakeup/...) now live with the Table 2
+// interface in src/sched/sched_item.h, pulled in above.
 
-struct Task : ListNode {
-  std::uint64_t id = 0;
+// The substrate-neutral scheduling state (runqueue linkage, id, policy data)
+// lives in the SchedItem base so the same policies also schedule the host
+// runtime's UThread.
+struct Task : SchedItem {
   App* app = nullptr;
   TaskState state = TaskState::kCreated;
 
@@ -62,16 +59,6 @@ struct Task : ListNode {
 
   // Opaque tag benchmarks use to classify requests (e.g. GET vs SCAN).
   int kind = 0;
-
-  // ---- policy-defined per-task state (paper: the extra field in task_t) ----
-  static constexpr std::size_t kPolicyDataSize = 64;
-  alignas(8) unsigned char policy_data[kPolicyDataSize] = {};
-
-  template <typename T>
-  T* PolicyData() {
-    static_assert(sizeof(T) <= kPolicyDataSize, "policy data too large");
-    return reinterpret_cast<T*>(policy_data);
-  }
 };
 
 }  // namespace skyloft

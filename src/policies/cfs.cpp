@@ -6,9 +6,9 @@
 
 namespace skyloft {
 
-bool CfsPolicy::VruntimeLess::operator()(const Task* a, const Task* b) const {
-  const auto* da = const_cast<Task*>(a)->PolicyData<CfsData>();
-  const auto* db = const_cast<Task*>(b)->PolicyData<CfsData>();
+bool CfsPolicy::VruntimeLess::operator()(const SchedItem* a, const SchedItem* b) const {
+  const auto* da = const_cast<SchedItem*>(a)->PolicyData<CfsData>();
+  const auto* db = const_cast<SchedItem*>(b)->PolicyData<CfsData>();
   if (da->vruntime != db->vruntime) {
     return da->vruntime < db->vruntime;
   }
@@ -20,14 +20,14 @@ void CfsPolicy::SchedInit(EngineView* view) {
   queues_ = std::vector<Runqueue>(static_cast<std::size_t>(view->NumWorkers()));
 }
 
-void CfsPolicy::TaskInit(Task* task) { *task->PolicyData<CfsData>() = CfsData{}; }
+void CfsPolicy::TaskInit(SchedItem* task) { *task->PolicyData<CfsData>() = CfsData{}; }
 
 DurationNs CfsPolicy::SliceFor(const Runqueue& queue) const {
   const auto nr = static_cast<DurationNs>(queue.tree.size()) + 1;  // + current
   return std::max(params_.min_granularity, params_.sched_latency / nr);
 }
 
-void CfsPolicy::TaskEnqueue(Task* task, unsigned flags, int worker_hint) {
+void CfsPolicy::TaskEnqueue(SchedItem* task, unsigned flags, int worker_hint) {
   int target = worker_hint;
   if (target < 0 || target >= static_cast<int>(queues_.size())) {
     target = next_queue_;
@@ -45,7 +45,7 @@ void CfsPolicy::TaskEnqueue(Task* task, unsigned flags, int worker_hint) {
   queued_++;
 }
 
-Task* CfsPolicy::TaskDequeue(int worker) {
+SchedItem* CfsPolicy::TaskDequeue(int worker) {
   if (worker < 0 || worker >= static_cast<int>(queues_.size())) {
     return nullptr;
   }
@@ -53,7 +53,7 @@ Task* CfsPolicy::TaskDequeue(int worker) {
   if (queue.tree.empty()) {
     return nullptr;
   }
-  Task* task = *queue.tree.begin();
+  SchedItem* task = *queue.tree.begin();
   queue.tree.erase(queue.tree.begin());
   queued_--;
   CfsData* data = task->PolicyData<CfsData>();
@@ -62,7 +62,7 @@ Task* CfsPolicy::TaskDequeue(int worker) {
   return task;
 }
 
-bool CfsPolicy::SchedTimerTick(int worker, Task* current, DurationNs ran_ns) {
+bool CfsPolicy::SchedTimerTick(int worker, SchedItem* current, DurationNs ran_ns) {
   if (current == nullptr) {
     return false;
   }
@@ -107,7 +107,7 @@ void CfsPolicy::SchedBalance(int worker) {
   }
   Runqueue& from = rq(victim);
   Runqueue& to = rq(worker);
-  Task* task = *from.tree.begin();
+  SchedItem* task = *from.tree.begin();
   from.tree.erase(from.tree.begin());
   // Migrating between queues renormalizes vruntime to the new queue's base,
   // as Linux does with min_vruntime deltas.

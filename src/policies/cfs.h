@@ -15,7 +15,7 @@
 #include <set>
 #include <vector>
 
-#include "src/libos/sched_policy.h"
+#include "src/sched/policy.h"
 
 namespace skyloft {
 
@@ -29,10 +29,10 @@ class CfsPolicy : public SchedPolicy {
   explicit CfsPolicy(CfsParams params) : params_(params) {}
 
   void SchedInit(EngineView* view) override;
-  void TaskInit(Task* task) override;
-  void TaskEnqueue(Task* task, unsigned flags, int worker_hint) override;
-  Task* TaskDequeue(int worker) override;
-  bool SchedTimerTick(int worker, Task* current, DurationNs ran_ns) override;
+  void TaskInit(SchedItem* task) override;
+  void TaskEnqueue(SchedItem* task, unsigned flags, int worker_hint) override;
+  SchedItem* TaskDequeue(int worker) override;
+  bool SchedTimerTick(int worker, SchedItem* current, DurationNs ran_ns) override;
   void SchedBalance(int worker) override;
   std::size_t QueuedTasks() const override { return queued_; }
   const char* Name() const override { return "skyloft-cfs"; }
@@ -44,11 +44,11 @@ class CfsPolicy : public SchedPolicy {
   };
 
   struct VruntimeLess {
-    bool operator()(const Task* a, const Task* b) const;
+    bool operator()(const SchedItem* a, const SchedItem* b) const;
   };
 
   struct Runqueue {
-    std::multiset<Task*, VruntimeLess> tree;
+    std::multiset<SchedItem*, VruntimeLess> tree;
     DurationNs min_vruntime = 0;
   };
 

@@ -11,9 +11,9 @@ void EevdfPolicy::SchedInit(EngineView* view) {
   queues_ = std::vector<Runqueue>(static_cast<std::size_t>(view->NumWorkers()));
 }
 
-void EevdfPolicy::TaskInit(Task* task) { *task->PolicyData<EevdfData>() = EevdfData{}; }
+void EevdfPolicy::TaskInit(SchedItem* task) { *task->PolicyData<EevdfData>() = EevdfData{}; }
 
-void EevdfPolicy::TaskEnqueue(Task* task, unsigned flags, int worker_hint) {
+void EevdfPolicy::TaskEnqueue(SchedItem* task, unsigned flags, int worker_hint) {
   int target = worker_hint;
   if (target < 0 || target >= static_cast<int>(queues_.size())) {
     target = next_queue_;
@@ -31,7 +31,7 @@ void EevdfPolicy::TaskEnqueue(Task* task, unsigned flags, int worker_hint) {
   queued_++;
 }
 
-Task* EevdfPolicy::TaskDequeue(int worker) {
+SchedItem* EevdfPolicy::TaskDequeue(int worker) {
   if (worker < 0 || worker >= static_cast<int>(queues_.size())) {
     return nullptr;
   }
@@ -62,13 +62,13 @@ Task* EevdfPolicy::TaskDequeue(int worker) {
     // Nobody is eligible: advance V to the earliest vruntime so the pick is.
     queue.vtime = std::max(queue.vtime, best_v);
   }
-  Task* task = queue.tasks[pick];
+  SchedItem* task = queue.tasks[pick];
   queue.tasks.erase(queue.tasks.begin() + static_cast<std::ptrdiff_t>(pick));
   queued_--;
   return task;
 }
 
-bool EevdfPolicy::SchedTimerTick(int worker, Task* current, DurationNs ran_ns) {
+bool EevdfPolicy::SchedTimerTick(int worker, SchedItem* current, DurationNs ran_ns) {
   if (current == nullptr) {
     return false;
   }
@@ -87,7 +87,7 @@ bool EevdfPolicy::SchedTimerTick(int worker, Task* current, DurationNs ran_ns) {
   // Slice exhausted: push the deadline and preempt if a waiting task has an
   // earlier deadline and is eligible.
   data->deadline = data->vruntime + params_.base_slice;
-  for (Task* waiting : queue.tasks) {
+  for (SchedItem* waiting : queue.tasks) {
     const auto* wd = waiting->PolicyData<EevdfData>();
     if (wd->vruntime <= queue.vtime && wd->deadline < data->deadline) {
       return true;
@@ -114,7 +114,7 @@ void EevdfPolicy::SchedBalance(int worker) {
   }
   Runqueue& from = rq(victim);
   Runqueue& to = rq(worker);
-  Task* task = from.tasks.front();
+  SchedItem* task = from.tasks.front();
   from.tasks.erase(from.tasks.begin());
   // Renormalize to the destination queue's virtual time, preserving lag.
   EevdfData* data = task->PolicyData<EevdfData>();
@@ -124,9 +124,9 @@ void EevdfPolicy::SchedBalance(int worker) {
   to.tasks.push_back(task);
 }
 
-DurationNs EevdfPolicy::LagOf(Task* task, int worker) const {
+DurationNs EevdfPolicy::LagOf(SchedItem* task, int worker) const {
   const auto& queue = queues_[static_cast<std::size_t>(worker)];
-  return queue.vtime - const_cast<Task*>(task)->PolicyData<EevdfData>()->vruntime;
+  return queue.vtime - const_cast<SchedItem*>(task)->PolicyData<EevdfData>()->vruntime;
 }
 
 }  // namespace skyloft

@@ -16,7 +16,7 @@
 
 #include <vector>
 
-#include "src/libos/sched_policy.h"
+#include "src/sched/policy.h"
 
 namespace skyloft {
 
@@ -29,16 +29,16 @@ class EevdfPolicy : public SchedPolicy {
   explicit EevdfPolicy(EevdfParams params) : params_(params) {}
 
   void SchedInit(EngineView* view) override;
-  void TaskInit(Task* task) override;
-  void TaskEnqueue(Task* task, unsigned flags, int worker_hint) override;
-  Task* TaskDequeue(int worker) override;
-  bool SchedTimerTick(int worker, Task* current, DurationNs ran_ns) override;
+  void TaskInit(SchedItem* task) override;
+  void TaskEnqueue(SchedItem* task, unsigned flags, int worker_hint) override;
+  SchedItem* TaskDequeue(int worker) override;
+  bool SchedTimerTick(int worker, SchedItem* current, DurationNs ran_ns) override;
   void SchedBalance(int worker) override;
   std::size_t QueuedTasks() const override { return queued_; }
   const char* Name() const override { return "skyloft-eevdf"; }
 
   // Exposed for invariant tests: the lag of `task` relative to its queue.
-  DurationNs LagOf(Task* task, int worker) const;
+  DurationNs LagOf(SchedItem* task, int worker) const;
 
  private:
   struct EevdfData {
@@ -47,7 +47,7 @@ class EevdfPolicy : public SchedPolicy {
   };
 
   struct Runqueue {
-    std::vector<Task*> tasks;  // scanned linearly; queues are short
+    std::vector<SchedItem*> tasks;  // scanned linearly; queues are short
     DurationNs vtime = 0;      // V: queue virtual time
   };
 

@@ -6,12 +6,12 @@ namespace skyloft {
 
 void RoundRobinPolicy::SchedInit(EngineView* view) {
   SchedPolicy::SchedInit(view);
-  queues_ = std::vector<IntrusiveList<Task>>(static_cast<std::size_t>(view->NumWorkers()));
+  queues_ = std::vector<IntrusiveList<SchedItem>>(static_cast<std::size_t>(view->NumWorkers()));
 }
 
-void RoundRobinPolicy::TaskInit(Task* task) { *task->PolicyData<RrData>() = RrData{}; }
+void RoundRobinPolicy::TaskInit(SchedItem* task) { *task->PolicyData<RrData>() = RrData{}; }
 
-void RoundRobinPolicy::TaskEnqueue(Task* task, unsigned flags, int worker_hint) {
+void RoundRobinPolicy::TaskEnqueue(SchedItem* task, unsigned flags, int worker_hint) {
   int target = worker_hint;
   if (target < 0 || target >= static_cast<int>(queues_.size())) {
     target = next_queue_;
@@ -21,11 +21,11 @@ void RoundRobinPolicy::TaskEnqueue(Task* task, unsigned flags, int worker_hint) 
   queued_++;
 }
 
-Task* RoundRobinPolicy::TaskDequeue(int worker) {
+SchedItem* RoundRobinPolicy::TaskDequeue(int worker) {
   if (worker < 0 || worker >= static_cast<int>(queues_.size())) {
     return nullptr;
   }
-  Task* task = queues_[static_cast<std::size_t>(worker)].PopFront();
+  SchedItem* task = queues_[static_cast<std::size_t>(worker)].PopFront();
   if (task != nullptr) {
     queued_--;
     task->PolicyData<RrData>()->slice_used = 0;
@@ -33,7 +33,7 @@ Task* RoundRobinPolicy::TaskDequeue(int worker) {
   return task;
 }
 
-bool RoundRobinPolicy::SchedTimerTick(int worker, Task* current, DurationNs ran_ns) {
+bool RoundRobinPolicy::SchedTimerTick(int worker, SchedItem* current, DurationNs ran_ns) {
   if (current == nullptr || time_slice_ == kInfiniteSlice) {
     return false;
   }
@@ -64,7 +64,7 @@ void RoundRobinPolicy::SchedBalance(int worker) {
   if (victim < 0) {
     return;
   }
-  Task* task = queues_[static_cast<std::size_t>(victim)].PopFront();
+  SchedItem* task = queues_[static_cast<std::size_t>(victim)].PopFront();
   if (task != nullptr) {
     queues_[static_cast<std::size_t>(worker)].PushBack(task);
   }

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "src/base/intrusive_list.h"
-#include "src/libos/sched_policy.h"
+#include "src/sched/policy.h"
 
 namespace skyloft {
 
@@ -22,10 +22,10 @@ class RoundRobinPolicy : public SchedPolicy {
   explicit RoundRobinPolicy(DurationNs time_slice) : time_slice_(time_slice) {}
 
   void SchedInit(EngineView* view) override;
-  void TaskInit(Task* task) override;
-  void TaskEnqueue(Task* task, unsigned flags, int worker_hint) override;
-  Task* TaskDequeue(int worker) override;
-  bool SchedTimerTick(int worker, Task* current, DurationNs ran_ns) override;
+  void TaskInit(SchedItem* task) override;
+  void TaskEnqueue(SchedItem* task, unsigned flags, int worker_hint) override;
+  SchedItem* TaskDequeue(int worker) override;
+  bool SchedTimerTick(int worker, SchedItem* current, DurationNs ran_ns) override;
   void SchedBalance(int worker) override;
   std::size_t QueuedTasks() const override { return queued_; }
   const char* Name() const override { return "skyloft-rr"; }
@@ -36,7 +36,7 @@ class RoundRobinPolicy : public SchedPolicy {
   };
 
   DurationNs time_slice_;
-  std::vector<IntrusiveList<Task>> queues_;
+  std::vector<IntrusiveList<SchedItem>> queues_;
   std::size_t queued_ = 0;
   int next_queue_ = 0;  // round-robin placement for hintless tasks
 };

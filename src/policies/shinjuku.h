@@ -10,7 +10,7 @@
 #define SRC_POLICIES_SHINJUKU_H_
 
 #include "src/base/intrusive_list.h"
-#include "src/libos/sched_policy.h"
+#include "src/sched/policy.h"
 
 namespace skyloft {
 
@@ -18,13 +18,13 @@ class ShinjukuPolicy : public SchedPolicy {
  public:
   ShinjukuPolicy() = default;
 
-  void TaskEnqueue(Task* task, unsigned flags, int worker_hint) override {
+  void TaskEnqueue(SchedItem* task, unsigned flags, int worker_hint) override {
     queue_.PushBack(task);
   }
 
-  Task* TaskDequeue(int worker) override { return queue_.PopFront(); }
+  SchedItem* TaskDequeue(int worker) override { return queue_.PopFront(); }
 
-  bool SchedTimerTick(int worker, Task* current, DurationNs ran_ns) override {
+  bool SchedTimerTick(int worker, SchedItem* current, DurationNs ran_ns) override {
     // Quantum enforcement lives in the centralized engine's dispatcher.
     return false;
   }
@@ -34,7 +34,7 @@ class ShinjukuPolicy : public SchedPolicy {
   const char* Name() const override { return "skyloft-shinjuku"; }
 
  private:
-  IntrusiveList<Task> queue_;
+  IntrusiveList<SchedItem> queue_;
 };
 
 }  // namespace skyloft

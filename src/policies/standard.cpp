@@ -1,0 +1,46 @@
+#include "src/policies/standard.h"
+
+#include <memory>
+
+#include "src/policies/cfs.h"
+#include "src/policies/eevdf.h"
+#include "src/policies/round_robin.h"
+#include "src/policies/shinjuku.h"
+#include "src/policies/work_stealing.h"
+#include "src/sched/registry.h"
+
+namespace skyloft {
+
+namespace {
+
+std::unique_ptr<SchedPolicy> MakeFifo() {
+  return std::make_unique<RoundRobinPolicy>(kInfiniteSlice);
+}
+
+std::unique_ptr<SchedPolicy> MakeRr() {
+  // 12.5 us default slice, matching the Table 5 tuning used elsewhere.
+  return std::make_unique<RoundRobinPolicy>(Micros(12) + 500);
+}
+
+std::unique_ptr<SchedPolicy> MakeCfs() { return std::make_unique<CfsPolicy>(CfsParams{}); }
+
+std::unique_ptr<SchedPolicy> MakeEevdf() { return std::make_unique<EevdfPolicy>(EevdfParams{}); }
+
+std::unique_ptr<SchedPolicy> MakeWs() {
+  return std::make_unique<WorkStealingPolicy>(WorkStealingParams{});
+}
+
+std::unique_ptr<SchedPolicy> MakeShinjuku() { return std::make_unique<ShinjukuPolicy>(); }
+
+}  // namespace
+
+void RegisterStandardPolicies() {
+  RegisterPolicy({"fifo", /*centralized=*/false, MakeFifo});
+  RegisterPolicy({"rr", /*centralized=*/false, MakeRr});
+  RegisterPolicy({"cfs", /*centralized=*/false, MakeCfs});
+  RegisterPolicy({"eevdf", /*centralized=*/false, MakeEevdf});
+  RegisterPolicy({"ws", /*centralized=*/false, MakeWs});
+  RegisterPolicy({"shinjuku", /*centralized=*/true, MakeShinjuku});
+}
+
+}  // namespace skyloft

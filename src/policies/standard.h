@@ -1,0 +1,13 @@
+// Registration of the repo's standard Table 4 policies with the
+// src/sched registry. Idempotent; call from any substrate before using
+// RegisteredPolicies()/MakePolicy().
+#ifndef SRC_POLICIES_STANDARD_H_
+#define SRC_POLICIES_STANDARD_H_
+
+namespace skyloft {
+
+void RegisterStandardPolicies();
+
+}  // namespace skyloft
+
+#endif  // SRC_POLICIES_STANDARD_H_

@@ -6,12 +6,12 @@ namespace skyloft {
 
 void WorkStealingPolicy::SchedInit(EngineView* view) {
   SchedPolicy::SchedInit(view);
-  queues_ = std::vector<IntrusiveList<Task>>(static_cast<std::size_t>(view->NumWorkers()));
+  queues_ = std::vector<IntrusiveList<SchedItem>>(static_cast<std::size_t>(view->NumWorkers()));
 }
 
-void WorkStealingPolicy::TaskInit(Task* task) { *task->PolicyData<WsData>() = WsData{}; }
+void WorkStealingPolicy::TaskInit(SchedItem* task) { *task->PolicyData<WsData>() = WsData{}; }
 
-void WorkStealingPolicy::TaskEnqueue(Task* task, unsigned flags, int worker_hint) {
+void WorkStealingPolicy::TaskEnqueue(SchedItem* task, unsigned flags, int worker_hint) {
   int target = worker_hint;
   if (target < 0 || target >= static_cast<int>(queues_.size())) {
     target = next_queue_;
@@ -21,11 +21,11 @@ void WorkStealingPolicy::TaskEnqueue(Task* task, unsigned flags, int worker_hint
   queued_++;
 }
 
-Task* WorkStealingPolicy::TaskDequeue(int worker) {
+SchedItem* WorkStealingPolicy::TaskDequeue(int worker) {
   if (worker < 0 || worker >= static_cast<int>(queues_.size())) {
     return nullptr;
   }
-  Task* task = queues_[static_cast<std::size_t>(worker)].PopFront();
+  SchedItem* task = queues_[static_cast<std::size_t>(worker)].PopFront();
   if (task != nullptr) {
     queued_--;
     task->PolicyData<WsData>()->ran = 0;
@@ -33,7 +33,7 @@ Task* WorkStealingPolicy::TaskDequeue(int worker) {
   return task;
 }
 
-bool WorkStealingPolicy::SchedTimerTick(int worker, Task* current, DurationNs ran_ns) {
+bool WorkStealingPolicy::SchedTimerTick(int worker, SchedItem* current, DurationNs ran_ns) {
   if (current == nullptr || params_.quantum == kInfiniteSliceWs) {
     return false;
   }
@@ -67,7 +67,7 @@ void WorkStealingPolicy::SchedBalance(int worker) {
     }
     auto& to = queues_[static_cast<std::size_t>(worker)];
     for (std::size_t i = 0; i < take; i++) {
-      Task* task = from.PopFront();
+      SchedItem* task = from.PopFront();
       if (task == nullptr) {
         break;
       }

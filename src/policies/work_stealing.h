@@ -16,7 +16,7 @@
 
 #include "src/base/intrusive_list.h"
 #include "src/base/random.h"
-#include "src/libos/sched_policy.h"
+#include "src/sched/policy.h"
 
 namespace skyloft {
 
@@ -34,10 +34,10 @@ class WorkStealingPolicy : public SchedPolicy {
       : params_(params), rng_(params.steal_seed) {}
 
   void SchedInit(EngineView* view) override;
-  void TaskInit(Task* task) override;
-  void TaskEnqueue(Task* task, unsigned flags, int worker_hint) override;
-  Task* TaskDequeue(int worker) override;
-  bool SchedTimerTick(int worker, Task* current, DurationNs ran_ns) override;
+  void TaskInit(SchedItem* task) override;
+  void TaskEnqueue(SchedItem* task, unsigned flags, int worker_hint) override;
+  SchedItem* TaskDequeue(int worker) override;
+  bool SchedTimerTick(int worker, SchedItem* current, DurationNs ran_ns) override;
   void SchedBalance(int worker) override;
   std::size_t QueuedTasks() const override { return queued_; }
   const char* Name() const override { return "skyloft-ws"; }
@@ -51,7 +51,7 @@ class WorkStealingPolicy : public SchedPolicy {
 
   WorkStealingParams params_;
   Rng rng_;
-  std::vector<IntrusiveList<Task>> queues_;
+  std::vector<IntrusiveList<SchedItem>> queues_;
   std::size_t queued_ = 0;
   std::uint64_t steals_ = 0;
   int next_queue_ = 0;

@@ -1,0 +1,271 @@
+#include "src/runtime/host_sched.h"
+
+#include <chrono>
+
+#include "src/base/logging.h"
+#include "src/policies/cfs.h"
+#include "src/policies/eevdf.h"
+#include "src/policies/round_robin.h"
+#include "src/policies/work_stealing.h"
+
+namespace skyloft {
+
+namespace {
+
+TimeNs HostNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::unique_ptr<SchedPolicy> MakeHostPolicy(RuntimePolicy policy, std::int64_t time_slice_us) {
+  switch (policy) {
+    case RuntimePolicy::kFifo:
+      return std::make_unique<RoundRobinPolicy>(kInfiniteSlice);
+    case RuntimePolicy::kRoundRobin:
+      return std::make_unique<RoundRobinPolicy>(
+          time_slice_us > 0 ? Micros(time_slice_us) : Micros(12) + 500);
+    case RuntimePolicy::kCfs:
+      return std::make_unique<CfsPolicy>(CfsParams{});
+    case RuntimePolicy::kEevdf:
+      return std::make_unique<EevdfPolicy>(EevdfParams{});
+    case RuntimePolicy::kWorkStealing:
+      break;
+  }
+  WorkStealingParams params;
+  if (time_slice_us > 0) {
+    params.quantum = Micros(time_slice_us);
+  }
+  return std::make_unique<WorkStealingPolicy>(params);
+}
+
+}  // namespace
+
+// One policy instance plus the EngineView it schedules through. Worker
+// indices handed to the policy are shard-local [0, count); WorkerCore maps
+// them back to global runtime worker indices.
+struct HostSched::Shard : EngineView {
+  HostSched* parent = nullptr;
+  int base = 0;
+  int count = 0;
+  std::mutex mu;
+  std::unique_ptr<SchedPolicy> owned;
+  SchedPolicy* policy = nullptr;
+
+  TimeNs Now() const override { return HostNowNs(); }
+  int NumWorkers() const override { return count; }
+  int WorkerCore(int index) const override { return base + index; }
+  bool IsWorkerIdle(int index) const override {
+    return parent->idle_[base + index].load(std::memory_order_relaxed);
+  }
+};
+
+HostSched::HostSched(int workers, const HostSchedOptions& options) : workers_(workers) {
+  SKYLOFT_CHECK(workers_ >= 1);
+  int shards = options.shards;
+  if (options.custom_policy != nullptr) {
+    shards = 1;  // one instance cannot be split
+  }
+  if (shards < 1) {
+    shards = 1;
+  }
+  if (shards > workers_) {
+    shards = workers_;
+  }
+
+  idle_ = std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(workers_));
+  approx_len_ = std::make_unique<std::atomic<int>[]>(static_cast<std::size_t>(workers_));
+  for (int w = 0; w < workers_; w++) {
+    idle_[w].store(false, std::memory_order_relaxed);
+    approx_len_[w].store(0, std::memory_order_relaxed);
+  }
+
+  shard_of_.resize(static_cast<std::size_t>(workers_));
+  int base = 0;
+  for (int s = 0; s < shards; s++) {
+    auto shard = std::make_unique<Shard>();
+    shard->parent = this;
+    shard->base = base;
+    shard->count = workers_ / shards + (s < workers_ % shards ? 1 : 0);
+    if (options.custom_policy != nullptr) {
+      shard->policy = options.custom_policy;
+    } else {
+      shard->owned = MakeHostPolicy(options.policy, options.time_slice_us);
+      shard->policy = shard->owned.get();
+    }
+    shard->policy->SchedInit(shard.get());
+    for (int w = base; w < base + shard->count; w++) {
+      shard_of_[static_cast<std::size_t>(w)] = s;
+    }
+    base += shard->count;
+    shards_.push_back(std::move(shard));
+  }
+  SKYLOFT_CHECK(base == workers_);
+}
+
+HostSched::~HostSched() = default;
+
+HostSched::Shard* HostSched::ShardOf(int worker) const {
+  return shards_[static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(worker)])].get();
+}
+
+void HostSched::Enqueue(SchedItem* item, unsigned flags, int worker_hint) {
+  Shard* shard;
+  int local_hint;
+  if (worker_hint >= 0 && worker_hint < workers_) {
+    shard = ShardOf(worker_hint);
+    local_hint = worker_hint - shard->base;
+    // Length accounting only informs cross-worker placement; skip the atomic
+    // on a single-worker runtime.
+    if (workers_ > 1) {
+      approx_len_[worker_hint].fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    const unsigned s = rr_shard_.fetch_add(1, std::memory_order_relaxed);
+    shard = shards_[s % shards_.size()].get();
+    local_hint = -1;
+  }
+  std::lock_guard<std::mutex> lock(shard->mu);
+  shard->policy->TaskEnqueue(item, flags, local_hint);
+}
+
+void HostSched::EnqueueNew(SchedItem* item, unsigned flags, int worker_hint) {
+  Shard* shard;
+  int local_hint;
+  if (worker_hint >= 0 && worker_hint < workers_) {
+    shard = ShardOf(worker_hint);
+    local_hint = worker_hint - shard->base;
+    if (workers_ > 1) {
+      approx_len_[worker_hint].fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    const unsigned s = rr_shard_.fetch_add(1, std::memory_order_relaxed);
+    shard = shards_[s % shards_.size()].get();
+    local_hint = -1;
+  }
+  std::lock_guard<std::mutex> lock(shard->mu);
+  shard->policy->TaskInit(item);
+  shard->policy->TaskEnqueue(item, flags, local_hint);
+}
+
+SchedItem* HostSched::Retire(SchedItem* dead, int worker) {
+  Shard* shard = ShardOf(worker);
+  const int local = worker - shard->base;
+  SchedItem* next;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->policy->TaskTerminate(dead);
+    next = shard->policy->TaskDequeue(local);
+    if (next == nullptr) {
+      shard->policy->SchedBalance(local);
+      next = shard->policy->TaskDequeue(local);
+      if (next != nullptr) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (next != nullptr && workers_ > 1) {
+    int len = approx_len_[worker].load(std::memory_order_relaxed);
+    while (len > 0 &&
+           !approx_len_[worker].compare_exchange_weak(len, len - 1, std::memory_order_relaxed)) {
+    }
+  }
+  return next;
+}
+
+SchedItem* HostSched::Dequeue(int worker) {
+  Shard* shard = ShardOf(worker);
+  const int local = worker - shard->base;
+  SchedItem* item;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    item = shard->policy->TaskDequeue(local);
+    if (item == nullptr) {
+      shard->policy->SchedBalance(local);
+      item = shard->policy->TaskDequeue(local);
+      if (item != nullptr) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (item != nullptr && workers_ > 1) {
+    // Approximate: the item may have migrated from another worker's queue,
+    // in which case that worker's counter stays high until it drains.
+    int len = approx_len_[worker].load(std::memory_order_relaxed);
+    while (len > 0 &&
+           !approx_len_[worker].compare_exchange_weak(len, len - 1, std::memory_order_relaxed)) {
+    }
+  }
+  return item;
+}
+
+SchedItem* HostSched::Requeue(SchedItem* item, unsigned flags, int worker) {
+  // task_enqueue + task_dequeue under ONE lock acquisition: the scheduler's
+  // yield/preempt completion always re-enqueues the previous uthread and
+  // immediately needs the next one, and paying two lock round-trips there
+  // dominates the cost of a Yield. Policy call order is identical to
+  // Enqueue(worker) followed by Dequeue(worker).
+  Shard* shard = ShardOf(worker);
+  const int local = worker - shard->base;
+  SchedItem* next;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->policy->TaskEnqueue(item, flags, local);
+    next = shard->policy->TaskDequeue(local);
+    if (next == nullptr) {
+      shard->policy->SchedBalance(local);
+      next = shard->policy->TaskDequeue(local);
+      if (next != nullptr) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  // Net queue-length change for `worker` is zero when the dequeue succeeded;
+  // only the (policy placed the item elsewhere and found nothing) corner
+  // needs the enqueue side of the accounting.
+  if (next == nullptr && workers_ > 1) {
+    approx_len_[worker].fetch_add(1, std::memory_order_relaxed);
+  }
+  return next;
+}
+
+bool HostSched::Tick(int worker, SchedItem* current, DurationNs ran_ns) {
+  Shard* shard = ShardOf(worker);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  return shard->policy->SchedTimerTick(worker - shard->base, current, ran_ns);
+}
+
+int HostSched::ExternalTarget() const {
+  for (int w = 0; w < workers_; w++) {
+    if (idle_[w].load(std::memory_order_relaxed)) {
+      return w;
+    }
+  }
+  int best = 0;
+  int best_len = approx_len_[0].load(std::memory_order_relaxed);
+  for (int w = 1; w < workers_; w++) {
+    const int len = approx_len_[w].load(std::memory_order_relaxed);
+    if (len < best_len) {
+      best_len = len;
+      best = w;
+    }
+  }
+  return best;
+}
+
+void HostSched::SetIdle(int worker, bool idle) {
+  idle_[worker].store(idle, std::memory_order_relaxed);
+}
+
+std::size_t HostSched::Queued() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->policy->QueuedTasks();
+  }
+  return total;
+}
+
+const char* HostSched::PolicyName() const { return shards_.front()->policy->Name(); }
+
+}  // namespace skyloft

@@ -1,0 +1,140 @@
+// Host-side adapter for the Table 2 scheduling-operations interface.
+//
+// The sim engines (src/libos) drive a SchedPolicy from a single event loop;
+// the host runtime has N real worker pthreads, so the policy must be driven
+// concurrently. HostSched wraps a policy in one-or-more locked shards — each
+// shard owns one policy instance covering a contiguous range of workers —
+// and exposes the per-worker operations the runtime's scheduler loop needs.
+// The same policy translation units that run under the simulator (RR, CFS,
+// EEVDF, work stealing, ...) run here unchanged; only the driver differs.
+//
+// Locking model: every policy call happens under the owning shard's mutex,
+// and callers on a uthread stack must hold a Runtime::PreemptGuard (a
+// preemption signal landing while a shard lock is held would deadlock the
+// worker). The runtime's scheduler stack always runs with preemption
+// disabled, so WorkerLoop-side calls are safe by construction.
+#ifndef SRC_RUNTIME_HOST_SCHED_H_
+#define SRC_RUNTIME_HOST_SCHED_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/sched/policy.h"
+
+namespace skyloft {
+
+// Which policy the host runtime schedules uthreads with (Table 4 policies
+// that make sense without a centralized dispatcher thread).
+enum class RuntimePolicy {
+  kWorkStealing,  // per-worker FIFO + steal-half; the pre-refactor behavior
+  kFifo,          // run-to-completion round-robin placement, no preemption
+  kRoundRobin,    // FIFO + slice-based preemption via the signal timer
+  kCfs,
+  kEevdf,
+};
+
+struct HostSchedOptions {
+  RuntimePolicy policy = RuntimePolicy::kWorkStealing;
+  // Slice/quantum override in microseconds; 0 keeps the policy default
+  // (12.5 us RR slice, 5 us work-stealing quantum).
+  std::int64_t time_slice_us = 0;
+  // Number of policy shards. Workers are split into contiguous ranges, one
+  // policy instance per range; balancing (stealing) stays within a shard.
+  int shards = 1;
+  // Non-owning: schedule with this policy instance instead of constructing
+  // one from `policy`. Forces a single shard. The caller keeps the object
+  // alive for the lifetime of the Runtime.
+  SchedPolicy* custom_policy = nullptr;
+};
+
+class HostSched {
+ public:
+  HostSched(int workers, const HostSchedOptions& options);
+  ~HostSched();  // out of line: Shard is an incomplete type here
+
+  // task_enqueue. `worker_hint` is a global worker index (or -1): a valid
+  // hint routes to that worker's shard with a shard-local hint, no hint
+  // round-robins across shards and lets the policy place the task.
+  void Enqueue(SchedItem* item, unsigned flags, int worker_hint);
+
+  // task_init + task_enqueue fused under the target shard's lock: a new item
+  // is initialized by the same policy instance that first queues it, and the
+  // spawn path pays one lock round trip instead of two.
+  void EnqueueNew(SchedItem* item, unsigned flags, int worker_hint);
+
+  // task_terminate + task_dequeue fused: retire a finished item and fetch
+  // the worker's next task in one lock acquisition (the exit fast path).
+  SchedItem* Retire(SchedItem* dead, int worker);
+
+  // task_dequeue for `worker`; on an empty queue invokes sched_balance and
+  // retries once (the paper's idle path). A balance rescue counts as a steal.
+  SchedItem* Dequeue(int worker);
+
+  // Enqueue(item, flags, worker) + Dequeue(worker) fused under one shard
+  // lock acquisition — the scheduler's yield-completion fast path.
+  SchedItem* Requeue(SchedItem* item, unsigned flags, int worker);
+
+  // sched_timer_tick for `worker`; true => preempt `current`.
+  bool Tick(int worker, SchedItem* current, DurationNs ran_ns);
+
+  // Placement target for submissions that originate off-runtime (external
+  // Unpark, Run()'s main thread): first idle worker, else the worker with
+  // the (approximately) shortest queue.
+  int ExternalTarget() const;
+
+  void SetIdle(int worker, bool idle);
+
+  std::size_t Queued() const;  // across all shards
+  std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  const char* PolicyName() const;
+  int workers() const { return workers_; }
+
+ private:
+  struct Shard;
+
+  Shard* ShardOf(int worker) const;
+
+  int workers_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<int> shard_of_;  // worker -> shard index
+  // Worker state the policies read through EngineView and ExternalTarget
+  // reads for placement. approx_len_ tracks per-worker enqueue/dequeue
+  // deltas; balancing moves are invisible to it, hence "approximate".
+  std::unique_ptr<std::atomic<bool>[]> idle_;
+  std::unique_ptr<std::atomic<int>[]> approx_len_;
+  std::atomic<std::uint64_t> steals_{0};
+  mutable std::atomic<unsigned> rr_shard_{0};
+};
+
+// Per-worker view of HostSched: what the runtime's WorkerLoop holds.
+class HostSchedCore {
+ public:
+  void Bind(HostSched* sched, int worker) {
+    sched_ = sched;
+    worker_ = worker;
+  }
+  SchedItem* Dequeue() { return sched_->Dequeue(worker_); }
+  void Enqueue(SchedItem* item, unsigned flags) { sched_->Enqueue(item, flags, worker_); }
+  void EnqueueNew(SchedItem* item, unsigned flags) {
+    sched_->EnqueueNew(item, flags, worker_);
+  }
+  SchedItem* Requeue(SchedItem* item, unsigned flags) {
+    return sched_->Requeue(item, flags, worker_);
+  }
+  SchedItem* Retire(SchedItem* dead) { return sched_->Retire(dead, worker_); }
+  bool Tick(SchedItem* current, DurationNs ran_ns) {
+    return sched_->Tick(worker_, current, ran_ns);
+  }
+  void SetIdle(bool idle) { sched_->SetIdle(worker_, idle); }
+
+ private:
+  HostSched* sched_ = nullptr;
+  int worker_ = 0;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_RUNTIME_HOST_SCHED_H_

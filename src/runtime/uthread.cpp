@@ -1,7 +1,10 @@
 #include "src/runtime/uthread.h"
 
+#include <link.h>
 #include <pthread.h>
+#include <ucontext.h>
 
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstring>
@@ -9,6 +12,27 @@
 
 #include "src/base/logging.h"
 #include "src/runtime/context.h"
+
+// ThreadSanitizer cannot follow hand-rolled stack switches on its own: every
+// uthread stack is announced as a TSan "fiber" and each skyloft_ctx_switch
+// is bracketed by __tsan_switch_to_fiber so the race detector tracks the
+// happens-before of the scheduler correctly.
+#if defined(__SANITIZE_THREAD__)
+#define SKYLOFT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SKYLOFT_TSAN 1
+#endif
+#endif
+
+#ifdef SKYLOFT_TSAN
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
 
 namespace skyloft {
 
@@ -18,9 +42,85 @@ namespace {
 Runtime* g_runtime = nullptr;
 
 // What the uthread asked the scheduler to do when it switched out.
-enum class SwitchAction : std::uint8_t { kNone, kYield, kPark, kExit };
+//   kTick: the preemption timer fired; the scheduler runs sched_timer_tick
+//   and either requeues the uthread (preempt) or resumes it directly.
+enum class SwitchAction : std::uint8_t { kNone, kYield, kPark, kTick, kExit };
 
 constexpr int kPreemptSignal = SIGURG;
+
+// --- Async-preemption safe points -----------------------------------------
+//
+// The preemption signal can land anywhere, including inside glibc's malloc.
+// glibc's tcache is per-pthread and LOCKLESS: it assumes one execution
+// context per pthread. If the handler switches away mid-allocation and this
+// pthread then runs another uthread that also allocates, the half-updated
+// tcache is corrupted ("malloc(): unaligned tcache chunk", random segfaults).
+// The same applies to any libc/ld state keyed on the pthread (stdio lock
+// ownership, the dynamic-loader lock during lazy PLT resolution, ...).
+//
+// Like Go's asynchronous preemption, we only preempt at safe points: the
+// handler reads the interrupted PC and defers (returns, letting the next
+// timer period retry) unless the PC is inside the main executable's own
+// text. Application compute — the paper's preemption target — lives there;
+// the non-reentrant per-thread state lives in the shared libraries.
+struct TextRange {
+  std::uintptr_t lo = 0;
+  std::uintptr_t hi = 0;
+};
+TextRange g_exe_text[8];
+int g_exe_text_count = 0;
+
+int CollectExeText(struct dl_phdr_info* info, std::size_t /*size*/, void* /*data*/) {
+  if (info->dlpi_name != nullptr && info->dlpi_name[0] != '\0') {
+    return 0;  // a shared object; the main executable has the empty name
+  }
+  for (int i = 0; i < info->dlpi_phnum; i++) {
+    const auto& ph = info->dlpi_phdr[i];
+    if (ph.p_type == PT_LOAD && (ph.p_flags & PF_X) != 0 &&
+        g_exe_text_count < static_cast<int>(sizeof(g_exe_text) / sizeof(g_exe_text[0]))) {
+      g_exe_text[g_exe_text_count].lo = info->dlpi_addr + ph.p_vaddr;
+      g_exe_text[g_exe_text_count].hi = info->dlpi_addr + ph.p_vaddr + ph.p_memsz;
+      g_exe_text_count++;
+    }
+  }
+  return 0;
+}
+
+bool PreemptSafePc(std::uintptr_t pc) {
+  if (g_exe_text_count == 0) {
+    return true;  // no map (fully static build?) — preempt everywhere
+  }
+  for (int i = 0; i < g_exe_text_count; i++) {
+    if (pc >= g_exe_text[i].lo && pc < g_exe_text[i].hi) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void TsanSwitchTo(void* fiber) {
+#ifdef SKYLOFT_TSAN
+  __tsan_switch_to_fiber(fiber, 0);
+#else
+  (void)fiber;
+#endif
+}
+
+std::int64_t MonotonicNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// glibc marks __errno_location() __attribute__((const)), so the compiler
+// reuses one pointer for every `errno` in a frame — including across a
+// context switch that migrates the uthread to another pthread, where the
+// cached pointer names the WRONG thread's errno. This helper re-derives the
+// location on every call; the asm clobber stops const/pure inference.
+__attribute__((noinline)) int* CurrentErrnoLocation() {
+  asm volatile("" ::: "memory");
+  return &errno;
+}
 
 }  // namespace
 
@@ -28,17 +128,20 @@ struct RuntimeWorker {
   Runtime* runtime = nullptr;
   int index = 0;
 
-  std::mutex mu;
-  std::deque<UThread*> runq;
+  // Per-worker handle into the policy layer (Table 2 ops under shard locks).
+  HostSchedCore sched;
 
   void* sched_sp = nullptr;
   UThread* current = nullptr;
   SwitchAction action = SwitchAction::kNone;
+  // When `current` was switched in (or last charged by a tick): the base for
+  // the ran_ns passed to sched_timer_tick.
+  std::int64_t run_charge = 0;
 
   // 0 => the preemption signal handler may switch; anything else defers.
   std::atomic<int> preempt_disable{1};
 
-  std::uint64_t steal_rng = 0;
+  void* tsan_fiber = nullptr;  // the worker's scheduler stack, under TSan
   pthread_t pthread_handle{};
   std::atomic<bool> handle_valid{false};
 };
@@ -59,6 +162,11 @@ constexpr int kParkParked = 3;
 // same storage block (see AllocUthread).
 struct UThreadExtra {
   std::atomic<int> park{kParkRunning};
+  // PreemptGuard depth for this uthread; checked by the signal handler in
+  // addition to the worker's own preempt_disable. Per-uthread because a
+  // guard can span a Park() that resumes on a different worker.
+  std::atomic<int> preempt_count{0};
+  void* tsan_fiber = nullptr;
 };
 
 namespace {
@@ -68,11 +176,12 @@ UThreadExtra* ExtraOf(UThread* t) { return reinterpret_cast<UThreadExtra*>(t + 1
 Runtime::Runtime(RuntimeOptions options) : options_(options) {
   SKYLOFT_CHECK(options_.workers >= 1);
   SKYLOFT_CHECK(options_.stack_size >= 4096);
+  sched_ = std::make_unique<HostSched>(options_.workers, options_.sched);
   for (int i = 0; i < options_.workers; i++) {
     auto worker = std::make_unique<RuntimeWorker>();
     worker->runtime = this;
     worker->index = i;
-    worker->steal_rng = 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1);
+    worker->sched.Bind(sched_.get(), i);
     workers_.push_back(std::move(worker));
   }
 }
@@ -80,7 +189,13 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
 Runtime::~Runtime() {
   // Destroy the placement-new'd UThreads before their storage goes away.
   for (auto& storage : uthread_storage_) {
-    reinterpret_cast<UThread*>(storage.get())->~UThread();
+    auto* t = reinterpret_cast<UThread*>(storage.get());
+#ifdef SKYLOFT_TSAN
+    if (ExtraOf(t)->tsan_fiber != nullptr) {
+      __tsan_destroy_fiber(ExtraOf(t)->tsan_fiber);
+    }
+#endif
+    t->~UThread();
   }
 }
 
@@ -100,6 +215,9 @@ UThread* Runtime::AllocUthread(std::function<void()> fn) {
     new (storage.get() + sizeof(UThread)) UThreadExtra();
     t->stack = std::make_unique<unsigned char[]>(options_.stack_size);
     t->stack_size = options_.stack_size;
+#ifdef SKYLOFT_TSAN
+    ExtraOf(t)->tsan_fiber = __tsan_create_fiber(0);
+#endif
     {
       std::lock_guard<std::mutex> lock(pool_lock_);
       uthread_storage_.push_back(std::move(storage));
@@ -110,7 +228,12 @@ UThread* Runtime::AllocUthread(std::function<void()> fn) {
   t->joiners.clear();
   t->detached = false;
   ExtraOf(t)->park.store(kParkRunning, std::memory_order_relaxed);
+  ExtraOf(t)->preempt_count.store(0, std::memory_order_relaxed);
   t->sp = InitContext(t->stack.get(), t->stack_size, &Runtime::UthreadMain, t);
+  // Fresh id every incarnation: policies use it for deterministic
+  // tie-breaking (CFS), and recycled uthreads are logically new tasks.
+  // task_init runs later, fused with the first enqueue (see Schedule).
+  t->id = next_uthread_id_.fetch_add(1, std::memory_order_relaxed);
   return t;
 }
 
@@ -124,19 +247,23 @@ void Runtime::Run(std::function<void()> main_fn) {
   g_runtime = this;
   stopping_.store(false);
 
-  // Install the preemption signal handler (idempotent).
+  // Install the preemption signal handler (idempotent). SA_SIGINFO: the
+  // handler needs the interrupted PC for the safe-point check.
   if (options_.preempt_period_us > 0) {
+    if (g_exe_text_count == 0) {
+      dl_iterate_phdr(&CollectExeText, nullptr);
+    }
     struct sigaction sa;
     std::memset(&sa, 0, sizeof(sa));
-    sa.sa_handler = &Runtime::PreemptSignalHandler;
-    sa.sa_flags = SA_NODEFER | SA_RESTART;
+    sa.sa_sigaction = &Runtime::PreemptSignalHandler;
+    sa.sa_flags = SA_NODEFER | SA_RESTART | SA_SIGINFO;
     sigemptyset(&sa.sa_mask);
     SKYLOFT_CHECK(sigaction(kPreemptSignal, &sa, nullptr) == 0);
   }
 
   live_uthreads_.store(1);
   UThread* main_thread = AllocUthread(std::move(main_fn));
-  workers_[0]->runq.push_back(main_thread);
+  Schedule(main_thread, kEnqueueNew);  // external submission: placed idle-first
 
   for (int i = 0; i < options_.workers; i++) {
     worker_threads_.emplace_back([this, i] { WorkerLoop(i); });
@@ -144,7 +271,8 @@ void Runtime::Run(std::function<void()> main_fn) {
 
   // Housekeeping thread: wakes expired sleepers and (when enabled) delivers
   // the preemption signal to every worker each period — the host stand-in
-  // for per-core user timer interrupts.
+  // for per-core user timer interrupts. The signal only enters the
+  // scheduler; the policy's sched_timer_tick decides whether to preempt.
   std::thread timer_thread([this] {
     const auto tick = std::chrono::microseconds(
         options_.preempt_period_us > 0 ? options_.preempt_period_us : 100);
@@ -204,15 +332,26 @@ void Runtime::WorkerLoop(int index) {
   RuntimeWorker* worker = workers_[static_cast<std::size_t>(index)].get();
   tl_worker = worker;
   worker->pthread_handle = pthread_self();
+#ifdef SKYLOFT_TSAN
+  worker->tsan_fiber = __tsan_get_current_fiber();
+#endif
   worker->handle_valid.store(true, std::memory_order_release);
 
+  // `next` carries a directly-resumed uthread past the dequeue (a timer tick
+  // the policy declined to turn into a preemption).
+  UThread* next = nullptr;
   while (!stopping_.load(std::memory_order_relaxed)) {
-    UThread* next = FindWork(worker);
     if (next == nullptr) {
+      next = FindWork(worker);
+    }
+    if (next == nullptr) {
+      worker->sched.SetIdle(true);
       std::this_thread::yield();
       continue;
     }
+    worker->sched.SetIdle(false);
     SwitchTo(worker, next);
+    next = nullptr;
 
     // Back on the scheduler stack: complete whatever the uthread asked.
     UThread* prev = worker->current;
@@ -220,9 +359,21 @@ void Runtime::WorkerLoop(int index) {
     const SwitchAction action = worker->action;
     worker->action = SwitchAction::kNone;
     switch (action) {
-      case SwitchAction::kYield: {
-        std::lock_guard<std::mutex> lock(worker->mu);
-        worker->runq.push_back(prev);
+      case SwitchAction::kYield:
+        // Fused enqueue+dequeue: one shard-lock round trip on the hot path.
+        next = static_cast<UThread*>(worker->sched.Requeue(prev, kEnqueueYield));
+        break;
+      case SwitchAction::kTick: {
+        // sched_timer_tick with the wall time the uthread ran since it was
+        // switched in (or last ticked); the policy decides preemption.
+        const std::int64_t ran_ns = MonotonicNs() - worker->run_charge;
+        if (worker->sched.Tick(prev, ran_ns)) {
+          preemptions_.fetch_add(1, std::memory_order_relaxed);
+          prev->state.store(UthreadState::kRunnable, std::memory_order_relaxed);
+          next = static_cast<UThread*>(worker->sched.Requeue(prev, kEnqueuePreempted));
+        } else {
+          next = prev;  // resume without touching the runqueues
+        }
         break;
       }
       case SwitchAction::kPark: {
@@ -232,12 +383,13 @@ void Runtime::WorkerLoop(int index) {
         if (old == kParkUnparkPending) {
           park.store(kParkRunning, std::memory_order_release);
           prev->state.store(UthreadState::kRunnable, std::memory_order_release);
-          std::lock_guard<std::mutex> lock(worker->mu);
-          worker->runq.push_back(prev);
+          worker->sched.Enqueue(prev, kEnqueueWakeup);
         }
         break;
       }
       case SwitchAction::kExit: {
+        // Fused task_terminate + task_dequeue, then release the storage.
+        next = static_cast<UThread*>(worker->sched.Retire(prev));
         FreeUthread(prev);
         live_uthreads_.fetch_sub(1, std::memory_order_acq_rel);
         break;
@@ -246,60 +398,31 @@ void Runtime::WorkerLoop(int index) {
         SKYLOFT_CHECK(false) << "uthread switched out without an action";
     }
   }
+  worker->handle_valid.store(false, std::memory_order_release);
   tl_worker = nullptr;
 }
 
 UThread* Runtime::FindWork(RuntimeWorker* worker) {
-  {
-    std::lock_guard<std::mutex> lock(worker->mu);
-    if (!worker->runq.empty()) {
-      UThread* t = worker->runq.front();
-      worker->runq.pop_front();
-      return t;
-    }
-  }
-  // Steal half of a random victim's queue (paper §3.4 sched_balance /
-  // Shenango work stealing).
-  const int n = options_.workers;
-  if (n <= 1) {
-    return nullptr;
-  }
-  worker->steal_rng ^= worker->steal_rng << 13;
-  worker->steal_rng ^= worker->steal_rng >> 7;
-  worker->steal_rng ^= worker->steal_rng << 17;
-  const int start = static_cast<int>(worker->steal_rng % static_cast<std::uint64_t>(n));
-  for (int probe = 0; probe < n; probe++) {
-    const int vi = (start + probe) % n;
-    if (vi == worker->index) {
-      continue;
-    }
-    RuntimeWorker* victim = workers_[static_cast<std::size_t>(vi)].get();
-    std::scoped_lock lock(worker->mu, victim->mu);
-    if (victim->runq.empty()) {
-      continue;
-    }
-    const std::size_t take = (victim->runq.size() + 1) / 2;
-    for (std::size_t i = 0; i < take; i++) {
-      worker->runq.push_back(victim->runq.front());
-      victim->runq.pop_front();
-    }
-    steals_.fetch_add(take, std::memory_order_relaxed);
-    UThread* t = worker->runq.front();
-    worker->runq.pop_front();
-    return t;
-  }
-  return nullptr;
+  // task_dequeue, with the policy's sched_balance as the idle fallback
+  // (work stealing's steal-half lives behind it).
+  return static_cast<UThread*>(worker->sched.Dequeue());
 }
 
 void Runtime::SwitchTo(RuntimeWorker* worker, UThread* next) {
   next->state.store(UthreadState::kRunning, std::memory_order_relaxed);
   worker->current = next;
+  // run_charge feeds sched_timer_tick; without the signal timer nothing
+  // reads it, and the clock call would tax every switch (~30 ns here).
+  if (options_.preempt_period_us > 0) {
+    worker->run_charge = MonotonicNs();
+  }
   // Enable preemption for the duration of the uthread's execution. The
   // signal handler additionally verifies it is on the uthread's stack, so
   // the window between this store and the switch is safe.
   worker->preempt_disable.store(0, std::memory_order_release);
+  TsanSwitchTo(ExtraOf(next)->tsan_fiber);
   skyloft_ctx_switch(&worker->sched_sp, next->sp);
-  // Returned from the uthread (it yielded/parked/exited).
+  // Returned from the uthread (it yielded/parked/ticked/exited).
   worker->preempt_disable.store(1, std::memory_order_release);
 }
 
@@ -322,19 +445,43 @@ UThread* Runtime::Spawn(std::function<void()> fn) {
   PreemptGuard guard;
   rt->live_uthreads_.fetch_add(1, std::memory_order_acq_rel);
   UThread* t = rt->AllocUthread(std::move(fn));
-  rt->Schedule(t);
+  rt->Schedule(t, kEnqueueNew);
   return t;
 }
 
-void Runtime::Schedule(UThread* thread) {
+// Precondition: uthread-context callers hold a PreemptGuard (Spawn and
+// Unpark do) — the shard lock must not be interrupted by the signal timer.
+void Runtime::Schedule(UThread* thread, unsigned flags) {
   RuntimeWorker* worker = tl_worker;
-  if (worker == nullptr) {
-    worker = workers_[0].get();
+  if (worker != nullptr) {
+    if (flags & kEnqueueNew) {
+      worker->sched.EnqueueNew(thread, flags);  // fused task_init + enqueue
+    } else {
+      worker->sched.Enqueue(thread, flags);
+    }
+    return;
   }
-  std::lock_guard<std::mutex> lock(worker->mu);
-  worker->runq.push_back(thread);
+  // Off-runtime submission (external Unpark, Run()'s main thread): place on
+  // the first idle worker, falling back to the least-loaded queue, instead
+  // of unconditionally piling onto worker 0.
+  external_placements_.fetch_add(1, std::memory_order_relaxed);
+  const int target = sched_->ExternalTarget();
+  if (flags & kEnqueueNew) {
+    sched_->EnqueueNew(thread, flags, target);
+  } else {
+    sched_->Enqueue(thread, flags, target);
+  }
 }
 
+// NOTE on the switch-out protocol (Yield / PreemptTick / Park / ExitCurrent):
+// the fetch_add on worker->preempt_disable closes the window between setting
+// `action` and reaching the scheduler stack — a signal landing there would
+// overwrite the action. There is deliberately NO matching fetch_sub after the
+// context switch returns: SwitchTo re-arms preemption with an absolute
+// store(0) before resuming any uthread, so the counter is scheduler-owned at
+// that point. (Touching tl_worker after skyloft_ctx_switch is also unsafe —
+// the uthread may have migrated, and the compiler may have cached the old
+// pthread's TLS slot address from before the switch.)
 void Runtime::Yield() {
   RuntimeWorker* worker = tl_worker;
   SKYLOFT_CHECK(worker != nullptr && worker->current != nullptr);
@@ -342,9 +489,19 @@ void Runtime::Yield() {
   UThread* self = worker->current;
   self->state.store(UthreadState::kRunnable, std::memory_order_relaxed);
   worker->action = SwitchAction::kYield;
+  TsanSwitchTo(worker->tsan_fiber);
   skyloft_ctx_switch(&self->sp, worker->sched_sp);
-  // Possibly resumed on a different worker; re-read the TLS.
-  tl_worker->preempt_disable.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+// Signal-timer entry: hand control to the scheduler stack so the policy tick
+// (which takes the shard lock — unsafe in signal context) runs there.
+void Runtime::PreemptTick() {
+  RuntimeWorker* worker = tl_worker;
+  worker->preempt_disable.fetch_add(1, std::memory_order_acq_rel);
+  UThread* self = worker->current;
+  worker->action = SwitchAction::kTick;
+  TsanSwitchTo(worker->tsan_fiber);
+  skyloft_ctx_switch(&self->sp, worker->sched_sp);
 }
 
 void Runtime::Park() {
@@ -363,8 +520,8 @@ void Runtime::Park() {
   }
   self->state.store(UthreadState::kBlocked, std::memory_order_relaxed);
   worker->action = SwitchAction::kPark;
+  TsanSwitchTo(worker->tsan_fiber);
   skyloft_ctx_switch(&self->sp, worker->sched_sp);
-  tl_worker->preempt_disable.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 void Runtime::Unpark(UThread* thread) {
@@ -377,7 +534,7 @@ void Runtime::Unpark(UThread* thread) {
     park.store(kParkRunning, std::memory_order_release);
     thread->state.store(UthreadState::kRunnable, std::memory_order_release);
     PreemptGuard guard;
-    rt->Schedule(thread);
+    rt->Schedule(thread, kEnqueueWakeup);
   }
   // old == kParkRunning or kParkParking: the parker (or its scheduler
   // completion) observes kParkUnparkPending and self-requeues.
@@ -387,14 +544,17 @@ void Runtime::Join(UThread* thread) {
   Runtime* rt = g_runtime;
   SKYLOFT_CHECK(rt != nullptr);
   // Loop: Park may return spuriously (e.g. a stale unpark token left by the
-  // mutex fast-path race), so completion is re-checked every wake.
+  // mutex fast-path race), so completion is re-checked every wake. `self` is
+  // read once, before the first switch: Current() goes through tl_worker,
+  // which must not be touched after a Park that may migrate us.
+  UThread* self = Current();
   while (true) {
     {
       std::lock_guard<std::mutex> lock(rt->wait_lock_);
       if (thread->state.load(std::memory_order_acquire) == UthreadState::kDone) {
         return;
       }
-      thread->joiners.push_back(Current());
+      thread->joiners.push_back(self);
     }
     Park();
   }
@@ -414,23 +574,28 @@ void Runtime::ExitCurrent() {
     Unpark(j);
   }
   worker->action = SwitchAction::kExit;
+  TsanSwitchTo(worker->tsan_fiber);
   skyloft_ctx_switch(&self->sp, worker->sched_sp);
   SKYLOFT_CHECK(false) << "resumed an exited uthread";
 }
 
 Runtime::PreemptGuard::PreemptGuard() {
-  if (tl_worker != nullptr) {
-    tl_worker->preempt_disable.fetch_add(1, std::memory_order_acq_rel);
+  RuntimeWorker* worker = tl_worker;
+  if (worker != nullptr && worker->current != nullptr) {
+    counter_ = &ExtraOf(worker->current)->preempt_count;
+    counter_->fetch_add(1, std::memory_order_acq_rel);
   }
+  // Off-runtime threads never see the preemption signal; the scheduler stack
+  // runs with worker->preempt_disable != 0. Neither needs the guard.
 }
 
 Runtime::PreemptGuard::~PreemptGuard() {
-  if (tl_worker != nullptr) {
-    tl_worker->preempt_disable.fetch_sub(1, std::memory_order_acq_rel);
+  if (counter_ != nullptr) {
+    counter_->fetch_sub(1, std::memory_order_acq_rel);
   }
 }
 
-void Runtime::PreemptSignalHandler(int /*signo*/) {
+void Runtime::PreemptSignalHandler(int /*signo*/, siginfo_t* /*info*/, void* uctx) {
   RuntimeWorker* worker = tl_worker;
   if (worker == nullptr || worker->runtime == nullptr) {
     return;
@@ -442,7 +607,10 @@ void Runtime::PreemptSignalHandler(int /*signo*/) {
   if (current == nullptr) {
     return;
   }
-  // Only preempt if we interrupted code running on the uthread's own stack;
+  if (ExtraOf(current)->preempt_count.load(std::memory_order_acquire) != 0) {
+    return;  // the uthread holds a PreemptGuard (possibly taken on another worker)
+  }
+  // Only switch if we interrupted code running on the uthread's own stack;
   // anything else means we're in a transition window.
   char probe;
   const auto sp = reinterpret_cast<std::uintptr_t>(&probe);
@@ -451,8 +619,28 @@ void Runtime::PreemptSignalHandler(int /*signo*/) {
   if (sp < lo || sp >= hi) {
     return;
   }
-  worker->runtime->preemptions_.fetch_add(1, std::memory_order_relaxed);
-  Yield();
+  // Safe-point check (see TextRange above): defer rather than preempt inside
+  // libc/ld/libstdc++, where per-pthread state (malloc tcache, stdio locks,
+  // the loader lock) may be mid-update. The next timer period retries.
+#if defined(__x86_64__)
+  const auto* uc = static_cast<const ucontext_t*>(uctx);
+  const auto pc = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  if (!PreemptSafePc(pc)) {
+    worker->runtime->preempt_deferrals_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+#else
+  (void)uctx;
+#endif
+  // Enter the scheduler; the policy's sched_timer_tick makes the call.
+  // errno is saved on the uthread's stack: while it is switched out, other
+  // uthreads (and the scheduler) run on this pthread and clobber the
+  // thread-local errno, so it must be restored when the uthread resumes —
+  // into the errno of whichever pthread it resumed on, hence the re-derived
+  // location (see CurrentErrnoLocation).
+  const int saved_errno = *CurrentErrnoLocation();
+  PreemptTick();
+  *CurrentErrnoLocation() = saved_errno;
 }
 
 }  // namespace skyloft

@@ -1,10 +1,14 @@
 // Host M:N user-level threading runtime.
 //
 // This is the part of Skyloft that runs for real on this machine: user
-// threads multiplexed over N worker pthreads with per-worker runqueues and
-// work stealing, a stack pool, and optional signal-timer preemption standing
-// in for UINTR (which needs Sapphire Rapids hardware — see DESIGN.md).
-// Table 7's threading-operation benchmarks measure these primitives.
+// threads multiplexed over N worker pthreads, a stack pool, and optional
+// signal-timer preemption standing in for UINTR (which needs Sapphire
+// Rapids hardware — see DESIGN.md). Scheduling decisions are delegated to a
+// Table 2 SchedPolicy through the HostSched adapter: the default is the
+// work-stealing policy (per-worker FIFO + steal-half), but any registered
+// policy — FIFO, RR, CFS, EEVDF, or a caller-supplied instance — can drive
+// the same workers via RuntimeOptions::sched. Table 7's threading-operation
+// benchmarks measure these primitives.
 //
 // API sketch (all static calls are valid only inside Runtime::Run):
 //   Runtime rt(options);
@@ -15,6 +19,8 @@
 //   });
 #ifndef SRC_RUNTIME_UTHREAD_H_
 #define SRC_RUNTIME_UTHREAD_H_
+
+#include <signal.h>
 
 #include <atomic>
 #include <chrono>
@@ -28,7 +34,8 @@
 #include <vector>
 
 #include "src/base/compiler.h"
-#include "src/base/intrusive_list.h"
+#include "src/runtime/host_sched.h"
+#include "src/sched/sched_item.h"
 
 namespace skyloft {
 
@@ -42,7 +49,9 @@ enum class UthreadState : std::uint8_t {
   kDone,
 };
 
-struct UThread : ListNode {
+// UThread embeds SchedItem (runqueue linkage, id, policy data), so the same
+// SchedPolicy objects that schedule simulated Tasks schedule real uthreads.
+struct UThread : SchedItem {
   std::function<void()> fn;
   void* sp = nullptr;
   std::unique_ptr<unsigned char[]> stack;
@@ -56,8 +65,12 @@ struct UThread : ListNode {
 struct RuntimeOptions {
   int workers = 1;
   std::size_t stack_size = 64 * 1024;
-  // Preemption timer period; 0 disables preemption (cooperative only).
+  // Preemption timer period; 0 disables preemption (cooperative only). The
+  // timer delivers sched_timer_tick to the policy, which decides whether
+  // the running uthread is actually preempted.
   std::int64_t preempt_period_us = 0;
+  // Policy selection for the host scheduler (defaults to work stealing).
+  HostSchedOptions sched{};
 };
 
 class Runtime {
@@ -87,31 +100,52 @@ class Runtime {
   static void SleepFor(std::int64_t duration_us);
 
   // Scope guard that delays signal-timer preemption (scheduler and sync
-  // primitives hold it around non-reentrant sections).
+  // primitives hold it around non-reentrant sections). The counter lives on
+  // the current uthread, not the worker: a guard may span a Park() that
+  // resumes on a different worker, and the disable depth must travel with
+  // the uthread.
   class PreemptGuard {
    public:
     PreemptGuard();
     ~PreemptGuard();
+
+   private:
+    std::atomic<int>* counter_ = nullptr;
   };
 
   std::uint64_t preemptions() const { return preemptions_.load(std::memory_order_relaxed); }
-  std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  // Timer signals that landed while the interrupted PC was outside the main
+  // executable's text (e.g. inside malloc) and were deferred to the next
+  // period instead of preempting — the async-preemption safe-point check.
+  std::uint64_t preempt_deferrals() const {
+    return preempt_deferrals_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t steals() const { return sched_->steals(); }
+  // Off-runtime submissions (external Unpark, Run()'s main thread) placed
+  // via idle-first/least-loaded selection.
+  std::uint64_t external_placements() const {
+    return external_placements_.load(std::memory_order_relaxed);
+  }
+  const char* policy_name() const { return sched_->PolicyName(); }
 
  private:
   friend struct RuntimeWorker;
 
   void WorkerLoop(int index);
-  void Schedule(UThread* thread);          // enqueue on the current/least-loaded worker
+  // Enqueues on the calling worker, or — off-runtime — on the first idle /
+  // least-loaded worker. `flags` are SchedPolicy EnqueueFlags.
+  void Schedule(UThread* thread, unsigned flags);
   UThread* FindWork(RuntimeWorker* worker);
   void SwitchTo(RuntimeWorker* worker, UThread* next);
   static void UthreadMain(void* arg);
   void ExitCurrent();                       // terminate the running uthread
+  static void PreemptTick();                // signal-timer entry to the scheduler
   UThread* AllocUthread(std::function<void()> fn);
   void FreeUthread(UThread* thread);
-  void InstallPreemptTimer(RuntimeWorker* worker);
-  static void PreemptSignalHandler(int signo);
+  static void PreemptSignalHandler(int signo, siginfo_t* info, void* uctx);
 
   RuntimeOptions options_;
+  std::unique_ptr<HostSched> sched_;
   std::vector<std::unique_ptr<RuntimeWorker>> workers_;
   std::vector<std::thread> worker_threads_;
   std::atomic<std::int64_t> live_uthreads_{0};
@@ -129,8 +163,10 @@ class Runtime {
   // the runtime itself is.
   std::vector<std::unique_ptr<unsigned char[]>> uthread_storage_;
 
+  std::atomic<std::uint64_t> next_uthread_id_{1};
   std::atomic<std::uint64_t> preemptions_{0};
-  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> preempt_deferrals_{0};
+  std::atomic<std::uint64_t> external_placements_{0};
 };
 
 }  // namespace skyloft

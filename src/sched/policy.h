@@ -1,27 +1,37 @@
 // The general scheduling-operations interface (paper §3.4, Table 2).
 //
 // A scheduling policy implements these operations and nothing else; the
-// engines (per-CPU with user-space timer interrupts, or centralized with a
-// dispatcher) drive it. This is the paper's central claim of generality: RR,
-// CFS, EEVDF, Shinjuku, Shinjuku+Shenango and preemptive work stealing are
-// each a few hundred lines against this interface.
-#ifndef SRC_LIBOS_SCHED_POLICY_H_
-#define SRC_LIBOS_SCHED_POLICY_H_
+// engines drive it. Two kinds of engine exist:
+//   - the simulated engines (src/libos: per-CPU with user-space timer
+//     interrupts, or centralized with a dispatcher), scheduling simulated
+//     Tasks, and
+//   - the host runtime (src/runtime), scheduling real user-level threads
+//     through the HostSchedCore adapter.
+// This header deliberately depends only on src/base: the same policy
+// translation units compile into both substrates. That is the paper's
+// central claim of generality — RR, CFS, EEVDF, Shinjuku,
+// Shinjuku+Shenango and preemptive work stealing are each a few hundred
+// lines against this interface.
+#ifndef SRC_SCHED_POLICY_H_
+#define SRC_SCHED_POLICY_H_
+
+#include <cstddef>
 
 #include "src/base/time.h"
-#include "src/libos/task.h"
-#include "src/simcore/machine.h"
+#include "src/sched/sched_item.h"
 
 namespace skyloft {
 
 // Read-only view of engine state offered to policies (e.g. for stealing
-// decisions and congestion detection).
+// decisions and congestion detection). Implemented by the simulated Engine
+// and by the host runtime's per-shard view.
 class EngineView {
  public:
   virtual ~EngineView() = default;
   virtual TimeNs Now() const = 0;
   virtual int NumWorkers() const = 0;
-  virtual CoreId WorkerCore(int index) const = 0;
+  // The physical core (sim) or global worker index (host) behind a worker.
+  virtual int WorkerCore(int index) const = 0;
   virtual bool IsWorkerIdle(int index) const = 0;
 };
 
@@ -33,21 +43,21 @@ class SchedPolicy {
   virtual void SchedInit(EngineView* view) { view_ = view; }
 
   // task_init / task_terminate: manage the policy-defined field of a task.
-  virtual void TaskInit(Task* task) {}
-  virtual void TaskTerminate(Task* task) {}
+  virtual void TaskInit(SchedItem* item) {}
+  virtual void TaskTerminate(SchedItem* item) {}
 
   // task_enqueue: puts a task on a runqueue. `worker_hint` is the engine
   // worker index the event originated from (kInvalidCore-like -1 when none).
-  virtual void TaskEnqueue(Task* task, unsigned flags, int worker_hint) = 0;
+  virtual void TaskEnqueue(SchedItem* item, unsigned flags, int worker_hint) = 0;
 
   // task_dequeue: selects and removes the next task for the given worker.
   // Centralized policies ignore `worker` (single global queue).
-  virtual Task* TaskDequeue(int worker) = 0;
+  virtual SchedItem* TaskDequeue(int worker) = 0;
 
   // sched_timer_tick: updates policy state on each tick; returns true when
   // the current task must be preempted. `ran_ns` is wall time the task has
   // run since it was last charged; `current` may be nullptr (idle tick).
-  virtual bool SchedTimerTick(int worker, Task* current, DurationNs ran_ns) = 0;
+  virtual bool SchedTimerTick(int worker, SchedItem* current, DurationNs ran_ns) = 0;
 
   // sched_balance: per-CPU only; invoked when `worker` would go idle.
   virtual void SchedBalance(int worker) {}
@@ -68,4 +78,4 @@ class SchedPolicy {
 
 }  // namespace skyloft
 
-#endif  // SRC_LIBOS_SCHED_POLICY_H_
+#endif  // SRC_SCHED_POLICY_H_

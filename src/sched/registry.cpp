@@ -1,0 +1,34 @@
+#include "src/sched/registry.h"
+
+#include <cstring>
+
+namespace skyloft {
+
+namespace {
+std::vector<RegisteredPolicy>& MutableRegistry() {
+  static std::vector<RegisteredPolicy> registry;
+  return registry;
+}
+}  // namespace
+
+void RegisterPolicy(const RegisteredPolicy& entry) {
+  for (const RegisteredPolicy& existing : MutableRegistry()) {
+    if (std::strcmp(existing.name, entry.name) == 0) {
+      return;
+    }
+  }
+  MutableRegistry().push_back(entry);
+}
+
+const std::vector<RegisteredPolicy>& RegisteredPolicies() { return MutableRegistry(); }
+
+std::unique_ptr<SchedPolicy> MakePolicy(const char* name) {
+  for (const RegisteredPolicy& entry : MutableRegistry()) {
+    if (std::strcmp(entry.name, name) == 0) {
+      return entry.make();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace skyloft

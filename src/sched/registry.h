@@ -1,0 +1,33 @@
+// Registry of scheduling policies available to either substrate.
+//
+// Registration is explicit (call RegisterStandardPolicies() or
+// RegisterPolicy yourself) rather than via static initializers: the
+// policy library is a static archive and the linker would silently drop
+// unreferenced registration TUs.
+#ifndef SRC_SCHED_REGISTRY_H_
+#define SRC_SCHED_REGISTRY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/sched/policy.h"
+
+namespace skyloft {
+
+struct RegisteredPolicy {
+  const char* name;
+  bool centralized;
+  std::unique_ptr<SchedPolicy> (*make)();
+};
+
+// Registers a factory; duplicate names are ignored (idempotent re-registration).
+void RegisterPolicy(const RegisteredPolicy& entry);
+
+const std::vector<RegisteredPolicy>& RegisteredPolicies();
+
+// nullptr when `name` is unknown.
+std::unique_ptr<SchedPolicy> MakePolicy(const char* name);
+
+}  // namespace skyloft
+
+#endif  // SRC_SCHED_REGISTRY_H_

@@ -5,7 +5,8 @@
 #include <memory>
 #include <vector>
 
-#include "src/libos/sched_policy.h"
+#include "src/libos/task.h"
+#include "src/sched/policy.h"
 #include "src/policies/cfs.h"
 #include "src/policies/eevdf.h"
 #include "src/policies/round_robin.h"
@@ -71,7 +72,7 @@ TEST_F(RoundRobinTest, NoPreemptBeforeSliceExpires) {
   auto b = MakeTask(2);
   policy_.TaskInit(a.get());
   policy_.TaskEnqueue(a.get(), kEnqueueNew, 0);
-  Task* current = policy_.TaskDequeue(0);
+  SchedItem* current = policy_.TaskDequeue(0);
   policy_.TaskEnqueue(b.get(), kEnqueueNew, 0);  // someone waiting
   EXPECT_FALSE(policy_.SchedTimerTick(0, current, Micros(20)));
   EXPECT_FALSE(policy_.SchedTimerTick(0, current, Micros(20)));
@@ -82,7 +83,7 @@ TEST_F(RoundRobinTest, NoPreemptWithEmptyQueue) {
   auto a = MakeTask(1);
   policy_.TaskInit(a.get());
   policy_.TaskEnqueue(a.get(), kEnqueueNew, 0);
-  Task* current = policy_.TaskDequeue(0);
+  SchedItem* current = policy_.TaskDequeue(0);
   EXPECT_FALSE(policy_.SchedTimerTick(0, current, Micros(500)))
       << "round-robin to an empty queue is pure overhead";
 }
@@ -92,7 +93,7 @@ TEST_F(RoundRobinTest, SliceResetsOnDequeue) {
   auto b = MakeTask(2);
   policy_.TaskInit(a.get());
   policy_.TaskEnqueue(a.get(), kEnqueueNew, 0);
-  Task* current = policy_.TaskDequeue(0);
+  SchedItem* current = policy_.TaskDequeue(0);
   policy_.TaskEnqueue(b.get(), kEnqueueNew, 0);
   EXPECT_TRUE(policy_.SchedTimerTick(0, current, Micros(60)));
   policy_.TaskEnqueue(current, kEnqueuePreempted, 0);
@@ -111,7 +112,7 @@ TEST_F(RoundRobinTest, InfiniteSliceNeverPreempts) {
   auto b = MakeTask(2);
   fifo.TaskInit(a.get());
   fifo.TaskEnqueue(a.get(), kEnqueueNew, 0);
-  Task* current = fifo.TaskDequeue(0);
+  SchedItem* current = fifo.TaskDequeue(0);
   fifo.TaskEnqueue(b.get(), kEnqueueNew, 0);
   EXPECT_FALSE(fifo.SchedTimerTick(0, current, Millis(100)));
 }
@@ -144,7 +145,7 @@ TEST_F(CfsTest, PicksLowestVruntime) {
   policy_.TaskInit(a.get());
   policy_.TaskInit(b.get());
   policy_.TaskEnqueue(a.get(), kEnqueueNew, 0);
-  Task* current = policy_.TaskDequeue(0);
+  SchedItem* current = policy_.TaskDequeue(0);
   // Run a for a while; its vruntime grows.
   policy_.SchedTimerTick(0, current, Micros(100));
   policy_.TaskEnqueue(current, kEnqueuePreempted, 0);
@@ -159,7 +160,7 @@ TEST_F(CfsTest, PreemptsAfterSliceWhenBehind) {
   policy_.TaskInit(a.get());
   policy_.TaskInit(b.get());
   policy_.TaskEnqueue(a.get(), kEnqueueNew, 0);
-  Task* current = policy_.TaskDequeue(0);
+  SchedItem* current = policy_.TaskDequeue(0);
   policy_.TaskEnqueue(b.get(), kEnqueueNew, 0);
   // Before a slice elapses: no preemption.
   EXPECT_FALSE(policy_.SchedTimerTick(0, current, Micros(10)));
@@ -171,7 +172,7 @@ TEST_F(CfsTest, NoPreemptionWhenAlone) {
   auto a = MakeTask(1);
   policy_.TaskInit(a.get());
   policy_.TaskEnqueue(a.get(), kEnqueueNew, 0);
-  Task* current = policy_.TaskDequeue(0);
+  SchedItem* current = policy_.TaskDequeue(0);
   EXPECT_FALSE(policy_.SchedTimerTick(0, current, Millis(10)));
 }
 
@@ -183,7 +184,7 @@ TEST_F(CfsTest, SleeperCompensationBoundsVruntime) {
   policy_.TaskInit(hog.get());
   policy_.TaskInit(sleeper.get());
   policy_.TaskEnqueue(hog.get(), kEnqueueNew, 0);
-  Task* current = policy_.TaskDequeue(0);
+  SchedItem* current = policy_.TaskDequeue(0);
   for (int i = 0; i < 100; i++) {
     policy_.SchedTimerTick(0, current, Micros(50));
   }
@@ -236,7 +237,7 @@ TEST_F(EevdfTest, EarliestDeadlineAmongEligibleWins) {
   policy_.TaskInit(b.get());
   policy_.TaskInit(c.get());
   policy_.TaskEnqueue(a.get(), kEnqueueNew, 0);
-  Task* current = policy_.TaskDequeue(0);
+  SchedItem* current = policy_.TaskDequeue(0);
   policy_.TaskEnqueue(c.get(), kEnqueueNew, 0);
   policy_.SchedTimerTick(0, current, Micros(50));  // a: v=50us; V=25us
   policy_.TaskEnqueue(current, kEnqueuePreempted, 0);
@@ -252,7 +253,7 @@ TEST_F(EevdfTest, SliceExhaustionPushesDeadline) {
   policy_.TaskInit(a.get());
   policy_.TaskInit(b.get());
   policy_.TaskEnqueue(a.get(), kEnqueueNew, 0);
-  Task* current = policy_.TaskDequeue(0);
+  SchedItem* current = policy_.TaskDequeue(0);
   policy_.TaskEnqueue(b.get(), kEnqueueNew, 0);
   // Run past the base slice: must preempt in favor of the eligible waiter.
   EXPECT_TRUE(policy_.SchedTimerTick(0, current, Micros(20)));
@@ -262,7 +263,7 @@ TEST_F(EevdfTest, NoPreemptWhenAlone) {
   auto a = MakeTask(1);
   policy_.TaskInit(a.get());
   policy_.TaskEnqueue(a.get(), kEnqueueNew, 0);
-  Task* current = policy_.TaskDequeue(0);
+  SchedItem* current = policy_.TaskDequeue(0);
   EXPECT_FALSE(policy_.SchedTimerTick(0, current, Millis(5)));
 }
 
@@ -276,7 +277,7 @@ TEST_F(EevdfTest, FairnessOverManySlices) {
   policy_.TaskEnqueue(b.get(), kEnqueueNew, 0);
   DurationNs ran_a = 0;
   DurationNs ran_b = 0;
-  Task* current = policy_.TaskDequeue(0);
+  SchedItem* current = policy_.TaskDequeue(0);
   for (int tick = 0; tick < 1000; tick++) {
     const DurationNs step = Micros(5);
     (current == a.get() ? ran_a : ran_b) += step;
@@ -295,7 +296,7 @@ TEST_F(EevdfTest, DequeueFallsBackWhenNoneEligible) {
   auto a = MakeTask(1);
   policy_.TaskInit(a.get());
   policy_.TaskEnqueue(a.get(), kEnqueueNew, 0);
-  Task* current = policy_.TaskDequeue(0);
+  SchedItem* current = policy_.TaskDequeue(0);
   policy_.SchedTimerTick(0, current, Micros(100));  // vruntime >> V
   policy_.TaskEnqueue(current, kEnqueuePreempted, 0);
   EXPECT_EQ(policy_.TaskDequeue(0), a.get());
@@ -351,7 +352,7 @@ TEST_F(WorkStealingTest, QuantumPreemptsOnlyWithBacklog) {
   policy_.TaskInit(a.get());
   policy_.TaskInit(b.get());
   policy_.TaskEnqueue(a.get(), kEnqueueNew, 0);
-  Task* current = policy_.TaskDequeue(0);
+  SchedItem* current = policy_.TaskDequeue(0);
   // No backlog: run past the quantum freely.
   EXPECT_FALSE(policy_.SchedTimerTick(0, current, Micros(100)));
   // With backlog anywhere, the next tick preempts.
@@ -367,7 +368,7 @@ TEST_F(WorkStealingTest, InfiniteQuantumNeverPreempts) {
   auto b = MakeTask(2);
   shenango.TaskInit(a.get());
   shenango.TaskEnqueue(a.get(), kEnqueueNew, 0);
-  Task* current = shenango.TaskDequeue(0);
+  SchedItem* current = shenango.TaskDequeue(0);
   shenango.TaskEnqueue(b.get(), kEnqueueNew, 0);
   EXPECT_FALSE(shenango.SchedTimerTick(0, current, Millis(100)));
 }
@@ -391,7 +392,7 @@ TEST(ShinjukuTest, PreemptedGoesToTail) {
   auto a = MakeTask(1);
   auto b = MakeTask(2);
   policy.TaskEnqueue(a.get(), kEnqueueNew, -1);
-  Task* current = policy.TaskDequeue(-1);
+  SchedItem* current = policy.TaskDequeue(-1);
   policy.TaskEnqueue(b.get(), kEnqueueNew, -1);
   policy.TaskEnqueue(current, kEnqueuePreempted, -1);  // processor sharing
   EXPECT_EQ(policy.TaskDequeue(-1), b.get());

@@ -40,7 +40,10 @@ TEST(SleepTest, OthersRunWhileSleeping) {
 }
 
 TEST(SleepTest, ManySleepersWakeInOrder) {
-  Runtime rt(RuntimeOptions{.workers = 2});
+  // One worker: with idle-first external placement, woken sleepers on
+  // multiple workers may finish their post-sleep code in any order; a single
+  // FIFO queue makes completion order == wake order == deadline order.
+  Runtime rt(RuntimeOptions{.workers = 1});
   std::mutex order_mu;
   std::vector<int> order;
   rt.Run([&] {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <vector>
 
 #include "src/runtime/sync.h"
@@ -387,6 +388,38 @@ TEST(RuntimePreemptTest, PreemptionPreservesComputation) {
     expected_one += j % 7;
   }
   EXPECT_EQ(total.load(), expected_one * 8);
+}
+
+// Allocator-heavy uthreads under an aggressive preemption timer. glibc's
+// malloc keeps lockless per-pthread state (the tcache); preempting a uthread
+// mid-allocation and running another uthread on the same pthread corrupts it
+// unless the signal handler defers at unsafe PCs (the safe-point check).
+// Without that check this test aborts within a few runs.
+TEST(RuntimePreemptTest, PreemptionIsMallocSafe) {
+  Runtime rt(RuntimeOptions{.workers = 2, .preempt_period_us = 500});
+  std::atomic<long long> sum{0};
+  rt.Run([&] {
+    std::vector<UThread*> children;
+    for (int i = 0; i < 8; i++) {
+      children.push_back(Runtime::Spawn([&, i] {
+        long long local = 0;
+        for (int j = 0; j < 20'000; j++) {
+          // Churn the heap across size classes; no yields.
+          std::string s = "key-" + std::to_string(i * 100'000 + j);
+          std::vector<char> buf(static_cast<std::size_t>(j % 509 + 1), 'x');
+          s += buf[buf.size() / 2];
+          local += static_cast<long long>(s.size());
+        }
+        sum.fetch_add(local);
+      }));
+    }
+    for (UThread* c : children) {
+      Runtime::Join(c);
+    }
+  });
+  EXPECT_GT(sum.load(), 0);
+  // The timer must have actually tried: fired switches plus deferred signals.
+  EXPECT_GT(rt.preemptions() + rt.preempt_deferrals(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,313 @@
+// Policy-conformance suite: every policy registered with the src/sched
+// registry must uphold the Table 2 interface contract on BOTH substrates —
+// the simulated engines (src/libos) and the real host runtime (src/runtime).
+//
+// Checked per policy:
+//   - no lost / no duplicated tasks (everything submitted completes exactly
+//     once, queues drain to empty)
+//   - work conservation (parallel makespan beats serial execution)
+//   - the engine honors the preemption flag / the policy's tick verdict
+//
+// The same policy objects run under both drivers; this suite is the
+// executable form of the paper's generality claim.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/libos/central_engine.h"
+#include "src/libos/percpu_engine.h"
+#include "src/policies/standard.h"
+#include "src/runtime/uthread.h"
+#include "src/sched/registry.h"
+
+namespace skyloft {
+namespace {
+
+const std::vector<RegisteredPolicy>& StandardPolicies() {
+  RegisterStandardPolicies();
+  return RegisteredPolicies();
+}
+
+std::string PolicyParamName(const ::testing::TestParamInfo<RegisteredPolicy>& info) {
+  return info.param.name;
+}
+
+// ---- Simulated substrate ----
+
+struct SimRig {
+  explicit SimRig(int num_cores) {
+    MachineConfig mcfg;
+    mcfg.num_cores = num_cores;
+    machine = std::make_unique<Machine>(&sim, mcfg);
+    chip = std::make_unique<UintrChip>(machine.get());
+    kernel = std::make_unique<KernelSim>(machine.get(), chip.get());
+  }
+  Simulation sim;
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<UintrChip> chip;
+  std::unique_ptr<KernelSim> kernel;
+};
+
+PerCpuEngineConfig PerCpuCfg(int cores) {
+  PerCpuEngineConfig cfg;
+  for (int i = 0; i < cores; i++) {
+    cfg.base.worker_cores.push_back(i);
+  }
+  cfg.base.local_switch_ns = 100;
+  cfg.timer_hz = 100'000;
+  return cfg;
+}
+
+CentralizedEngineConfig CentralCfg(int workers, DurationNs quantum) {
+  CentralizedEngineConfig cfg;
+  for (int i = 0; i < workers; i++) {
+    cfg.base.worker_cores.push_back(i);
+  }
+  cfg.dispatcher_core = workers;
+  cfg.quantum = quantum;
+  cfg.base.local_switch_ns = 100;
+  return cfg;
+}
+
+class SimConformanceTest : public ::testing::TestWithParam<RegisteredPolicy> {};
+
+// Drives `engine` through plain tasks plus tasks that block mid-life and get
+// woken, then checks nothing was lost or duplicated and the queues drained.
+template <typename EngineT>
+void RunLifecycleWorkload(SimRig& rig, EngineT& engine) {
+  App* app = engine.CreateApp("a");
+  engine.Start();
+  for (int i = 0; i < 16; i++) {
+    engine.Submit(engine.NewTask(app, Micros(10)));
+  }
+  for (int i = 0; i < 8; i++) {
+    Task* t = engine.NewTask(app, Micros(10), /*kind=*/1);
+    t->on_segment_end = [&rig, &engine](Task* task) {
+      if (task->kind == 1) {
+        task->kind = 2;  // the post-wakeup segment finishes normally
+        rig.sim.ScheduleAfter(Micros(5), [&engine, task] { engine.WakeTask(task, Micros(10)); });
+        return SegmentAction::kBlock;
+      }
+      return SegmentAction::kFinish;
+    };
+    engine.Submit(t);
+  }
+  rig.sim.RunUntil(Millis(50));
+  EXPECT_EQ(engine.stats().completed, 24u) << "lost or duplicated tasks";
+  EXPECT_EQ(engine.policy().QueuedTasks(), 0u) << "runqueues must drain";
+}
+
+TEST_P(SimConformanceTest, NoLostNoDuplicatedTasks) {
+  const RegisteredPolicy& entry = GetParam();
+  auto policy = entry.make();
+  if (entry.centralized) {
+    SimRig rig(3);
+    CentralizedEngine engine(rig.machine.get(), rig.chip.get(), rig.kernel.get(), policy.get(),
+                             CentralCfg(2, Micros(30)));
+    RunLifecycleWorkload(rig, engine);
+  } else {
+    SimRig rig(2);
+    PerCpuEngine engine(rig.machine.get(), rig.chip.get(), rig.kernel.get(), policy.get(),
+                        PerCpuCfg(2));
+    RunLifecycleWorkload(rig, engine);
+  }
+}
+
+TEST_P(SimConformanceTest, WorkConservation) {
+  const RegisteredPolicy& entry = GetParam();
+  auto policy = entry.make();
+  // 8 x 200us over 2 workers: serial needs 1.6ms, work-conserving ~0.8ms.
+  // All tasks are hinted at worker 0, so the second worker only stays busy
+  // via sched_balance / the dispatcher.
+  const TimeNs deadline = Micros(1200);
+  if (entry.centralized) {
+    SimRig rig(3);
+    CentralizedEngine engine(rig.machine.get(), rig.chip.get(), rig.kernel.get(), policy.get(),
+                             CentralCfg(2, Micros(30)));
+    App* app = engine.CreateApp("a");
+    engine.Start();
+    for (int i = 0; i < 8; i++) {
+      engine.Submit(engine.NewTask(app, Micros(200)));
+    }
+    rig.sim.RunUntil(deadline);
+    EXPECT_EQ(engine.stats().completed, 8u) << "idle worker left runnable work waiting";
+  } else {
+    SimRig rig(2);
+    PerCpuEngine engine(rig.machine.get(), rig.chip.get(), rig.kernel.get(), policy.get(),
+                        PerCpuCfg(2));
+    App* app = engine.CreateApp("a");
+    engine.Start();
+    for (int i = 0; i < 8; i++) {
+      engine.Submit(engine.NewTask(app, Micros(200)), /*worker_hint=*/0);
+    }
+    rig.sim.RunUntil(deadline);
+    EXPECT_EQ(engine.stats().completed, 8u) << "idle worker left runnable work waiting";
+  }
+}
+
+TEST_P(SimConformanceTest, HonorsPreemptionFlag) {
+  const RegisteredPolicy& entry = GetParam();
+  auto policy = entry.make();
+  // One core, a 2ms hog submitted first, a 10us task second. With
+  // preemption off (flag false / zero quantum), the short task MUST wait
+  // behind the hog no matter what the policy's tick would have decided.
+  auto check = [](auto& rig, auto& engine) {
+    App* app = engine.CreateApp("a");
+    engine.Start();
+    engine.Submit(engine.NewTask(app, Millis(2), /*kind=*/0));
+    engine.Submit(engine.NewTask(app, Micros(10), /*kind=*/1));
+    rig.sim.RunUntil(Millis(10));
+    EXPECT_EQ(engine.stats().completed, 2u);
+    EXPECT_GT(engine.stats().latency_by_kind[1].Max(), Millis(1))
+        << "short task ran early: the engine preempted with preemption disabled";
+  };
+  if (entry.centralized) {
+    SimRig rig(2);
+    CentralizedEngine engine(rig.machine.get(), rig.chip.get(), rig.kernel.get(), policy.get(),
+                             CentralCfg(1, /*quantum=*/0));
+    check(rig, engine);
+  } else {
+    SimRig rig(1);
+    auto cfg = PerCpuCfg(1);
+    cfg.base.preemption = false;
+    PerCpuEngine engine(rig.machine.get(), rig.chip.get(), rig.kernel.get(), policy.get(), cfg);
+    check(rig, engine);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SimConformanceTest,
+                         ::testing::ValuesIn(StandardPolicies()), PolicyParamName);
+
+// ---- Host substrate ----
+
+class HostConformanceTest : public ::testing::TestWithParam<RegisteredPolicy> {};
+
+TEST_P(HostConformanceTest, NoLostNoDuplicatedUThreads) {
+  auto policy = GetParam().make();
+  RuntimeOptions opts{.workers = 2};
+  opts.sched.custom_policy = policy.get();
+  Runtime rt(opts);
+  constexpr int kThreads = 300;
+  auto slots = std::make_unique<std::atomic<int>[]>(kThreads);
+  for (int i = 0; i < kThreads; i++) {
+    slots[i].store(0);
+  }
+  rt.Run([&] {
+    std::vector<UThread*> children;
+    for (int i = 0; i < kThreads; i++) {
+      children.push_back(Runtime::Spawn([&slots, i] {
+        slots[i].fetch_add(1);
+        Runtime::Yield();
+        slots[i].fetch_add(1);
+      }));
+    }
+    for (UThread* c : children) {
+      Runtime::Join(c);
+    }
+  });
+  for (int i = 0; i < kThreads; i++) {
+    EXPECT_EQ(slots[i].load(), 2) << "uthread " << i << " lost or run twice under "
+                                  << GetParam().name;
+  }
+  EXPECT_EQ(rt.policy_name(), std::string(policy->Name())) << "runtime must use the custom policy";
+}
+
+TEST_P(HostConformanceTest, TimerTicksDoNotLoseWork) {
+  // The signal timer delivers sched_timer_tick to the policy while real
+  // compute runs; whatever the policy decides, all work must complete.
+  auto policy = GetParam().make();
+  RuntimeOptions opts{.workers = 2, .preempt_period_us = 1000};
+  opts.sched.custom_policy = policy.get();
+  Runtime rt(opts);
+  std::atomic<long long> total{0};
+  rt.Run([&] {
+    std::vector<UThread*> children;
+    for (int i = 0; i < 4; i++) {
+      children.push_back(Runtime::Spawn([&] {
+        long long local = 0;
+        for (int j = 0; j < 500'000; j++) {
+          local += j % 5;
+        }
+        total.fetch_add(local);
+      }));
+    }
+    for (UThread* c : children) {
+      Runtime::Join(c);
+    }
+  });
+  long long expected_one = 0;
+  for (int j = 0; j < 500'000; j++) {
+    expected_one += j % 5;
+  }
+  EXPECT_EQ(total.load(), expected_one * 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, HostConformanceTest,
+                         ::testing::ValuesIn(StandardPolicies()), PolicyParamName);
+
+// ---- Host preemption-flag honoring (policy-specific semantics) ----
+
+TEST(HostPolicySemanticsTest, FifoNeverPreempts) {
+  RuntimeOptions opts{.workers = 1, .preempt_period_us = 1000};
+  opts.sched.policy = RuntimePolicy::kFifo;
+  Runtime rt(opts);
+  std::atomic<long long> sink{0};
+  rt.Run([&] {
+    std::vector<UThread*> children;
+    for (int i = 0; i < 3; i++) {
+      children.push_back(Runtime::Spawn([&] {
+        long long local = 0;
+        for (int j = 0; j < 2'000'000; j++) {
+          local += j % 3;
+        }
+        sink.fetch_add(local);
+      }));
+    }
+    for (UThread* c : children) {
+      Runtime::Join(c);
+    }
+  });
+  // Ticks fired (the timer ran for milliseconds of compute) but FIFO's
+  // sched_timer_tick always says no — the engine must honor that.
+  EXPECT_EQ(rt.preemptions(), 0u);
+  EXPECT_EQ(std::string(rt.policy_name()), "skyloft-rr");  // RR with infinite slice
+}
+
+TEST(HostPolicySemanticsTest, RoundRobinPreemptsCpuHog) {
+  RuntimeOptions opts{.workers = 1, .preempt_period_us = 1000};
+  opts.sched.policy = RuntimePolicy::kRoundRobin;
+  opts.sched.time_slice_us = 500;
+  Runtime rt(opts);
+  std::atomic<bool> hog_running{true};
+  bool other_ran = false;
+  rt.Run([&] {
+    UThread* hog = Runtime::Spawn([&] {
+      volatile std::uint64_t x = 0;
+      while (hog_running.load(std::memory_order_relaxed)) {
+        x = x + 1;
+      }
+    });
+    UThread* other = Runtime::Spawn([&] {
+      other_ran = true;
+      hog_running.store(false);
+    });
+    Runtime::Join(other);
+    Runtime::Join(hog);
+  });
+  EXPECT_TRUE(other_ran);
+  EXPECT_GT(rt.preemptions(), 0u);
+}
+
+TEST(HostPolicySemanticsTest, ExternalSubmissionsArePlaced) {
+  // Run()'s main uthread enters from outside the runtime; the scheduler
+  // must route it through idle-first/least-loaded placement and count it.
+  Runtime rt(RuntimeOptions{.workers = 2});
+  rt.Run([] {});
+  EXPECT_GE(rt.external_placements(), 1u);
+}
+
+}  // namespace
+}  // namespace skyloft
