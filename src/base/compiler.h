@@ -7,6 +7,34 @@
 #define SKYLOFT_LIKELY(x) __builtin_expect(!!(x), 1)
 #define SKYLOFT_UNLIKELY(x) __builtin_expect(!!(x), 0)
 
+// ---- Scheduling-discipline annotations (checked by tools/skylint) ----
+//
+// These are no-op markers that document the concurrency contract of a
+// function; `skylint` (run as a ctest target and CI job) computes call-graph
+// fixpoints from them and enforces the rules the C++ compiler cannot see:
+//
+//   SKYLOFT_MAY_SWITCH   The function may context-switch the calling
+//                        execution context (uthread switch, or the kernel
+//                        module's inter-application switch, Table 3). Seeds
+//                        the may-switch set; callers inherit transitively.
+//   SKYLOFT_NO_SWITCH    The function must never reach a switch primitive —
+//                        typically because it runs under a shard lock or in
+//                        a context that must not migrate (rule
+//                        switch-in-noswitch).
+//   SKYLOFT_SIGNAL_SAFE  The function runs in (or is reachable from) the
+//                        preemption signal handler and must stay
+//                        async-signal-safe: no allocation, stdio or locking
+//                        (rule signal-unsafe-call).
+//   SKYLOFT_RETURNS_TLS  The function returns a pointer derived from
+//                        thread-local storage and re-derives it on every
+//                        call (noinline + compiler barrier). Results must
+//                        not be cached across a may-switch call (rule
+//                        tls-across-switch).
+#define SKYLOFT_MAY_SWITCH
+#define SKYLOFT_NO_SWITCH
+#define SKYLOFT_SIGNAL_SAFE
+#define SKYLOFT_RETURNS_TLS
+
 namespace skyloft {
 
 // Size of a cache line on every x86-64 part we care about; used to pad

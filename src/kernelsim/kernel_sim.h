@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/compiler.h"
 #include "src/simcore/machine.h"
 #include "src/uintr/uintr_chip.h"
 
@@ -56,7 +57,7 @@ class KernelSim {
   bool IsIsolated(CoreId core) const;
 
   // Binds a runnable thread to a core (daemon startup path: bind directly).
-  void BindToCore(Tid tid, CoreId core);
+  SKYLOFT_NO_SWITCH void BindToCore(Tid tid, CoreId core);
 
   // The runnable kernel thread bound to `core`, or nullptr.
   KernelThread* ActiveOn(CoreId core);
@@ -66,41 +67,44 @@ class KernelSim {
   // caller must charge before proceeding. ----
 
   // Binds the thread to `core` and suspends it in one atomic step (used when
-  // a non-first application launches, §4.1).
-  DurationNs SkyloftParkOnCpu(Tid tid, CoreId core);
+  // a non-first application launches, §4.1). Switch primitive: the calling
+  // kernel thread is suspended and another may take the core.
+  SKYLOFT_MAY_SWITCH DurationNs SkyloftParkOnCpu(Tid tid, CoreId core);
 
   // Suspends `cur` and wakes `target` atomically; both must be bound to the
   // same isolated core. This is the inter-application switch (§3.3) and costs
   // the measured 1905 ns.
-  DurationNs SkyloftSwitchTo(Tid cur, Tid target);
+  SKYLOFT_MAY_SWITCH DurationNs SkyloftSwitchTo(Tid cur, Tid target);
 
   // Wakes a suspended thread (it becomes the active thread on its core).
-  DurationNs SkyloftWakeup(Tid tid);
+  // The *caller* keeps running — wakeup alone never switches this context.
+  SKYLOFT_NO_SWITCH DurationNs SkyloftWakeup(Tid tid);
 
   // Configures user-space timer-interrupt delegation on `core` (§4.2): sets
   // UINV to the LAPIC timer vector and installs `upid` (with SN pre-set) as
   // the core's active UPID. The caller still must execute the initial
   // self-SENDUIPI to populate the PIR.
-  DurationNs SkyloftTimerEnable(CoreId core, Upid* upid);
+  SKYLOFT_NO_SWITCH DurationNs SkyloftTimerEnable(CoreId core, Upid* upid);
 
   // Programs the LAPIC timer frequency on `core`.
-  DurationNs SkyloftTimerSetHz(CoreId core, std::int64_t hz);
+  SKYLOFT_NO_SWITCH DurationNs SkyloftTimerSetHz(CoreId core, std::int64_t hz);
 
   // ---- Signals (Table 6 "Signal" row; used by Shenango-style preemption) ----
   // Sends a signal from `from_core` to the thread `tid`; `handler` runs on
   // the target's core after the modeled delivery latency. Returns sender cost.
-  DurationNs SendSignal(CoreId from_core, Tid tid, SignalHandler handler);
+  SKYLOFT_NO_SWITCH DurationNs SendSignal(CoreId from_core, Tid tid, SignalHandler handler);
 
   // Receiver-side cost of taking a signal (context save, kernel entry/exit).
   DurationNs SignalReceiveCost() const { return machine_->costs().SignalReceiveNs(); }
 
   // ---- Kernel IPIs (Table 6 "Kernel IPI" row; used by the ghOSt model) ----
-  DurationNs SendKernelIpi(CoreId from_core, CoreId to_core, SignalHandler handler);
+  SKYLOFT_NO_SWITCH DurationNs SendKernelIpi(CoreId from_core, CoreId to_core,
+                                             SignalHandler handler);
   DurationNs KernelIpiReceiveCost() const { return machine_->costs().KernelIpiReceiveNs(); }
 
   // Verifies the Single Binding Rule on every isolated core; aborts on
   // violation. Tests call this after random operation sequences.
-  void CheckBindingRule() const;
+  SKYLOFT_NO_SWITCH void CheckBindingRule() const;
 
   Machine& machine() { return *machine_; }
   UintrChip& chip() { return *chip_; }

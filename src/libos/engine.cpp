@@ -215,6 +215,7 @@ void Engine::ChargeOverhead(int worker, DurationNs overhead_ns) {
   machine_->sim().Cancel(run.completion_ev);
   run.completion_at += overhead_ns;
   run.completion_ev =
+      // skylint:allow(switch-in-noswitch) -- deferred: the lambda runs from the event loop, not here
       machine_->sim().ScheduleAt(run.completion_at, [this, worker] { FinishSegment(worker); });
 }
 

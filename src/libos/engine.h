@@ -62,8 +62,9 @@ class Engine : public EngineView {
   Engine& operator=(const Engine&) = delete;
 
   // Creates an application with one kernel thread per worker core. The first
-  // application's threads start active; later ones are parked (§4.1).
-  App* CreateApp(const std::string& name, bool best_effort = false);
+  // application's threads start active; later ones are parked (§4.1) via
+  // skyloft_park_on_cpu — a switch point for the simulated kthreads.
+  SKYLOFT_MAY_SWITCH App* CreateApp(const std::string& name, bool best_effort = false);
 
   // Allocates (or recycles) a task with one work segment of `service_ns`.
   Task* NewTask(App* app, DurationNs service_ns, int kind = 0);
@@ -145,44 +146,45 @@ class Engine : public EngineView {
 
   // Places `task` on `worker`, charging `pre_overhead_ns` plus the local
   // switch cost and, when the task belongs to a different application than
-  // the one active on the core, the inter-application switch (§3.3).
-  void AssignTask(int worker, Task* task, DurationNs pre_overhead_ns);
+  // the one active on the core, the inter-application switch (§3.3) through
+  // skyloft_switch_to.
+  SKYLOFT_MAY_SWITCH void AssignTask(int worker, Task* task, DurationNs pre_overhead_ns);
 
   // Preempts the running task (requeues it with kEnqueuePreempted) and asks
   // the subclass for the next one. `overhead_ns` is the interrupt-handling
   // cost leading to this preemption. No-op if the worker is idle or the
   // segment is already complete at Now().
-  void PreemptWorker(int worker, DurationNs overhead_ns);
+  SKYLOFT_MAY_SWITCH void PreemptWorker(int worker, DurationNs overhead_ns);
 
   // Removes the running task from `worker` without requeuing it: accounts
   // CPU time, saves the remaining service time, and leaves the task in
   // kRunnable state for the caller to place (used by core allocators that
   // reclaim a best-effort core, §5.2). Returns nullptr when the worker is
   // idle or the segment completes at this very instant.
-  Task* DetachCurrent(int worker);
+  SKYLOFT_NO_SWITCH Task* DetachCurrent(int worker);
 
   // Extends the running segment's completion by `overhead_ns` (interrupt
   // handled without rescheduling). No-op when idle.
-  void ChargeOverhead(int worker, DurationNs overhead_ns);
+  SKYLOFT_NO_SWITCH void ChargeOverhead(int worker, DurationNs overhead_ns);
 
   // Completion-event body: finishes or blocks the segment, then asks the
   // subclass for the next task.
-  void FinishSegment(int worker);
+  SKYLOFT_MAY_SWITCH void FinishSegment(int worker);
 
   // Subclass hook: the worker just became free (after `overhead_ns` of
   // unavoidable switch/handler cost); pick and assign the next task.
-  virtual void OnWorkerFree(int worker, DurationNs overhead_ns) = 0;
+  SKYLOFT_MAY_SWITCH virtual void OnWorkerFree(int worker, DurationNs overhead_ns) = 0;
 
   // Subclass hook: a task was enqueued (Submit/WakeTask); dispatch if
   // possible.
-  virtual void OnTaskAvailable(int worker_hint) = 0;
+  SKYLOFT_MAY_SWITCH virtual void OnTaskAvailable(int worker_hint) = 0;
 
   // Subclass hooks around assignment (centralized engine arms/cancels the
   // quantum timer here).
   virtual void OnAssigned(int worker) {}
   virtual void OnUnassigned(int worker) {}
 
-  int WorkerIndexOf(CoreId core) const;
+  SKYLOFT_NO_SWITCH int WorkerIndexOf(CoreId core) const;
 
   void Trace(TraceEventType type, int worker, const Task* task) {
     if (tracer_ != nullptr) {

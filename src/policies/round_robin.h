@@ -21,13 +21,13 @@ class RoundRobinPolicy : public SchedPolicy {
   // `time_slice` of kInfiniteSlice disables slice-based preemption (FIFO).
   explicit RoundRobinPolicy(DurationNs time_slice) : time_slice_(time_slice) {}
 
-  void SchedInit(EngineView* view) override;
-  void TaskInit(SchedItem* task) override;
-  void TaskEnqueue(SchedItem* task, unsigned flags, int worker_hint) override;
-  SchedItem* TaskDequeue(int worker) override;
-  bool SchedTimerTick(int worker, SchedItem* current, DurationNs ran_ns) override;
-  void SchedBalance(int worker) override;
-  std::size_t QueuedTasks() const override { return queued_; }
+  SKYLOFT_NO_SWITCH void SchedInit(EngineView* view) override;
+  SKYLOFT_NO_SWITCH void TaskInit(SchedItem* task) override;
+  SKYLOFT_NO_SWITCH void TaskEnqueue(SchedItem* task, unsigned flags, int worker_hint) override;
+  SKYLOFT_NO_SWITCH SchedItem* TaskDequeue(int worker) override;
+  SKYLOFT_NO_SWITCH bool SchedTimerTick(int worker, SchedItem* current, DurationNs ran_ns) override;
+  SKYLOFT_NO_SWITCH void SchedBalance(int worker) override;
+  SKYLOFT_NO_SWITCH std::size_t QueuedTasks() const override { return queued_; }
   const char* Name() const override { return "skyloft-rr"; }
 
  private:

@@ -18,19 +18,20 @@ class ShinjukuPolicy : public SchedPolicy {
  public:
   ShinjukuPolicy() = default;
 
-  void TaskEnqueue(SchedItem* task, unsigned flags, int worker_hint) override {
+  SKYLOFT_NO_SWITCH void TaskEnqueue(SchedItem* task, unsigned flags, int worker_hint) override {
     queue_.PushBack(task);
   }
 
-  SchedItem* TaskDequeue(int worker) override { return queue_.PopFront(); }
+  SKYLOFT_NO_SWITCH SchedItem* TaskDequeue(int worker) override { return queue_.PopFront(); }
 
-  bool SchedTimerTick(int worker, SchedItem* current, DurationNs ran_ns) override {
+  SKYLOFT_NO_SWITCH bool SchedTimerTick(int worker, SchedItem* current,
+                                        DurationNs ran_ns) override {
     // Quantum enforcement lives in the centralized engine's dispatcher.
     return false;
   }
 
-  bool IsCentralized() const override { return true; }
-  std::size_t QueuedTasks() const override { return queue_.Size(); }
+  SKYLOFT_NO_SWITCH bool IsCentralized() const override { return true; }
+  SKYLOFT_NO_SWITCH std::size_t QueuedTasks() const override { return queue_.Size(); }
   const char* Name() const override { return "skyloft-shinjuku"; }
 
  private:

@@ -10,12 +10,18 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/base/compiler.h"
+
 extern "C" {
 
 // Saves the current callee-saved state on the current stack, stores the
 // resulting stack pointer into *save_sp, switches to restore_sp, restores
 // callee-saved state, and returns on the new stack.
-void skyloft_ctx_switch(void** save_sp, void* restore_sp);
+//
+// This is THE switch primitive: the may-switch set skylint enforces is the
+// transitive-caller closure of this annotation. It is also called from the
+// preemption signal handler, so it must stay async-signal-safe.
+SKYLOFT_MAY_SWITCH SKYLOFT_SIGNAL_SAFE void skyloft_ctx_switch(void** save_sp, void* restore_sp);
 
 }  // extern "C"
 
@@ -29,7 +35,8 @@ using UthreadEntry = void (*)(void* arg);
 // lands in `entry(arg)` with a correctly aligned stack.
 //   stack_base: lowest address of the stack allocation
 //   stack_size: bytes
-void* InitContext(void* stack_base, std::size_t stack_size, UthreadEntry entry, void* arg);
+SKYLOFT_NO_SWITCH void* InitContext(void* stack_base, std::size_t stack_size, UthreadEntry entry,
+                                    void* arg);
 
 }  // namespace skyloft
 

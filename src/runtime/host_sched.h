@@ -55,37 +55,41 @@ class HostSched {
   HostSched(int workers, const HostSchedOptions& options);
   ~HostSched();  // out of line: Shard is an incomplete type here
 
+  // Every operation below executes policy code under a shard mutex and so
+  // must never reach a switch primitive (a park with the shard lock held
+  // would deadlock the worker) — hence the blanket SKYLOFT_NO_SWITCH.
+
   // task_enqueue. `worker_hint` is a global worker index (or -1): a valid
   // hint routes to that worker's shard with a shard-local hint, no hint
   // round-robins across shards and lets the policy place the task.
-  void Enqueue(SchedItem* item, unsigned flags, int worker_hint);
+  SKYLOFT_NO_SWITCH void Enqueue(SchedItem* item, unsigned flags, int worker_hint);
 
   // task_init + task_enqueue fused under the target shard's lock: a new item
   // is initialized by the same policy instance that first queues it, and the
   // spawn path pays one lock round trip instead of two.
-  void EnqueueNew(SchedItem* item, unsigned flags, int worker_hint);
+  SKYLOFT_NO_SWITCH void EnqueueNew(SchedItem* item, unsigned flags, int worker_hint);
 
   // task_terminate + task_dequeue fused: retire a finished item and fetch
   // the worker's next task in one lock acquisition (the exit fast path).
-  SchedItem* Retire(SchedItem* dead, int worker);
+  SKYLOFT_NO_SWITCH SchedItem* Retire(SchedItem* dead, int worker);
 
   // task_dequeue for `worker`; on an empty queue invokes sched_balance and
   // retries once (the paper's idle path). A balance rescue counts as a steal.
-  SchedItem* Dequeue(int worker);
+  SKYLOFT_NO_SWITCH SchedItem* Dequeue(int worker);
 
   // Enqueue(item, flags, worker) + Dequeue(worker) fused under one shard
   // lock acquisition — the scheduler's yield-completion fast path.
-  SchedItem* Requeue(SchedItem* item, unsigned flags, int worker);
+  SKYLOFT_NO_SWITCH SchedItem* Requeue(SchedItem* item, unsigned flags, int worker);
 
   // sched_timer_tick for `worker`; true => preempt `current`.
-  bool Tick(int worker, SchedItem* current, DurationNs ran_ns);
+  SKYLOFT_NO_SWITCH bool Tick(int worker, SchedItem* current, DurationNs ran_ns);
 
   // Placement target for submissions that originate off-runtime (external
   // Unpark, Run()'s main thread): first idle worker, else the worker with
   // the (approximately) shortest queue.
-  int ExternalTarget() const;
+  SKYLOFT_NO_SWITCH int ExternalTarget() const;
 
-  void SetIdle(int worker, bool idle);
+  SKYLOFT_NO_SWITCH void SetIdle(int worker, bool idle);
 
   std::size_t Queued() const;  // across all shards
   std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
@@ -116,19 +120,22 @@ class HostSchedCore {
     sched_ = sched;
     worker_ = worker;
   }
-  SchedItem* Dequeue() { return sched_->Dequeue(worker_); }
-  void Enqueue(SchedItem* item, unsigned flags) { sched_->Enqueue(item, flags, worker_); }
-  void EnqueueNew(SchedItem* item, unsigned flags) {
+  SKYLOFT_NO_SWITCH SchedItem* Dequeue() { return sched_->Dequeue(worker_); }
+  SKYLOFT_NO_SWITCH void Enqueue(SchedItem* item, unsigned flags) {
+    sched_->Enqueue(item, flags, worker_);
+  }
+  SKYLOFT_NO_SWITCH void EnqueueNew(SchedItem* item, unsigned flags) {
     sched_->EnqueueNew(item, flags, worker_);
   }
-  SchedItem* Requeue(SchedItem* item, unsigned flags) {
+  SKYLOFT_NO_SWITCH SchedItem* Requeue(SchedItem* item, unsigned flags) {
     return sched_->Requeue(item, flags, worker_);
   }
-  SchedItem* Retire(SchedItem* dead) { return sched_->Retire(dead, worker_); }
-  bool Tick(SchedItem* current, DurationNs ran_ns) {
+  SKYLOFT_NO_SWITCH SchedItem* Retire(SchedItem* dead) { return sched_->Retire(dead, worker_); }
+  SKYLOFT_NO_SWITCH bool Tick(SchedItem* current, DurationNs ran_ns) {
+    // skylint:allow(switch-in-noswitch) -- HostSched::Tick is shard-locked; name collides with the sim engines' Tick
     return sched_->Tick(worker_, current, ran_ns);
   }
-  void SetIdle(bool idle) { sched_->SetIdle(worker_, idle); }
+  SKYLOFT_NO_SWITCH void SetIdle(bool idle) { sched_->SetIdle(worker_, idle); }
 
  private:
   HostSched* sched_ = nullptr;

@@ -22,9 +22,9 @@ class UthreadMutex {
   UthreadMutex(const UthreadMutex&) = delete;
   UthreadMutex& operator=(const UthreadMutex&) = delete;
 
-  void Lock();
-  bool TryLock();
-  void Unlock();
+  SKYLOFT_MAY_SWITCH void Lock();
+  SKYLOFT_NO_SWITCH bool TryLock();
+  SKYLOFT_NO_SWITCH void Unlock();
 
  private:
   struct Waiter : ListNode {
@@ -38,8 +38,8 @@ class UthreadMutex {
   std::atomic_flag wait_spin_ = ATOMIC_FLAG_INIT;
   IntrusiveList<Waiter> waiters_;
 
-  void SpinAcquire();
-  void SpinRelease();
+  SKYLOFT_NO_SWITCH void SpinAcquire();
+  SKYLOFT_NO_SWITCH void SpinRelease();
 };
 
 class UthreadCondVar {
@@ -49,11 +49,11 @@ class UthreadCondVar {
   UthreadCondVar& operator=(const UthreadCondVar&) = delete;
 
   // Atomically releases `mutex` and blocks; reacquires before returning.
-  void Wait(UthreadMutex* mutex);
+  SKYLOFT_MAY_SWITCH void Wait(UthreadMutex* mutex);
 
   // Wakes one / all waiters.
-  void Signal();
-  void Broadcast();
+  SKYLOFT_NO_SWITCH void Signal();
+  SKYLOFT_NO_SWITCH void Broadcast();
 
  private:
   struct Waiter : ListNode {
@@ -63,8 +63,8 @@ class UthreadCondVar {
   std::atomic_flag wait_spin_ = ATOMIC_FLAG_INIT;
   IntrusiveList<Waiter> waiters_;
 
-  void SpinAcquire();
-  void SpinRelease();
+  SKYLOFT_NO_SWITCH void SpinAcquire();
+  SKYLOFT_NO_SWITCH void SpinRelease();
 };
 
 // Counting semaphore built on the mutex + condvar primitives.
@@ -72,7 +72,7 @@ class UthreadSemaphore {
  public:
   explicit UthreadSemaphore(int initial) : count_(initial) {}
 
-  void Acquire() {
+  SKYLOFT_MAY_SWITCH void Acquire() {
     mutex_.Lock();
     while (count_ == 0) {
       available_.Wait(&mutex_);
@@ -81,7 +81,8 @@ class UthreadSemaphore {
     mutex_.Unlock();
   }
 
-  bool TryAcquire() {
+  // May still block: the fast path takes the (parking) mutex.
+  SKYLOFT_MAY_SWITCH bool TryAcquire() {
     mutex_.Lock();
     const bool ok = count_ > 0;
     if (ok) {
@@ -91,7 +92,7 @@ class UthreadSemaphore {
     return ok;
   }
 
-  void Release() {
+  SKYLOFT_MAY_SWITCH void Release() {
     mutex_.Lock();
     count_++;
     mutex_.Unlock();
@@ -111,7 +112,7 @@ class UthreadChannel {
   explicit UthreadChannel(std::size_t capacity) : capacity_(capacity) {}
 
   // Blocks while full; returns false if the channel was closed.
-  bool Send(T value) {
+  SKYLOFT_MAY_SWITCH bool Send(T value) {
     mutex_.Lock();
     while (items_.size() >= capacity_ && !closed_) {
       not_full_.Wait(&mutex_);
@@ -127,7 +128,7 @@ class UthreadChannel {
   }
 
   // Blocks while empty; returns false once closed AND drained.
-  bool Receive(T* out) {
+  SKYLOFT_MAY_SWITCH bool Receive(T* out) {
     mutex_.Lock();
     while (items_.empty() && !closed_) {
       not_empty_.Wait(&mutex_);
@@ -144,7 +145,7 @@ class UthreadChannel {
   }
 
   // Unblocks all senders/receivers; further Sends fail, Receives drain.
-  void Close() {
+  SKYLOFT_MAY_SWITCH void Close() {
     mutex_.Lock();
     closed_ = true;
     mutex_.Unlock();

@@ -34,6 +34,30 @@ void __tsan_switch_to_fiber(void* fiber, unsigned flags);
 }
 #endif
 
+// AddressSanitizer likewise needs each stack switch announced, or its
+// interceptors flag the new stack pointer as outside the pthread's stack.
+// Protocol: __sanitizer_start_switch_fiber (with the DESTINATION stack's
+// bounds, saving the departing context's fake-stack handle) immediately
+// before the switch; __sanitizer_finish_switch_fiber (with the handle this
+// context saved when it last left) immediately after landing. A null save
+// slot on a definitive exit destroys the departing fiber's fake stack.
+#if defined(__SANITIZE_ADDRESS__)
+#define SKYLOFT_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SKYLOFT_ASAN 1
+#endif
+#endif
+
+#ifdef SKYLOFT_ASAN
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom, size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save, const void** bottom_old,
+                                     size_t* size_old);
+void __asan_unpoison_memory_region(void const volatile* addr, size_t size);
+}
+#endif
+
 namespace skyloft {
 
 namespace {
@@ -106,6 +130,34 @@ void TsanSwitchTo(void* fiber) {
 #endif
 }
 
+SKYLOFT_SIGNAL_SAFE void AsanStartSwitch(void** fake_stack_save, const void* bottom,
+                                         std::size_t size) {
+#ifdef SKYLOFT_ASAN
+  __sanitizer_start_switch_fiber(fake_stack_save, bottom, size);
+#else
+  (void)fake_stack_save;
+  (void)bottom;
+  (void)size;
+#endif
+}
+
+SKYLOFT_SIGNAL_SAFE void AsanFinishSwitch(void* fake_stack_save) {
+#ifdef SKYLOFT_ASAN
+  __sanitizer_finish_switch_fiber(fake_stack_save, nullptr, nullptr);
+#else
+  (void)fake_stack_save;
+#endif
+}
+
+void AsanUnpoisonStack(const void* stack, std::size_t size) {
+#ifdef SKYLOFT_ASAN
+  __asan_unpoison_memory_region(stack, size);
+#else
+  (void)stack;
+  (void)size;
+#endif
+}
+
 std::int64_t MonotonicNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -117,7 +169,7 @@ std::int64_t MonotonicNs() {
 // context switch that migrates the uthread to another pthread, where the
 // cached pointer names the WRONG thread's errno. This helper re-derives the
 // location on every call; the asm clobber stops const/pure inference.
-__attribute__((noinline)) int* CurrentErrnoLocation() {
+SKYLOFT_RETURNS_TLS SKYLOFT_SIGNAL_SAFE __attribute__((noinline)) int* CurrentErrnoLocation() {
   asm volatile("" ::: "memory");
   return &errno;
 }
@@ -142,6 +194,14 @@ struct RuntimeWorker {
   std::atomic<int> preempt_disable{1};
 
   void* tsan_fiber = nullptr;  // the worker's scheduler stack, under TSan
+
+  // ASan fiber bookkeeping: the pthread stack's bounds (the switch target
+  // when a uthread switches out) and the scheduler context's fake-stack
+  // handle, saved while a uthread runs.
+  const void* asan_stack_bottom = nullptr;
+  std::size_t asan_stack_size = 0;
+  void* asan_fake_stack = nullptr;
+
   pthread_t pthread_handle{};
   std::atomic<bool> handle_valid{false};
 };
@@ -167,6 +227,9 @@ struct UThreadExtra {
   // guard can span a Park() that resumes on a different worker.
   std::atomic<int> preempt_count{0};
   void* tsan_fiber = nullptr;
+  // This uthread's ASan fake-stack handle, saved while it is switched out.
+  // Null on first entry and after an exit (ExitCurrent destroys it).
+  void* asan_fake_stack = nullptr;
 };
 
 namespace {
@@ -229,6 +292,11 @@ UThread* Runtime::AllocUthread(std::function<void()> fn) {
   t->detached = false;
   ExtraOf(t)->park.store(kParkRunning, std::memory_order_relaxed);
   ExtraOf(t)->preempt_count.store(0, std::memory_order_relaxed);
+  ExtraOf(t)->asan_fake_stack = nullptr;  // a recycled uthread is a fresh fiber
+  // A recycled stack still carries ASan poison from the frames its previous
+  // incarnation abandoned at its final context switch (ExitCurrent never
+  // returns, so no epilogue unpoisons them); clear it before reuse.
+  AsanUnpoisonStack(t->stack.get(), t->stack_size);
   t->sp = InitContext(t->stack.get(), t->stack_size, &Runtime::UthreadMain, t);
   // Fresh id every incarnation: policies use it for deterministic
   // tie-breaking (CFS), and recycled uthreads are logically new tasks.
@@ -335,6 +403,20 @@ void Runtime::WorkerLoop(int index) {
 #ifdef SKYLOFT_TSAN
   worker->tsan_fiber = __tsan_get_current_fiber();
 #endif
+#ifdef SKYLOFT_ASAN
+  {
+    // Uthreads switching out target this pthread's stack; ASan needs its
+    // bounds at every such start_switch_fiber call.
+    pthread_attr_t attr;
+    SKYLOFT_CHECK(pthread_getattr_np(pthread_self(), &attr) == 0);
+    void* stack_addr = nullptr;
+    std::size_t stack_size = 0;
+    SKYLOFT_CHECK(pthread_attr_getstack(&attr, &stack_addr, &stack_size) == 0);
+    pthread_attr_destroy(&attr);
+    worker->asan_stack_bottom = stack_addr;
+    worker->asan_stack_size = stack_size;
+  }
+#endif
   worker->handle_valid.store(true, std::memory_order_release);
 
   // `next` carries a directly-resumed uthread past the dequeue (a timer tick
@@ -421,12 +503,15 @@ void Runtime::SwitchTo(RuntimeWorker* worker, UThread* next) {
   // the window between this store and the switch is safe.
   worker->preempt_disable.store(0, std::memory_order_release);
   TsanSwitchTo(ExtraOf(next)->tsan_fiber);
+  AsanStartSwitch(&worker->asan_fake_stack, next->stack.get(), next->stack_size);
   skyloft_ctx_switch(&worker->sched_sp, next->sp);
+  AsanFinishSwitch(worker->asan_fake_stack);
   // Returned from the uthread (it yielded/parked/ticked/exited).
   worker->preempt_disable.store(1, std::memory_order_release);
 }
 
 void Runtime::UthreadMain(void* arg) {
+  AsanFinishSwitch(nullptr);  // first entry on this stack: nothing to restore
   auto* self = static_cast<UThread*>(arg);
   self->fn();
   g_runtime->ExitCurrent();
@@ -482,6 +567,7 @@ void Runtime::Schedule(UThread* thread, unsigned flags) {
 // that point. (Touching tl_worker after skyloft_ctx_switch is also unsafe —
 // the uthread may have migrated, and the compiler may have cached the old
 // pthread's TLS slot address from before the switch.)
+// skylint:allow(preempt-balance) -- switch-out protocol: SwitchTo re-arms with store(0), see NOTE
 void Runtime::Yield() {
   RuntimeWorker* worker = tl_worker;
   SKYLOFT_CHECK(worker != nullptr && worker->current != nullptr);
@@ -490,20 +576,29 @@ void Runtime::Yield() {
   self->state.store(UthreadState::kRunnable, std::memory_order_relaxed);
   worker->action = SwitchAction::kYield;
   TsanSwitchTo(worker->tsan_fiber);
+  AsanStartSwitch(&ExtraOf(self)->asan_fake_stack, worker->asan_stack_bottom,
+                  worker->asan_stack_size);
   skyloft_ctx_switch(&self->sp, worker->sched_sp);
+  // `worker` is stale here (the uthread may have migrated); `self` is not.
+  AsanFinishSwitch(ExtraOf(self)->asan_fake_stack);
 }
 
 // Signal-timer entry: hand control to the scheduler stack so the policy tick
 // (which takes the shard lock — unsafe in signal context) runs there.
+// skylint:allow(preempt-balance) -- switch-out protocol: SwitchTo re-arms with store(0), see NOTE
 void Runtime::PreemptTick() {
   RuntimeWorker* worker = tl_worker;
   worker->preempt_disable.fetch_add(1, std::memory_order_acq_rel);
   UThread* self = worker->current;
   worker->action = SwitchAction::kTick;
   TsanSwitchTo(worker->tsan_fiber);
+  AsanStartSwitch(&ExtraOf(self)->asan_fake_stack, worker->asan_stack_bottom,
+                  worker->asan_stack_size);
   skyloft_ctx_switch(&self->sp, worker->sched_sp);
+  AsanFinishSwitch(ExtraOf(self)->asan_fake_stack);
 }
 
+// skylint:allow(preempt-balance) -- main path's +1 is re-armed by SwitchTo's store(0), see NOTE
 void Runtime::Park() {
   RuntimeWorker* worker = tl_worker;
   SKYLOFT_CHECK(worker != nullptr && worker->current != nullptr);
@@ -521,7 +616,10 @@ void Runtime::Park() {
   self->state.store(UthreadState::kBlocked, std::memory_order_relaxed);
   worker->action = SwitchAction::kPark;
   TsanSwitchTo(worker->tsan_fiber);
+  AsanStartSwitch(&ExtraOf(self)->asan_fake_stack, worker->asan_stack_bottom,
+                  worker->asan_stack_size);
   skyloft_ctx_switch(&self->sp, worker->sched_sp);
+  AsanFinishSwitch(ExtraOf(self)->asan_fake_stack);
 }
 
 void Runtime::Unpark(UThread* thread) {
@@ -560,21 +658,28 @@ void Runtime::Join(UThread* thread) {
   }
 }
 
+// skylint:allow(preempt-balance) -- the uthread never returns; SwitchTo re-arms with store(0)
 void Runtime::ExitCurrent() {
   RuntimeWorker* worker = tl_worker;
   UThread* self = worker->current;
   worker->preempt_disable.fetch_add(1, std::memory_order_acq_rel);
-  std::vector<UThread*> joiners;
   {
-    std::lock_guard<std::mutex> lock(wait_lock_);
-    self->state.store(UthreadState::kDone, std::memory_order_release);
-    joiners.swap(self->joiners);
-  }
-  for (UThread* j : joiners) {
-    Unpark(j);
+    // Scoped: this frame is abandoned at the switch below (ExitCurrent never
+    // returns), so the vector's buffer must be released before it.
+    std::vector<UThread*> joiners;
+    {
+      std::lock_guard<std::mutex> lock(wait_lock_);
+      self->state.store(UthreadState::kDone, std::memory_order_release);
+      joiners.swap(self->joiners);
+    }
+    for (UThread* j : joiners) {
+      Unpark(j);
+    }
   }
   worker->action = SwitchAction::kExit;
   TsanSwitchTo(worker->tsan_fiber);
+  // Null save slot: this fiber is leaving for good, destroy its fake stack.
+  AsanStartSwitch(nullptr, worker->asan_stack_bottom, worker->asan_stack_size);
   skyloft_ctx_switch(&self->sp, worker->sched_sp);
   SKYLOFT_CHECK(false) << "resumed an exited uthread";
 }

@@ -86,18 +86,18 @@ class Runtime {
   void Run(std::function<void()> main_fn);
 
   // ---- Callable from inside user threads ----
-  static UThread* Spawn(std::function<void()> fn);
-  static void Yield();
-  static void Join(UThread* thread);
-  static UThread* Current();
+  SKYLOFT_NO_SWITCH static UThread* Spawn(std::function<void()> fn);
+  SKYLOFT_MAY_SWITCH static void Yield();
+  SKYLOFT_MAY_SWITCH static void Join(UThread* thread);
+  SKYLOFT_NO_SWITCH static UThread* Current();
 
   // Blocks the current uthread until Unpark; used by the sync primitives.
-  static void Park();
-  static void Unpark(UThread* thread);
+  SKYLOFT_MAY_SWITCH static void Park();
+  SKYLOFT_NO_SWITCH static void Unpark(UThread* thread);
 
   // Blocks the current uthread for at least `duration_us` (the worker runs
   // other uthreads meanwhile; wakeup granularity is the housekeeping tick).
-  static void SleepFor(std::int64_t duration_us);
+  SKYLOFT_MAY_SWITCH static void SleepFor(std::int64_t duration_us);
 
   // Scope guard that delays signal-timer preemption (scheduler and sync
   // primitives hold it around non-reentrant sections). The counter lives on
@@ -134,15 +134,17 @@ class Runtime {
   void WorkerLoop(int index);
   // Enqueues on the calling worker, or — off-runtime — on the first idle /
   // least-loaded worker. `flags` are SchedPolicy EnqueueFlags.
-  void Schedule(UThread* thread, unsigned flags);
-  UThread* FindWork(RuntimeWorker* worker);
-  void SwitchTo(RuntimeWorker* worker, UThread* next);
+  SKYLOFT_NO_SWITCH void Schedule(UThread* thread, unsigned flags);
+  SKYLOFT_NO_SWITCH UThread* FindWork(RuntimeWorker* worker);
+  SKYLOFT_MAY_SWITCH void SwitchTo(RuntimeWorker* worker, UThread* next);
   static void UthreadMain(void* arg);
-  void ExitCurrent();                       // terminate the running uthread
-  static void PreemptTick();                // signal-timer entry to the scheduler
-  UThread* AllocUthread(std::function<void()> fn);
-  void FreeUthread(UThread* thread);
-  static void PreemptSignalHandler(int signo, siginfo_t* info, void* uctx);
+  SKYLOFT_MAY_SWITCH void ExitCurrent();    // terminate the running uthread
+  // Signal-timer entry to the scheduler: runs on the interrupted uthread's
+  // stack from the SIGURG handler and may switch away from it.
+  SKYLOFT_MAY_SWITCH SKYLOFT_SIGNAL_SAFE static void PreemptTick();
+  SKYLOFT_NO_SWITCH UThread* AllocUthread(std::function<void()> fn);
+  SKYLOFT_NO_SWITCH void FreeUthread(UThread* thread);
+  SKYLOFT_SIGNAL_SAFE static void PreemptSignalHandler(int signo, siginfo_t* info, void* uctx);
 
   RuntimeOptions options_;
   std::unique_ptr<HostSched> sched_;

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 
+#include "src/base/compiler.h"
 #include "src/base/time.h"
 #include "src/sched/sched_item.h"
 
@@ -35,40 +36,46 @@ class EngineView {
   virtual bool IsWorkerIdle(int index) const = 0;
 };
 
+// Every Table 2 operation is SKYLOFT_NO_SWITCH: policies run under the host
+// runtime's shard locks (or inside the sim event loop) and must never reach
+// a context-switch primitive. skylint enforces this transitively over every
+// policy implementation.
 class SchedPolicy {
  public:
   virtual ~SchedPolicy() = default;
 
   // sched_init: policy-defined scheduler state.
-  virtual void SchedInit(EngineView* view) { view_ = view; }
+  SKYLOFT_NO_SWITCH virtual void SchedInit(EngineView* view) { view_ = view; }
 
   // task_init / task_terminate: manage the policy-defined field of a task.
-  virtual void TaskInit(SchedItem* item) {}
-  virtual void TaskTerminate(SchedItem* item) {}
+  SKYLOFT_NO_SWITCH virtual void TaskInit(SchedItem* item) {}
+  SKYLOFT_NO_SWITCH virtual void TaskTerminate(SchedItem* item) {}
 
   // task_enqueue: puts a task on a runqueue. `worker_hint` is the engine
   // worker index the event originated from (kInvalidCore-like -1 when none).
-  virtual void TaskEnqueue(SchedItem* item, unsigned flags, int worker_hint) = 0;
+  SKYLOFT_NO_SWITCH virtual void TaskEnqueue(SchedItem* item, unsigned flags,
+                                             int worker_hint) = 0;
 
   // task_dequeue: selects and removes the next task for the given worker.
   // Centralized policies ignore `worker` (single global queue).
-  virtual SchedItem* TaskDequeue(int worker) = 0;
+  SKYLOFT_NO_SWITCH virtual SchedItem* TaskDequeue(int worker) = 0;
 
   // sched_timer_tick: updates policy state on each tick; returns true when
   // the current task must be preempted. `ran_ns` is wall time the task has
   // run since it was last charged; `current` may be nullptr (idle tick).
-  virtual bool SchedTimerTick(int worker, SchedItem* current, DurationNs ran_ns) = 0;
+  SKYLOFT_NO_SWITCH virtual bool SchedTimerTick(int worker, SchedItem* current,
+                                                DurationNs ran_ns) = 0;
 
   // sched_balance: per-CPU only; invoked when `worker` would go idle.
-  virtual void SchedBalance(int worker) {}
+  SKYLOFT_NO_SWITCH virtual void SchedBalance(int worker) {}
 
   // True when the policy uses a single global queue fed by a dispatcher
   // (sched_poll model) rather than per-CPU queues.
-  virtual bool IsCentralized() const { return false; }
+  SKYLOFT_NO_SWITCH virtual bool IsCentralized() const { return false; }
 
   // Number of runnable tasks currently queued (all queues). Used by engines
   // for work-conservation checks and by core allocators for congestion.
-  virtual std::size_t QueuedTasks() const = 0;
+  SKYLOFT_NO_SWITCH virtual std::size_t QueuedTasks() const = 0;
 
   virtual const char* Name() const = 0;
 

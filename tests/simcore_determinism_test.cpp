@@ -74,12 +74,13 @@ struct ReferenceEngine {
     state->sim = &sim;
     state->period = period;
     state->body = std::move(fn);
-    state->fire = [state] {
+    // Raw capture: `fire` lives inside the state it re-arms, so a shared_ptr
+    // capture would be a self-cycle (leak). The caller keeps the state alive.
+    state->fire = [s = state.get()] {
       // Seed idiom: re-arm first (fresh id => fresh sequence number), then
       // run the payload.
-      state->current =
-          state->sim->ScheduleAt(state->sim->Now() + state->period, state->fire);
-      state->body();
+      s->current = s->sim->ScheduleAt(s->sim->Now() + s->period, s->fire);
+      s->body();
     };
     state->current = sim.ScheduleAt(first, state->fire);
     return state;
@@ -134,11 +135,15 @@ struct Driver {
   void SpawnPeriodic(DurationNs first, DurationNs period, int fires) {
     const int tag = next_tag++;
     auto fires_left = std::make_shared<int>(fires);
-    auto handle = std::make_shared<typename Engine::Periodic>();
-    *handle = engine.Every(engine.Now() + first, period, [this, tag, fires_left, handle] {
+    // The handle lives in `periodics` (not in the callback's captures): for
+    // the reference engine the callback is stored inside the handle's own
+    // state, so capturing the handle would cycle and leak.
+    const std::size_t slot = periodics.size();
+    periodics.emplace_back();
+    periodics[slot] = engine.Every(engine.Now() + first, period, [this, tag, fires_left, slot] {
       trace.push_back({engine.Now(), tag});
       if (--*fires_left == 0) {
-        cancel_results.push_back(engine.CancelPeriodic(*handle));
+        cancel_results.push_back(engine.CancelPeriodic(periodics[slot]));
       }
     });
   }
@@ -166,6 +171,7 @@ struct Driver {
   Engine engine;
   Rng rng;
   std::vector<typename Engine::OneShot> handles;
+  std::vector<typename Engine::Periodic> periodics;
   std::vector<std::pair<TimeNs, int>> trace;
   std::vector<bool> cancel_results;
   int next_tag = 0;

@@ -1,0 +1,35 @@
+// PR 2 regression (bad variant): errno's thread-local location cached across
+// a context switch. glibc's __errno_location is __attribute__((const)), so
+// the compiler reuses one pointer for every `errno` in the frame — after the
+// uthread migrates to another pthread the cached pointer names the WRONG
+// thread's errno. skylint's tls-across-switch rule (R1b) flags raw errno on
+// both sides of a may-switch call.
+//
+// Marker comments pin the diagnostics the golden test requires on those
+// exact lines; the syntax is documented in tests/skylint_test.cpp.
+#include <cerrno>
+
+#define SKYLOFT_MAY_SWITCH
+
+SKYLOFT_MAY_SWITCH void SwitchTo(void** save_sp, void* restore_sp);
+
+void* g_sched_sp;
+void* g_self_sp;
+
+// The original bug: the preemption path saved errno, switched, and restored
+// it through the same (compiler-cached) location.
+void PreemptAndRestore() {
+  const int saved_errno = errno;
+  SwitchTo(&g_self_sp, g_sched_sp);
+  errno = saved_errno;  // expect(tls-across-switch): accessed on both sides
+}
+
+thread_local int tl_pending;
+
+// R1a variant: a pointer *derived* from TLS, bound before the switch and
+// dereferenced after it.
+int CachedTlsPointer() {
+  int* pending = &tl_pending;
+  SwitchTo(&g_self_sp, g_sched_sp);
+  return *pending;  // expect(tls-across-switch): holds a TLS-derived address
+}

@@ -1,0 +1,24 @@
+// PR 2 regression (fixed variant): errno is re-derived on each side of the
+// switch through a SKYLOFT_RETURNS_TLS helper that the compiler cannot CSE
+// (noinline + asm clobber), and the helper's result is dereferenced
+// immediately instead of being cached. skylint reports nothing here.
+#include <cerrno>
+
+#define SKYLOFT_MAY_SWITCH
+#define SKYLOFT_RETURNS_TLS
+
+SKYLOFT_MAY_SWITCH void SwitchTo(void** save_sp, void* restore_sp);
+
+void* g_sched_sp;
+void* g_self_sp;
+
+SKYLOFT_RETURNS_TLS __attribute__((noinline)) int* CurrentErrnoLocation() {
+  asm volatile("" ::: "memory");
+  return &errno;
+}
+
+void PreemptAndRestore() {
+  const int saved_errno = *CurrentErrnoLocation();
+  SwitchTo(&g_self_sp, g_sched_sp);
+  *CurrentErrnoLocation() = saved_errno;
+}

@@ -1,0 +1,37 @@
+// PR 2 regression (bad variant): preempt_disable incremented, then an early
+// return leaves the worker with preemption permanently off — the signal
+// handler defers forever and the uthread can never be preempted again.
+// skylint's preempt-balance rule (R2) tracks the counter per exit path.
+#include <atomic>
+
+struct Worker {
+  std::atomic<int> preempt_disable{0};
+};
+
+bool QueueEmpty();
+void DispatchNext(Worker* worker);
+void CtxSwitchOut(Worker* worker);
+
+// The original bug: the early return forgets the fetch_sub.
+void DispatchLocked(Worker* worker) {
+  worker->preempt_disable.fetch_add(1, std::memory_order_acq_rel);
+  if (QueueEmpty()) {
+    return;  // expect(preempt-balance): return with preempt-disable balance +1
+  }
+  DispatchNext(worker);
+  worker->preempt_disable.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+// The subtler masking variant: the early-return arm is balanced, so a naive
+// linear scan nets zero — but the fall-through path still exits at +1.
+bool ConsumedWakeup(Worker* worker);
+
+// expect-next(preempt-balance): exits with preempt-disable balance +1
+void ParkLike(Worker* worker) {
+  worker->preempt_disable.fetch_add(1, std::memory_order_acq_rel);
+  if (ConsumedWakeup(worker)) {
+    worker->preempt_disable.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+  CtxSwitchOut(worker);
+}

@@ -1,0 +1,21 @@
+// PR 2 regression (fixed variant): every exit path re-enables preemption —
+// the early return pairs its own fetch_sub and the fall-through path closes
+// the guard after dispatch. skylint reports nothing here.
+#include <atomic>
+
+struct Worker {
+  std::atomic<int> preempt_disable{0};
+};
+
+bool QueueEmpty();
+void DispatchNext(Worker* worker);
+
+void DispatchLocked(Worker* worker) {
+  worker->preempt_disable.fetch_add(1, std::memory_order_acq_rel);
+  if (QueueEmpty()) {
+    worker->preempt_disable.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+  DispatchNext(worker);
+  worker->preempt_disable.fetch_sub(1, std::memory_order_acq_rel);
+}

@@ -1,0 +1,39 @@
+// PR 2 regression (bad variant): allocation reachable from the preemption
+// signal handler. The handler interrupted glibc's malloc once already — a
+// second allocation from signal context corrupts the per-pthread tcache.
+// skylint's signal-unsafe-call rule (R3) walks the closure of every
+// SKYLOFT_SIGNAL_SAFE root and flags the denylisted calls it can reach.
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#define SKYLOFT_SIGNAL_SAFE
+
+void Publish(void* buffer);
+void RecordSample();
+
+// The original bug: the handler "just" bumped a histogram — which allocated
+// a bucket two calls down.
+SKYLOFT_SIGNAL_SAFE void PreemptSignalHandler(int signo) {
+  (void)signo;
+  RecordSample();
+}
+
+void RecordSample() {
+  void* bucket = malloc(64);  // expect(signal-unsafe-call): 'malloc'
+  Publish(bucket);
+}
+
+// Direct offenders inside another handler: stdio, operator new, locking.
+std::mutex g_stats_mu;
+long g_ticks;
+
+SKYLOFT_SIGNAL_SAFE void TickSignalHandler(int signo) {
+  (void)signo;
+  std::printf("tick\n");  // expect(signal-unsafe-call): 'printf'
+  int* scratch = new int[4];  // expect(signal-unsafe-call): operator new
+  delete[] scratch;  // expect(signal-unsafe-call): operator delete
+  g_stats_mu.lock();  // expect(signal-unsafe-call): 'lock'
+  g_ticks++;
+  g_stats_mu.unlock();
+}

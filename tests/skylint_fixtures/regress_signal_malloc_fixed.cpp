@@ -1,0 +1,27 @@
+// PR 2 regression (fixed variant): the handler only touches lock-free
+// atomics and preallocated storage; placement new into an existing buffer
+// does not allocate and is exempt. skylint reports nothing here.
+#include <atomic>
+#include <new>
+
+#define SKYLOFT_SIGNAL_SAFE
+
+struct Sample {
+  long when;
+};
+
+std::atomic<long> g_ticks;
+alignas(Sample) unsigned char g_sample_slot[sizeof(Sample)];
+std::atomic<bool> g_sample_valid;
+
+void RecordSample(long now);
+
+SKYLOFT_SIGNAL_SAFE void PreemptSignalHandler(int signo) {
+  (void)signo;
+  RecordSample(g_ticks.fetch_add(1, std::memory_order_relaxed));
+}
+
+void RecordSample(long now) {
+  new (g_sample_slot) Sample{now};  // placement new: no allocation
+  g_sample_valid.store(true, std::memory_order_release);
+}

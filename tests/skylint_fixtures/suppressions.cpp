@@ -1,0 +1,35 @@
+// Suppression semantics: a well-formed allow-comment — the rule list in
+// parentheses, then a double-dash and a written reason — on the diagnostic's
+// line (or the line above) silences it; a suppression with no reason or an
+// unknown rule is itself reported as bad-suppression, which cannot be
+// suppressed.
+#include <atomic>
+
+struct Worker {
+  std::atomic<int> preempt_disable{0};
+};
+
+void CtxSwitchOut(Worker* worker);
+
+// Well-formed: the intentional imbalance below is silenced, with a reason.
+// skylint:allow(preempt-balance) -- fixture: scheduler re-arms the counter after the switch
+void SwitchOutProtocol(Worker* worker) {
+  worker->preempt_disable.fetch_add(1, std::memory_order_acq_rel);
+  CtxSwitchOut(worker);
+}
+
+void Helper(Worker* worker);
+
+// Missing the ` -- <reason>` tail: rejected, and the finding stays live.
+// skylint:allow(preempt-balance) expect(bad-suppression): missing its justification
+// expect-next(preempt-balance): exits with preempt-disable balance +1
+void MissingReason(Worker* worker) {
+  worker->preempt_disable.fetch_add(1, std::memory_order_acq_rel);
+  Helper(worker);
+}
+
+// Unknown rule name: rejected even though a reason is present.
+// skylint:allow(no-such-rule) -- looks fine otherwise expect(bad-suppression): unknown rule
+void UnknownRule(Worker* worker) {
+  Helper(worker);
+}

@@ -1,0 +1,22 @@
+// Bad variant for switch-in-noswitch (R4): a SKYLOFT_NO_SWITCH function
+// transitively reaches the context-switch primitive through an unannotated
+// helper; the may-switch set is a call-graph fixpoint, not a per-call check.
+#define SKYLOFT_MAY_SWITCH
+#define SKYLOFT_NO_SWITCH
+
+SKYLOFT_MAY_SWITCH void CtxSwitch(void** save_sp, void* restore_sp);
+
+void* g_sp;
+
+// Unannotated: inherits may-switch from CtxSwitch via the fixpoint.
+void Reschedule() {
+  CtxSwitch(&g_sp, g_sp);
+}
+
+// Runs under a shard lock — a park here would deadlock the worker.
+SKYLOFT_NO_SWITCH void EnqueueLocked() {
+  Reschedule();  // expect(switch-in-noswitch): Reschedule -> CtxSwitch
+}
+
+// Contradictory annotations are themselves a finding.
+SKYLOFT_NO_SWITCH SKYLOFT_MAY_SWITCH void Confused();  // expect(switch-in-noswitch): both

@@ -1,0 +1,22 @@
+// Clean variant for switch-in-noswitch (R4): the NO_SWITCH function only
+// calls leaf helpers, and the switch primitive is reached exclusively from
+// unconstrained callers. skylint reports nothing here.
+#define SKYLOFT_MAY_SWITCH
+#define SKYLOFT_NO_SWITCH
+
+SKYLOFT_MAY_SWITCH void CtxSwitch(void** save_sp, void* restore_sp);
+
+void* g_sp;
+
+int ComputePriority(int hint) {
+  return hint * 2 + 1;
+}
+
+SKYLOFT_NO_SWITCH int PickNext(int hint) {
+  return ComputePriority(hint);
+}
+
+// Unconstrained caller may switch freely.
+void YieldLike() {
+  CtxSwitch(&g_sp, g_sp);
+}

@@ -1,0 +1,15 @@
+// R1c: returning a TLS-derived address requires SKYLOFT_RETURNS_TLS, so the
+// annotation is checked rather than trusted — an unannotated escape is how a
+// caller ends up caching the address across a switch in the first place.
+#define SKYLOFT_RETURNS_TLS
+
+thread_local int tl_slot;
+
+int* SlotAddress() {
+  return &tl_slot;  // expect(tls-across-switch): SKYLOFT_RETURNS_TLS
+}
+
+// Annotated twin: same body, no finding.
+SKYLOFT_RETURNS_TLS int* SlotAddressAnnotated() {
+  return &tl_slot;
+}

@@ -1,0 +1,561 @@
+// The four scheduling-discipline rules.
+//
+// R1 tls-across-switch   A TLS-derived address must not be live across a
+//                        call into the may-context-switch set: after the
+//                        switch the uthread may run on a different pthread,
+//                        where the cached address names the wrong thread's
+//                        state. (PR 2: errno-location CSE in the signal
+//                        handler.)
+// R2 preempt-balance     Every preempt_disable-style increment must be
+//                        matched on every exit path. (PR 2: preempt-guard
+//                        drift across migration.)
+// R3 signal-unsafe-call  Functions transitively reachable from the
+//                        preemption signal handler (SKYLOFT_SIGNAL_SAFE
+//                        roots) must not allocate, lock, or touch stdio.
+//                        (PR 2: glibc tcache corruption under preemption.)
+// R4 switch-in-noswitch  A SKYLOFT_NO_SWITCH function must not transitively
+//                        reach a switch primitive (shard locks held across
+//                        a context switch deadlock the worker).
+//
+// The may-switch and signal-safe sets are fixpoints over a name-resolved
+// call graph seeded by the annotations in src/base/compiler.h. Name-based
+// resolution over-approximates (every function with a matching unqualified
+// name is a candidate callee); suppressions exist for the residue.
+#include "tools/skylint/analysis.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+
+namespace skylint {
+
+namespace {
+
+const std::set<std::string>& CallKeywords() {
+  static const std::set<std::string> kw = {
+      "if",     "for",     "while",   "switch",       "return",     "sizeof",
+      "alignof", "alignas", "decltype", "typeid",     "static_assert", "catch",
+      "throw",  "new",     "delete",  "co_await",     "co_return",  "co_yield",
+      "assert", "defined", "not",     "and",          "or",
+      "SKYLOFT_MAY_SWITCH", "SKYLOFT_NO_SWITCH", "SKYLOFT_SIGNAL_SAFE",
+      "SKYLOFT_RETURNS_TLS",
+  };
+  return kw;
+}
+
+// Names that are never async-signal-safe: allocation, stdio, locking, and
+// this repo's logging macros (they expand to stdio + abort).
+const std::set<std::string>& SignalDenylist() {
+  static const std::set<std::string> deny = {
+      "malloc",       "calloc",     "realloc",   "free",       "posix_memalign",
+      "aligned_alloc", "strdup",    "make_unique", "make_shared",
+      "printf",       "fprintf",    "sprintf",   "snprintf",   "vprintf",
+      "vfprintf",     "vsnprintf",  "puts",      "fputs",      "putchar",
+      "fputc",        "fwrite",     "fread",     "fopen",      "fclose",
+      "fflush",       "fgets",      "scanf",     "fscanf",
+      "pthread_mutex_lock", "pthread_mutex_unlock", "pthread_cond_wait",
+      "pthread_cond_signal", "pthread_cond_broadcast", "pthread_rwlock_rdlock",
+      "pthread_rwlock_wrlock", "lock_guard", "unique_lock", "scoped_lock",
+      "shared_lock",  "lock",      "syslog",    "exit",
+      "SKYLOFT_LOG",  "SKYLOFT_CHECK", "SKYLOFT_DCHECK",
+  };
+  return deny;
+}
+
+const std::set<std::string>& KnownRules() {
+  static const std::set<std::string> rules = {
+      "tls-across-switch", "preempt-balance", "signal-unsafe-call", "switch-in-noswitch"};
+  return rules;
+}
+
+}  // namespace
+
+void Analyzer::AddFile(FileTokens file) { files_.push_back(std::move(file)); }
+
+void Analyzer::ExtractAll() {
+  // Parse every file, keeping all definitions. Declarations are kept only
+  // when no definition with the same qualified name exists — they act as
+  // call-graph leaves (e.g. skyloft_ctx_switch, defined in assembly) and as
+  // annotation carriers (merged below).
+  std::vector<Function> decls;
+  for (std::size_t f = 0; f < files_.size(); f++) {
+    ParsedFile parsed = ParseFile(files_[f], static_cast<int>(f));
+    tls_variables_.insert(parsed.tls_variables.begin(), parsed.tls_variables.end());
+    for (Function& fn : parsed.functions) {
+      (fn.has_body ? functions_ : decls).push_back(std::move(fn));
+    }
+  }
+  std::set<std::string> defined;
+  for (const Function& fn : functions_) defined.insert(fn.qualified);
+  std::set<std::string> kept_decls;
+  for (Function& fn : decls) {
+    const bool keep = defined.count(fn.qualified) == 0 && kept_decls.insert(fn.qualified).second;
+    if (keep) {
+      functions_.push_back(std::move(fn));
+    } else if (fn.ann.may_switch || fn.ann.no_switch || fn.ann.signal_safe ||
+               fn.ann.returns_tls) {
+      // Annotation on a dropped declaration still applies (merged next).
+      functions_.push_back(std::move(fn));
+      functions_.back().has_body = false;
+      functions_.back().body_begin = functions_.back().body_end = 0;
+    }
+  }
+
+  // Call sites for every definition.
+  const auto& kw = CallKeywords();
+  for (Function& fn : functions_) {
+    if (!fn.has_body) continue;
+    const auto& toks = files_[static_cast<std::size_t>(fn.file)].tokens;
+    for (int p = fn.body_begin; p + 1 < fn.body_end; p++) {
+      const Token& t = toks[static_cast<std::size_t>(p)];
+      if (t.kind != Tok::kIdent || kw.count(t.text) != 0) continue;
+      if (toks[static_cast<std::size_t>(p + 1)].text != "(") continue;
+      fn.calls.push_back(CallSite{t.text, t.line, p});
+    }
+  }
+}
+
+void Analyzer::MergeAnnotations() {
+  std::map<std::string, Annotations> merged;
+  for (const Function& fn : functions_) merged[fn.qualified].Merge(fn.ann);
+  for (Function& fn : functions_) fn.ann = merged[fn.qualified];
+  // Annotation-carrying duplicate declarations have served their purpose;
+  // drop them so every remaining entry is a definition or a unique leaf.
+  std::set<std::string> seen;
+  std::vector<Function> out;
+  for (Function& fn : functions_) {
+    if (fn.has_body || seen.insert(fn.qualified).second) out.push_back(std::move(fn));
+  }
+  functions_ = std::move(out);
+}
+
+void Analyzer::BuildCallGraph() {
+  std::map<std::string, std::vector<int>> by_name;
+  for (std::size_t i = 0; i < functions_.size(); i++) {
+    by_name[functions_[i].simple].push_back(static_cast<int>(i));
+  }
+  callees_.assign(functions_.size(), {});
+  for (std::size_t i = 0; i < functions_.size(); i++) {
+    std::set<int> targets;
+    for (const CallSite& cs : functions_[i].calls) {
+      auto it = by_name.find(cs.name);
+      if (it == by_name.end()) continue;
+      for (int t : it->second) {
+        if (t != static_cast<int>(i)) targets.insert(t);
+      }
+    }
+    callees_[i].assign(targets.begin(), targets.end());
+  }
+}
+
+void Analyzer::ComputeMaySwitch() {
+  // Fixpoint: a function may switch if annotated SKYLOFT_MAY_SWITCH or if it
+  // calls a may-switch function. SKYLOFT_NO_SWITCH is a propagation barrier:
+  // a violating no-switch function is reported once by R4 instead of
+  // cascading may-switch into every caller.
+  may_switch_.assign(functions_.size(), false);
+  for (std::size_t i = 0; i < functions_.size(); i++) {
+    may_switch_[i] = functions_[i].ann.may_switch;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < functions_.size(); i++) {
+      if (may_switch_[i] || functions_[i].ann.no_switch) continue;
+      for (int c : callees_[i]) {
+        if (may_switch_[static_cast<std::size_t>(c)]) {
+          may_switch_[i] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Analyzer::ComputeSignalClosure() {
+  signal_safe_.assign(functions_.size(), false);
+  signal_parent_.assign(functions_.size(), -1);
+  std::deque<int> work;
+  for (std::size_t i = 0; i < functions_.size(); i++) {
+    if (functions_[i].ann.signal_safe) {
+      signal_safe_[i] = true;
+      work.push_back(static_cast<int>(i));
+    }
+  }
+  while (!work.empty()) {
+    const int cur = work.front();
+    work.pop_front();
+    for (int c : callees_[static_cast<std::size_t>(cur)]) {
+      if (!signal_safe_[static_cast<std::size_t>(c)]) {
+        signal_safe_[static_cast<std::size_t>(c)] = true;
+        signal_parent_[static_cast<std::size_t>(c)] = cur;
+        work.push_back(c);
+      }
+    }
+  }
+}
+
+bool Analyzer::CallMaySwitch(const CallSite& cs) const {
+  for (std::size_t i = 0; i < functions_.size(); i++) {
+    if (functions_[i].simple == cs.name && may_switch_[i]) return true;
+  }
+  return false;
+}
+
+std::string Analyzer::SwitchPath(int from) const {
+  std::string path = functions_[static_cast<std::size_t>(from)].simple;
+  int cur = from;
+  for (int hop = 0; hop < 8; hop++) {
+    if (functions_[static_cast<std::size_t>(cur)].ann.may_switch) break;
+    int next = -1;
+    for (int c : callees_[static_cast<std::size_t>(cur)]) {
+      if (may_switch_[static_cast<std::size_t>(c)]) {
+        next = c;
+        break;
+      }
+    }
+    if (next < 0) break;
+    path += " -> " + functions_[static_cast<std::size_t>(next)].simple;
+    cur = next;
+  }
+  return path;
+}
+
+void Analyzer::Report(int fn, int line, const std::string& rule, const std::string& msg) {
+  diags_.push_back(Diagnostic{files_[static_cast<std::size_t>(functions_[static_cast<std::size_t>(fn)].file)].path,
+                              line, rule, msg});
+}
+
+// ---- R1: tls-across-switch -------------------------------------------------
+
+void Analyzer::CheckTlsAcrossSwitch() {
+  for (std::size_t i = 0; i < functions_.size(); i++) {
+    const Function& fn = functions_[i];
+    if (!fn.has_body) continue;
+    const auto& toks = files_[static_cast<std::size_t>(fn.file)].tokens;
+    auto text = [&](int p) -> const std::string& { return toks[static_cast<std::size_t>(p)].text; };
+    auto line_of = [&](int p) { return toks[static_cast<std::size_t>(p)].line; };
+    auto is_returns_tls_call = [&](int p) {
+      if (toks[static_cast<std::size_t>(p)].kind != Tok::kIdent || text(p + 1) != "(") return false;
+      for (const Function& g : functions_) {
+        if (g.simple == text(p) && g.ann.returns_tls) return true;
+      }
+      return false;
+    };
+    // A TLS *address* source: &errno, &<thread_local var>, __errno_location()
+    // or a SKYLOFT_RETURNS_TLS call — unless immediately dereferenced, which
+    // re-derives on every evaluation and is the sanctioned pattern.
+    auto is_addr_source = [&](int p) {
+      const bool deref = p > fn.body_begin && text(p - 1) == "*";
+      if (text(p) == "&" && p + 1 < fn.body_end &&
+          (text(p + 1) == "errno" || tls_variables_.count(text(p + 1)) != 0)) {
+        return true;
+      }
+      if (deref) return false;
+      if (text(p) == "__errno_location" && text(p + 1) == "(") return true;
+      return is_returns_tls_call(p);
+    };
+
+    // May-switch call positions within the body.
+    std::vector<int> switch_pos;
+    std::vector<std::string> switch_name;
+    for (const CallSite& cs : fn.calls) {
+      if (CallMaySwitch(cs)) {
+        switch_pos.push_back(cs.pos);
+        switch_name.push_back(cs.name);
+      }
+    }
+
+    // R1a: a variable bound to a TLS-derived address, used after a
+    // may-switch call that follows the binding.
+    if (!switch_pos.empty()) {
+      for (int p = fn.body_begin; p + 2 < fn.body_end; p++) {
+        if (toks[static_cast<std::size_t>(p)].kind != Tok::kIdent || text(p + 1) != "=") continue;
+        // RHS scan to the statement end.
+        int stmt_end = p + 2;
+        bool tls_rhs = false;
+        while (stmt_end < fn.body_end && text(stmt_end) != ";") {
+          if (is_addr_source(stmt_end)) tls_rhs = true;
+          stmt_end++;
+        }
+        if (!tls_rhs) continue;
+        const std::string var = text(p);
+        for (std::size_t s = 0; s < switch_pos.size(); s++) {
+          if (switch_pos[s] <= stmt_end) continue;
+          for (int u = switch_pos[s] + 1; u < fn.body_end; u++) {
+            if (toks[static_cast<std::size_t>(u)].kind == Tok::kIdent && text(u) == var) {
+              Report(static_cast<int>(i), line_of(u), "tls-across-switch",
+                     "'" + var + "' holds a TLS-derived address and is used after '" +
+                         switch_name[s] + "()' (line " + std::to_string(line_of(switch_pos[s])) +
+                         "), which may context-switch");
+              u = fn.body_end;     // one report per binding
+              s = switch_pos.size() - 1;
+            }
+          }
+        }
+      }
+    }
+
+    // R1b: raw errno touched on both sides of a may-switch call. glibc marks
+    // __errno_location() __attribute__((const)), so the compiler may CSE the
+    // location across the switch — after migration it names the wrong
+    // thread's errno.
+    if (!switch_pos.empty()) {
+      std::vector<int> raw;
+      for (int p = fn.body_begin; p < fn.body_end; p++) {
+        if (text(p) == "errno" || (text(p) == "__errno_location" && text(p + 1) == "(")) {
+          raw.push_back(p);
+        }
+      }
+      for (std::size_t s = 0; s < switch_pos.size() && !raw.empty(); s++) {
+        const bool before = raw.front() < switch_pos[s];
+        int after = -1;
+        for (int r : raw) {
+          if (r > switch_pos[s]) {
+            after = r;
+            break;
+          }
+        }
+        if (before && after >= 0) {
+          Report(static_cast<int>(i), line_of(after), "tls-across-switch",
+                 "errno is accessed on both sides of '" + switch_name[s] + "()' (line " +
+                     std::to_string(line_of(switch_pos[s])) +
+                     "), which may context-switch; the const-attributed __errno_location may "
+                     "be CSE'd across it — re-derive via a SKYLOFT_RETURNS_TLS helper");
+          break;
+        }
+      }
+    }
+
+    // R1c: returning a TLS-derived address demands the SKYLOFT_RETURNS_TLS
+    // annotation, so callers are checked instead of trusted.
+    if (!fn.ann.returns_tls) {
+      for (int p = fn.body_begin; p < fn.body_end; p++) {
+        if (text(p) != "return") continue;
+        for (int q = p + 1; q < fn.body_end && text(q) != ";"; q++) {
+          if (is_addr_source(q)) {
+            Report(static_cast<int>(i), line_of(p), "tls-across-switch",
+                   "'" + fn.simple +
+                       "' returns a TLS-derived address; annotate it with SKYLOFT_RETURNS_TLS");
+            p = fn.body_end;
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---- R2: preempt-balance ---------------------------------------------------
+
+void Analyzer::CheckPreemptBalance() {
+  for (std::size_t i = 0; i < functions_.size(); i++) {
+    const Function& fn = functions_[i];
+    if (!fn.has_body) continue;
+    const auto& toks = files_[static_cast<std::size_t>(fn.file)].tokens;
+    auto text = [&](int p) -> const std::string& { return toks[static_cast<std::size_t>(p)].text; };
+
+    // Linear scan with a block stack: a block that returns does not leak its
+    // balance delta into the fall-through path (an early-return arm that
+    // re-enables preemption must not mask the main path's imbalance).
+    struct Block {
+      int entry_balance;
+      bool returned;
+    };
+    std::vector<Block> blocks;
+    int balance = 0;
+    bool saw_counter = false;
+    for (int p = fn.body_begin; p < fn.body_end; p++) {
+      const std::string& s = text(p);
+      if (s == "{") {
+        blocks.push_back(Block{balance, false});
+        continue;
+      }
+      if (s == "}") {
+        if (!blocks.empty()) {
+          if (blocks.back().returned) balance = blocks.back().entry_balance;
+          blocks.pop_back();
+        }
+        continue;
+      }
+      if (s == "return") {
+        if (balance != 0) {
+          Report(static_cast<int>(i), toks[static_cast<std::size_t>(p)].line, "preempt-balance",
+                 "return with preempt-disable balance " + std::string(balance > 0 ? "+" : "") +
+                     std::to_string(balance) + " in '" + fn.simple + "'");
+        }
+        if (!blocks.empty()) blocks.back().returned = true;
+        continue;
+      }
+      // <preempt_disable/preempt_count counter> (. | ->) fetch_add|fetch_sub (
+      // The name filter is deliberately narrow: statistics counters such as
+      // `preemptions_` or `preempt_deferrals_` are not disable depths.
+      if (toks[static_cast<std::size_t>(p)].kind == Tok::kIdent &&
+          (s.find("preempt_disable") != std::string::npos ||
+           s.find("preempt_count") != std::string::npos) &&
+          p + 3 < fn.body_end &&
+          (text(p + 1) == "." || text(p + 1) == "->") && text(p + 3) == "(") {
+        if (text(p + 2) == "fetch_add") {
+          balance++;
+          saw_counter = true;
+        } else if (text(p + 2) == "fetch_sub") {
+          balance--;
+          saw_counter = true;
+        }
+      }
+    }
+    if (saw_counter && balance != 0) {
+      Report(static_cast<int>(i), fn.line, "preempt-balance",
+             "'" + fn.simple + "' exits with preempt-disable balance " +
+                 std::string(balance > 0 ? "+" : "") + std::to_string(balance));
+    }
+  }
+}
+
+// ---- R3: signal-unsafe-call ------------------------------------------------
+
+void Analyzer::CheckSignalUnsafeCalls() {
+  const auto& deny = SignalDenylist();
+  for (std::size_t i = 0; i < functions_.size(); i++) {
+    if (!signal_safe_[i] || !functions_[i].has_body) continue;
+    const Function& fn = functions_[i];
+    const auto& toks = files_[static_cast<std::size_t>(fn.file)].tokens;
+
+    // Path from a signal-safe root for the message.
+    std::string via = fn.simple;
+    for (int p = signal_parent_[i]; p >= 0; p = signal_parent_[static_cast<std::size_t>(p)]) {
+      via = functions_[static_cast<std::size_t>(p)].simple + " -> " + via;
+    }
+
+    for (const CallSite& cs : fn.calls) {
+      if (deny.count(cs.name) != 0) {
+        Report(static_cast<int>(i), cs.line, "signal-unsafe-call",
+               "'" + cs.name + "' is not async-signal-safe (reached via " + via + ")");
+      }
+    }
+    for (int p = fn.body_begin; p < fn.body_end; p++) {
+      const Token& t = toks[static_cast<std::size_t>(p)];
+      if (t.kind != Tok::kIdent || (t.text != "new" && t.text != "delete")) continue;
+      // Placement new does not allocate.
+      if (t.text == "new" && p + 1 < fn.body_end &&
+          toks[static_cast<std::size_t>(p + 1)].text == "(") {
+        continue;
+      }
+      Report(static_cast<int>(i), t.line, "signal-unsafe-call",
+             "operator " + t.text + " allocates and is not async-signal-safe (reached via " +
+                 via + ")");
+    }
+  }
+}
+
+// ---- R4: switch-in-noswitch ------------------------------------------------
+
+void Analyzer::CheckNoSwitchReach() {
+  for (std::size_t i = 0; i < functions_.size(); i++) {
+    const Function& fn = functions_[i];
+    if (!fn.ann.no_switch) continue;
+    if (fn.ann.may_switch) {
+      Report(static_cast<int>(i), fn.line, "switch-in-noswitch",
+             "'" + fn.simple + "' is annotated both SKYLOFT_NO_SWITCH and SKYLOFT_MAY_SWITCH");
+      continue;
+    }
+    if (!fn.has_body) continue;
+    for (const CallSite& cs : fn.calls) {
+      if (!CallMaySwitch(cs)) continue;
+      // Resolve to a may-switch candidate for the path message.
+      int target = -1;
+      for (std::size_t t = 0; t < functions_.size(); t++) {
+        if (functions_[t].simple == cs.name && may_switch_[t]) {
+          target = static_cast<int>(t);
+          break;
+        }
+      }
+      Report(static_cast<int>(i), cs.line, "switch-in-noswitch",
+             "SKYLOFT_NO_SWITCH function '" + fn.simple + "' calls '" + cs.name +
+                 "', which may context-switch (" + SwitchPath(target) + ")");
+      break;  // one report per function keeps the signal readable
+    }
+  }
+}
+
+// ---- suppressions ----------------------------------------------------------
+
+void Analyzer::ApplySuppressions() {
+  // bad-suppression diagnostics first; they cannot themselves be suppressed.
+  for (const FileTokens& file : files_) {
+    for (const Suppression& sup : file.suppressions) {
+      if (sup.rules.empty()) {
+        diags_.push_back(Diagnostic{file.path, sup.line, "bad-suppression",
+                                    "skylint:allow requires a rule list: "
+                                    "// skylint:allow(<rule>) -- <reason>"});
+        continue;
+      }
+      for (const std::string& r : sup.rules) {
+        if (KnownRules().count(r) == 0) {
+          diags_.push_back(Diagnostic{file.path, sup.line, "bad-suppression",
+                                      "unknown rule '" + r + "' in skylint:allow"});
+        }
+      }
+      if (!sup.has_reason) {
+        diags_.push_back(Diagnostic{file.path, sup.line, "bad-suppression",
+                                    "skylint:allow is missing its justification: append "
+                                    "' -- <reason>'"});
+      }
+    }
+  }
+
+  std::vector<Diagnostic> kept;
+  for (const Diagnostic& d : diags_) {
+    bool suppressed = false;
+    if (d.rule != "bad-suppression") {
+      for (FileTokens& file : files_) {
+        if (file.path != d.file) continue;
+        for (Suppression& sup : file.suppressions) {
+          if (!sup.has_reason) continue;  // invalid suppressions suppress nothing
+          if (sup.line != d.line && sup.line != d.line - 1) continue;
+          if (std::find(sup.rules.begin(), sup.rules.end(), d.rule) == sup.rules.end()) continue;
+          suppressed = true;
+          sup.used = true;
+        }
+      }
+    }
+    if (!suppressed) kept.push_back(d);
+  }
+  diags_ = std::move(kept);
+}
+
+std::vector<Diagnostic> Analyzer::Run() {
+  ExtractAll();
+  MergeAnnotations();
+  BuildCallGraph();
+  ComputeMaySwitch();
+  ComputeSignalClosure();
+  CheckTlsAcrossSwitch();
+  CheckPreemptBalance();
+  CheckSignalUnsafeCalls();
+  CheckNoSwitchReach();
+  ApplySuppressions();
+  std::sort(diags_.begin(), diags_.end());
+  diags_.erase(std::unique(diags_.begin(), diags_.end()), diags_.end());
+  return diags_;
+}
+
+void Analyzer::Dump() const {
+  std::printf("== functions (%zu) ==\n", functions_.size());
+  for (std::size_t i = 0; i < functions_.size(); i++) {
+    const Function& fn = functions_[i];
+    std::printf("%s%s%s%s%s %s  [%s:%d]%s calls=%zu\n",
+                may_switch_.empty() ? "" : (may_switch_[i] ? "S" : "-"),
+                signal_safe_.empty() ? "" : (signal_safe_[i] ? "H" : "-"),
+                fn.ann.no_switch ? "N" : "-", fn.ann.returns_tls ? "T" : "-",
+                fn.has_body ? "D" : "d", fn.qualified.c_str(),
+                files_[static_cast<std::size_t>(fn.file)].path.c_str(), fn.line,
+                fn.ann.may_switch ? " [MAY_SWITCH]" : "", fn.calls.size());
+  }
+  std::printf("== tls variables ==\n");
+  for (const std::string& v : tls_variables_) std::printf("  %s\n", v.c_str());
+}
+
+}  // namespace skylint

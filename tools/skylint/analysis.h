@@ -1,0 +1,56 @@
+#ifndef TOOLS_SKYLINT_ANALYSIS_H_
+#define TOOLS_SKYLINT_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/skylint/model.h"
+#include "tools/skylint/token.h"
+
+namespace skylint {
+
+// Whole-program analyzer: merges per-file parses, builds the name-resolved
+// call graph, runs the fixpoints and the four rules, applies suppressions.
+class Analyzer {
+ public:
+  // Takes ownership of the lexed files.
+  void AddFile(FileTokens file);
+
+  // Runs everything; returns the post-suppression diagnostics, sorted.
+  std::vector<Diagnostic> Run();
+
+  // Debugging aid (--dump): prints functions, annotations and the computed
+  // may-switch / signal-safe sets to stdout.
+  void Dump() const;
+
+ private:
+  void ExtractAll();
+  void MergeAnnotations();
+  void BuildCallGraph();
+  void ComputeMaySwitch();
+  void ComputeSignalClosure();
+  void CheckTlsAcrossSwitch();    // R1
+  void CheckPreemptBalance();     // R2
+  void CheckSignalUnsafeCalls();  // R3
+  void CheckNoSwitchReach();      // R4
+  void ApplySuppressions();
+
+  bool FunctionMaySwitch(int fn) const { return may_switch_[static_cast<std::size_t>(fn)]; }
+  // True when a call site may resolve to a context-switching function.
+  bool CallMaySwitch(const CallSite& cs) const;
+  std::string SwitchPath(int from) const;  // "A -> B -> C" into the switch set
+  void Report(int fn, int line, const std::string& rule, const std::string& msg);
+
+  std::vector<FileTokens> files_;
+  std::vector<Function> functions_;            // merged program-wide list
+  std::set<std::string> tls_variables_;
+  std::vector<std::vector<int>> callees_;      // function index -> callee indices
+  std::vector<bool> may_switch_;
+  std::vector<bool> signal_safe_;              // in the signal-handler closure
+  std::vector<int> signal_parent_;             // BFS parent for path messages
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace skylint
+
+#endif  // TOOLS_SKYLINT_ANALYSIS_H_

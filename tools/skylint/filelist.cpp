@@ -1,0 +1,129 @@
+#include "tools/skylint/filelist.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace skylint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool HasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".h" || ext == ".hpp";
+}
+
+// Reads one JSON string starting at text[i] == '"'; returns the decoded
+// value and leaves i just past the closing quote. Escapes beyond backslash
+// and quote are passed through undecoded — paths do not need them.
+std::string ReadJsonString(const std::string& text, std::size_t& i) {
+  std::string out;
+  i++;  // opening quote
+  while (i < text.size() && text[i] != '"') {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      out += text[i + 1];
+      i += 2;
+      continue;
+    }
+    out += text[i++];
+  }
+  if (i < text.size()) i++;  // closing quote
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> ReadCompileCommands(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  std::vector<std::string> files;
+  std::string directory, file;
+  int depth = 0;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '{') {
+      depth++;
+      directory.clear();
+      file.clear();
+      i++;
+      continue;
+    }
+    if (c == '}') {
+      depth--;
+      if (!file.empty()) {
+        fs::path p(file);
+        if (p.is_relative() && !directory.empty()) p = fs::path(directory) / p;
+        files.push_back(p.lexically_normal().string());
+      }
+      i++;
+      continue;
+    }
+    if (c == '"' && depth == 1) {
+      const std::string key = ReadJsonString(text, i);
+      // Skip to the value.
+      while (i < text.size() && (text[i] == ':' || text[i] == ' ' || text[i] == '\n')) i++;
+      if (i < text.size() && text[i] == '"') {
+        const std::string value = ReadJsonString(text, i);
+        if (key == "directory") directory = value;
+        if (key == "file") file = value;
+      }
+      continue;
+    }
+    i++;
+  }
+  return files;
+}
+
+std::vector<std::string> CollectFiles(const std::string& root,
+                                      const std::string& compile_commands) {
+  const fs::path src_dir = fs::path(root) / "src";
+  std::set<std::string> out;
+
+  auto add = [&](const fs::path& p) {
+    std::error_code ec;
+    const fs::path rel = fs::relative(p, root, ec);
+    out.insert(ec || rel.empty() ? p.string() : rel.string());
+  };
+
+  if (!compile_commands.empty()) {
+    std::error_code ec;
+    const fs::path src_abs = fs::absolute(src_dir, ec);
+    for (const std::string& f : ReadCompileCommands(compile_commands)) {
+      const fs::path p = fs::absolute(fs::path(f), ec);
+      const std::string ps = p.lexically_normal().string();
+      const std::string prefix = src_abs.lexically_normal().string();
+      if (ps.rfind(prefix, 0) == 0 && HasSourceExtension(p) && fs::exists(p, ec)) {
+        add(p);
+      }
+    }
+  }
+
+  const bool from_db = !out.empty();
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(src_dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const fs::path& p = it->path();
+    if (!HasSourceExtension(p)) continue;
+    // With a database, only headers are globbed in (TU list comes from it);
+    // without one, everything under src/ is analyzed.
+    const std::string ext = p.extension().string();
+    if (from_db && ext != ".h" && ext != ".hpp") continue;
+    add(p);
+  }
+
+  std::vector<std::string> files(out.begin(), out.end());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace skylint

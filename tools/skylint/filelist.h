@@ -1,0 +1,27 @@
+#ifndef TOOLS_SKYLINT_FILELIST_H_
+#define TOOLS_SKYLINT_FILELIST_H_
+
+#include <string>
+#include <vector>
+
+namespace skylint {
+
+// Extracts the analyzed file set.
+//
+// Preferred source of truth is compile_commands.json (written by CMake with
+// CMAKE_EXPORT_COMPILE_COMMANDS) so skylint and editor tooling agree on what
+// is built; entries outside `root`/src are dropped and headers under
+// `root`/src are globbed in (compilation databases list only TUs). When the
+// database is missing or empty the fallback is a plain glob of `root`/src.
+// Returned paths are relative to `root` and sorted.
+std::vector<std::string> CollectFiles(const std::string& root,
+                                      const std::string& compile_commands);
+
+// Minimal compilation-database reader: returns the "file" entry of every
+// command object, resolved against its "directory" when relative. Returns an
+// empty list when the file cannot be read or parsed.
+std::vector<std::string> ReadCompileCommands(const std::string& path);
+
+}  // namespace skylint
+
+#endif  // TOOLS_SKYLINT_FILELIST_H_

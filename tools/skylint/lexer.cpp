@@ -1,0 +1,189 @@
+#include "tools/skylint/lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace skylint {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Multi-character operators, longest first so greedy matching is correct.
+// Only `::`, `->` and the brace/paren family are semantically load-bearing
+// for skylint, but tokenizing the rest as single units keeps downstream
+// pattern matches (e.g. `=` vs `==`) honest.
+const char* kPunct3[] = {"<<=", ">>=", "->*", "...", nullptr};
+const char* kPunct2[] = {"::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+                         "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+                         ".*", "##", nullptr};
+
+// Parses a `skylint:allow(rule[,rule]) -- reason` directive out of a comment
+// body, if present.
+void ParseSuppression(const std::string& comment, int line, FileTokens* out) {
+  const std::size_t at = comment.find("skylint:allow");
+  if (at == std::string::npos) {
+    return;
+  }
+  Suppression sup;
+  sup.line = line;
+  std::size_t i = at + std::strlen("skylint:allow");
+  while (i < comment.size() && comment[i] == ' ') i++;
+  if (i < comment.size() && comment[i] == '(') {
+    i++;
+    std::string rule;
+    while (i < comment.size() && comment[i] != ')') {
+      if (comment[i] == ',') {
+        if (!rule.empty()) sup.rules.push_back(rule);
+        rule.clear();
+      } else if (comment[i] != ' ') {
+        rule += comment[i];
+      }
+      i++;
+    }
+    if (!rule.empty()) sup.rules.push_back(rule);
+    if (i < comment.size()) i++;  // ')'
+  }
+  // Reason: ` -- non-empty text` after the rule list.
+  const std::size_t dashes = comment.find("--", i);
+  if (dashes != std::string::npos) {
+    std::size_t r = dashes + 2;
+    while (r < comment.size() && std::isspace(static_cast<unsigned char>(comment[r]))) r++;
+    sup.has_reason = r < comment.size();
+  }
+  out->suppressions.push_back(std::move(sup));
+}
+
+}  // namespace
+
+FileTokens Lex(const std::string& path, const std::string& text) {
+  FileTokens out;
+  out.path = path;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto push = [&](Tok kind, std::string s) {
+    out.tokens.push_back(Token{kind, std::move(s), line});
+    at_line_start = false;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      line++;
+      at_line_start = true;
+      i++;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      i++;
+      continue;
+    }
+    // Preprocessor directive: skip the whole (possibly continued) line.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          line++;
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') break;
+        i++;
+      }
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const std::size_t start = i + 2;
+      while (i < n && text[i] != '\n') i++;
+      ParseSuppression(text.substr(start, i - start), line, &out);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      std::size_t start = i + 2;
+      int start_line = line;
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') line++;
+        i++;
+      }
+      ParseSuppression(text.substr(start, i - start), start_line, &out);
+      i = i + 2 <= n ? i + 2 : n;
+      continue;
+    }
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t d = i + 2;
+      std::string delim;
+      while (d < n && text[d] != '(') delim += text[d++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = text.find(closer, d);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < end && k < n; k++) {
+        if (text[k] == '\n') line++;
+      }
+      push(Tok::kString, "<raw-string>");
+      i = end == n ? n : end + closer.size();
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) j++;
+        if (text[j] == '\n') line++;  // unterminated literal; stay robust
+        j++;
+      }
+      push(quote == '"' ? Tok::kString : Tok::kChar, text.substr(i, j - i + 1));
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::size_t j = i;
+      while (j < n && IsIdentChar(text[j])) j++;
+      push(Tok::kIdent, text.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      std::size_t j = i;
+      while (j < n && (IsIdentChar(text[j]) || text[j] == '.' || text[j] == '\'' ||
+                       ((text[j] == '+' || text[j] == '-') && j > i &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' || text[j - 1] == 'p' ||
+                         text[j - 1] == 'P')))) {
+        j++;
+      }
+      push(Tok::kNumber, text.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (const char** set : {kPunct3, kPunct2}) {
+      for (int k = 0; set[k] != nullptr; k++) {
+        const std::size_t len = std::strlen(set[k]);
+        if (text.compare(i, len, set[k]) == 0) {
+          push(Tok::kPunct, set[k]);
+          i += len;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) break;
+    }
+    if (!matched) {
+      push(Tok::kPunct, std::string(1, c));
+      i++;
+    }
+  }
+  out.tokens.push_back(Token{Tok::kEof, "", line});
+  return out;
+}
+
+}  // namespace skylint

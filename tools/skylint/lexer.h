@@ -1,0 +1,17 @@
+#ifndef TOOLS_SKYLINT_LEXER_H_
+#define TOOLS_SKYLINT_LEXER_H_
+
+#include <string>
+
+#include "tools/skylint/token.h"
+
+namespace skylint {
+
+// Tokenizes C++ source text. Comments and preprocessor directives are
+// consumed (not emitted as tokens); `skylint:allow` comments are parsed into
+// FileTokens::suppressions.
+FileTokens Lex(const std::string& path, const std::string& text);
+
+}  // namespace skylint
+
+#endif  // TOOLS_SKYLINT_LEXER_H_

@@ -1,0 +1,91 @@
+// skylint — Skyloft's in-tree scheduling-discipline checker.
+//
+// Usage:
+//   skylint [--root DIR] [--compile-commands FILE] [--dump] [files...]
+//
+// With explicit files, only those are analyzed (the fixture-test mode).
+// Otherwise the file set comes from the compilation database when given,
+// falling back to a glob of <root>/src. Exit status is nonzero when any
+// diagnostic survives suppression. See tools/skylint/README.md.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/skylint/analysis.h"
+#include "tools/skylint/filelist.h"
+#include "tools/skylint/lexer.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string compile_commands;
+  bool dump = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--compile-commands" && i + 1 < argc) {
+      compile_commands = argv[++i];
+    } else if (arg == "--dump") {
+      dump = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: skylint [--root DIR] [--compile-commands FILE] [--dump] [files...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "skylint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  const bool explicit_files = !files.empty();
+  if (!explicit_files) {
+    files = skylint::CollectFiles(root, compile_commands);
+    if (files.empty()) {
+      std::fprintf(stderr, "skylint: no input files under %s/src\n", root.c_str());
+      return 2;
+    }
+  }
+
+  skylint::Analyzer analyzer;
+  for (const std::string& f : files) {
+    // Relative paths from CollectFiles are relative to --root.
+    const std::string on_disk =
+        explicit_files || f.front() == '/' ? f : root + "/" + f;
+    std::string text;
+    if (!ReadFile(on_disk, &text)) {
+      std::fprintf(stderr, "skylint: cannot read %s\n", on_disk.c_str());
+      return 2;
+    }
+    analyzer.AddFile(skylint::Lex(f, text));
+  }
+
+  const std::vector<skylint::Diagnostic> diags = analyzer.Run();
+  if (dump) analyzer.Dump();
+  for (const auto& d : diags) {
+    std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line, d.rule.c_str(), d.message.c_str());
+  }
+  if (!diags.empty()) {
+    std::fprintf(stderr, "skylint: %zu finding%s\n", diags.size(), diags.size() == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Program model skylint extracts from the token streams: functions with
+// their annotations and body ranges, thread-local variables, call sites.
+#ifndef TOOLS_SKYLINT_MODEL_H_
+#define TOOLS_SKYLINT_MODEL_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/skylint/token.h"
+
+namespace skylint {
+
+// The annotation macros from src/base/compiler.h, seen as bare identifiers
+// in declaration signatures (skylint does not preprocess).
+struct Annotations {
+  bool may_switch = false;   // SKYLOFT_MAY_SWITCH
+  bool no_switch = false;    // SKYLOFT_NO_SWITCH
+  bool signal_safe = false;  // SKYLOFT_SIGNAL_SAFE
+  bool returns_tls = false;  // SKYLOFT_RETURNS_TLS
+
+  void Merge(const Annotations& o) {
+    may_switch |= o.may_switch;
+    no_switch |= o.no_switch;
+    signal_safe |= o.signal_safe;
+    returns_tls |= o.returns_tls;
+  }
+};
+
+struct CallSite {
+  std::string name;  // unqualified callee name
+  int line = 0;
+  int pos = 0;  // token index into the owning file's stream
+};
+
+struct Function {
+  std::string qualified;  // scope-joined, e.g. skyloft::Runtime::Park
+  std::string simple;     // Park
+  int file = -1;          // index into the analyzer's file list
+  int line = 0;           // line of the name token
+  Annotations ann;        // effective (merged decl+def) annotations
+  bool has_body = false;
+  int body_begin = 0;  // token range (begin inclusive, end exclusive)
+  int body_end = 0;
+  std::vector<CallSite> calls;  // filled by the analyzer for definitions
+};
+
+// Result of parsing one file.
+struct ParsedFile {
+  std::vector<Function> functions;       // definitions and declarations
+  std::set<std::string> tls_variables;  // names declared thread_local/__thread
+};
+
+ParsedFile ParseFile(const FileTokens& file, int file_index);
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    if (rule != o.rule) return rule < o.rule;
+    return message < o.message;
+  }
+  bool operator==(const Diagnostic& o) const {
+    return file == o.file && line == o.line && rule == o.rule && message == o.message;
+  }
+};
+
+}  // namespace skylint
+
+#endif  // TOOLS_SKYLINT_MODEL_H_

@@ -1,0 +1,331 @@
+// Heuristic C++ function extractor.
+//
+// skylint does not build an AST; it recognizes just enough declaration
+// syntax to find function definitions/declarations, their scope-qualified
+// names, their annotation macros and their body token ranges. Anything it
+// does not recognize is skipped — the tool must never crash on valid C++,
+// and over-approximation is acceptable for a checker with suppressions.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/skylint/model.h"
+
+namespace skylint {
+
+namespace {
+
+bool IsKeyword(const std::string& s) {
+  static const std::set<std::string> kw = {
+      "if",       "else",     "for",      "while",   "do",       "switch",  "case",
+      "default",  "break",    "continue", "return",  "goto",     "sizeof",  "alignof",
+      "alignas",  "decltype", "typeid",   "new",     "delete",   "throw",   "try",
+      "catch",    "static_assert",        "co_await", "co_yield", "co_return",
+      "not",      "and",      "or",       "constexpr", "consteval", "constinit",
+  };
+  return kw.count(s) != 0;
+}
+
+bool IsAnnotation(const std::string& s) {
+  return s == "SKYLOFT_MAY_SWITCH" || s == "SKYLOFT_NO_SWITCH" || s == "SKYLOFT_SIGNAL_SAFE" ||
+         s == "SKYLOFT_RETURNS_TLS";
+}
+
+struct Scope {
+  std::string name;  // empty for anonymous namespaces ("<anon>")
+  int open_depth;    // brace depth before this scope's '{'
+};
+
+class Parser {
+ public:
+  Parser(const FileTokens& file, int file_index) : toks_(file.tokens), file_index_(file_index) {}
+
+  ParsedFile Run() {
+    ScanTls();
+    std::size_t i = 0;
+    while (!AtEof(i)) {
+      i = Step(i);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  bool AtEof(std::size_t i) const { return i >= toks_.size() || toks_[i].kind == Tok::kEof; }
+  const Token& T(std::size_t i) const {
+    static const Token eof{Tok::kEof, "", 0};
+    return i < toks_.size() ? toks_[i] : eof;
+  }
+  bool Is(std::size_t i, const char* s) const { return T(i).text == s; }
+
+  // Index just past the brace/paren group opening at `i`; toks_[i] must be
+  // the opener. Returns toks_.size() when unbalanced.
+  std::size_t SkipBalanced(std::size_t i, char open, char close) {
+    int depth = 0;
+    const std::string o(1, open), c(1, close);
+    for (; !AtEof(i); i++) {
+      if (T(i).text == o) depth++;
+      if (T(i).text == c && --depth == 0) return i + 1;
+    }
+    return toks_.size();
+  }
+
+  // thread_local / __thread declarations anywhere in the file. The declared
+  // name is the last identifier before the first of `= ; { [`.
+  void ScanTls() {
+    for (std::size_t i = 0; !AtEof(i); i++) {
+      if (T(i).kind != Tok::kIdent ||
+          (T(i).text != "thread_local" && T(i).text != "__thread")) {
+        continue;
+      }
+      std::string name;
+      for (std::size_t j = i + 1; !AtEof(j) && j < i + 40; j++) {
+        const Token& t = T(j);
+        if (t.text == "=" || t.text == ";" || t.text == "{" || t.text == "[") break;
+        if (t.kind == Tok::kIdent && !IsKeyword(t.text)) name = t.text;
+      }
+      if (!name.empty()) out_.tls_variables.insert(name);
+    }
+  }
+
+  std::string JoinScopes(const std::vector<std::string>& extra) const {
+    std::string q;
+    for (const Scope& s : scopes_) {
+      if (!q.empty()) q += "::";
+      q += s.name;
+    }
+    for (const std::string& e : extra) {
+      if (!q.empty()) q += "::";
+      q += e;
+    }
+    return q;
+  }
+
+  // One step of the top-level scan (outside any function body).
+  std::size_t Step(std::size_t i) {
+    const Token& t = T(i);
+    if (t.text == "{") {
+      depth_++;
+      return i + 1;
+    }
+    if (t.text == "}") {
+      depth_--;
+      // Nested-namespace shorthand (`namespace a::b {`) opens several scopes
+      // on one brace, so popping must loop.
+      while (!scopes_.empty() && scopes_.back().open_depth == depth_) scopes_.pop_back();
+      return i + 1;
+    }
+    if (t.text == "namespace") return StepNamespace(i);
+    if (t.text == "enum") return StepEnum(i);
+    if (t.text == "class" || t.text == "struct" || t.text == "union") return StepClass(i);
+    // An initializer at class/namespace scope: skip to the semicolon so call
+    // expressions inside it are not mistaken for function declarations.
+    if (t.text == "=") return SkipInitializer(i);
+    // GCC attribute syntax: `__attribute__((noinline)) T Name(...)`. Skip the
+    // attribute so Name, not __attribute__, is taken as the declarator.
+    if ((t.text == "__attribute__" || t.text == "__declspec") && Is(i + 1, "(")) {
+      return SkipBalanced(i + 1, '(', ')');
+    }
+    if (t.kind == Tok::kIdent && Is(i + 1, "(") && !IsKeyword(t.text) && t.text != "operator") {
+      std::size_t next = TryFunction(i);
+      if (next != 0) return next;
+    }
+    return i + 1;
+  }
+
+  std::size_t StepNamespace(std::size_t i) {
+    std::vector<std::string> names;
+    std::size_t j = i + 1;
+    while (T(j).kind == Tok::kIdent || Is(j, "::")) {
+      if (T(j).kind == Tok::kIdent) names.push_back(T(j).text);
+      j++;
+    }
+    if (!Is(j, "{")) return i + 1;  // namespace alias or using-directive
+    if (names.empty()) names.push_back("<anon>");
+    for (const std::string& n : names) scopes_.push_back(Scope{n, depth_});
+    depth_++;
+    return j + 1;
+  }
+
+  std::size_t StepEnum(std::size_t i) {
+    for (std::size_t j = i + 1; !AtEof(j) && j < i + 60; j++) {
+      if (Is(j, ";")) return j + 1;
+      if (Is(j, "{")) return SkipBalanced(j, '{', '}');
+    }
+    return i + 1;
+  }
+
+  std::size_t StepClass(std::size_t i) {
+    // Distinguish a class *definition* from forward declarations, template
+    // parameters (`class T,`/`class T>`), elaborated return types, etc.
+    std::string name;
+    for (std::size_t j = i + 1; !AtEof(j) && j < i + 80; j++) {
+      const std::string& s = T(j).text;
+      if (s == ";" || s == "=" || s == "," || s == ">" || s == "(" || s == ")") return i + 1;
+      if (s == "{") {
+        if (name.empty()) name = "<anon>";
+        scopes_.push_back(Scope{name, depth_});
+        depth_++;
+        return j + 1;
+      }
+      if (s == ":") break;  // base-clause: definitely a definition
+      if (T(j).kind == Tok::kIdent && !IsKeyword(s) && s != "final" && !IsAnnotation(s)) {
+        name = s;
+      }
+    }
+    // Saw the base-clause colon; scan on to the opening brace.
+    for (std::size_t j = i + 1; !AtEof(j); j++) {
+      if (Is(j, "{")) {
+        if (name.empty()) name = "<anon>";
+        scopes_.push_back(Scope{name, depth_});
+        depth_++;
+        return j + 1;
+      }
+      if (Is(j, ";")) return j + 1;
+    }
+    return i + 1;
+  }
+
+  std::size_t SkipInitializer(std::size_t i) {
+    int braces = 0, parens = 0;
+    for (; !AtEof(i); i++) {
+      const std::string& s = T(i).text;
+      if (s == "{") braces++;
+      if (s == "}") braces--;
+      if (s == "(") parens++;
+      if (s == ")") parens--;
+      if (s == ";" && braces <= 0 && parens <= 0) return i + 1;
+    }
+    return toks_.size();
+  }
+
+  // Attempts to parse a function declaration/definition whose name token is
+  // at `i` (already known to be followed by '('). Returns the index to
+  // resume scanning at, or 0 if this is not a function.
+  std::size_t TryFunction(std::size_t i) {
+    // Name chain: walk backwards over `ident ::` pairs.
+    std::vector<std::string> chain{T(i).text};
+    std::size_t first = i;
+    while (first >= 2 && Is(first - 1, "::") && T(first - 2).kind == Tok::kIdent) {
+      chain.insert(chain.begin(), T(first - 2).text);
+      first -= 2;
+    }
+    if (first >= 1 && Is(first - 1, "~")) chain.back() = "~" + chain.back();
+
+    const std::size_t params_end = SkipBalanced(i + 1, '(', ')');  // just past ')'
+    if (params_end >= toks_.size()) return 0;
+
+    // Post-parameter qualifiers, then classify by what terminates the
+    // declarator: `;` declaration, `{` body, `:` ctor-init, `=` special.
+    std::size_t j = params_end;
+    bool is_def = false;
+    std::size_t body_open = 0;
+    for (; !AtEof(j); j++) {
+      const std::string& s = T(j).text;
+      if (s == "const" || s == "noexcept" || s == "override" || s == "final" ||
+          s == "volatile" || s == "&" || s == "&&" || s == "throw" || s == "mutable" ||
+          s == "requires" || T(j).kind == Tok::kIdent) {
+        if (s == "noexcept" && Is(j + 1, "(")) j = SkipBalanced(j + 1, '(', ')') - 1;
+        continue;
+      }
+      if (s == "->") {  // trailing return type: allow type tokens up to { or ;
+        continue;
+      }
+      if (s == "<" || s == ">" || s == "*" || s == "::" || s == ",") continue;
+      if (s == "[") {  // attribute or array — skip balanced
+        j = SkipBalanced(j, '[', ']') - 1;
+        continue;
+      }
+      if (s == "(") {  // e.g. decltype(...) in a trailing return type
+        j = SkipBalanced(j, '(', ')') - 1;
+        continue;
+      }
+      if (s == ";") {
+        j++;
+        break;  // declaration
+      }
+      if (s == "=") {
+        // `= 0;` / `= default;` / `= delete;` are declarations; anything
+        // else means this was a variable initializer, not a function.
+        if (Is(j + 1, "0") || Is(j + 1, "default") || Is(j + 1, "delete")) {
+          j += 2;
+          if (Is(j, ";")) j++;
+          break;
+        }
+        return 0;
+      }
+      if (s == ":") {  // constructor initializer list
+        j++;
+        while (!AtEof(j)) {
+          while (!AtEof(j) && !Is(j, "(") && !Is(j, "{") && !Is(j, ";")) j++;
+          if (Is(j, ";") || AtEof(j)) return 0;
+          j = Is(j, "(") ? SkipBalanced(j, '(', ')') : SkipBalanced(j, '{', '}');
+          if (Is(j, ",")) {
+            j++;
+            continue;
+          }
+          break;
+        }
+        if (!Is(j, "{")) return 0;
+        is_def = true;
+        body_open = j;
+        break;
+      }
+      if (s == "{") {
+        is_def = true;
+        body_open = j;
+        break;
+      }
+      return 0;  // unrecognized declarator tail
+    }
+
+    Function fn;
+    fn.simple = chain.back();
+    std::vector<std::string> extra(chain.begin(), chain.end());
+    fn.qualified = JoinScopes(extra);
+    fn.file = file_index_;
+    fn.line = T(i).line;
+    fn.ann = CollectAnnotations(first);
+    if (is_def) {
+      const std::size_t close = SkipBalanced(body_open, '{', '}');
+      fn.has_body = true;
+      fn.body_begin = static_cast<int>(body_open + 1);
+      fn.body_end = static_cast<int>(close > 0 ? close - 1 : body_open + 1);
+      out_.functions.push_back(std::move(fn));
+      return close;
+    }
+    out_.functions.push_back(std::move(fn));
+    return j;
+  }
+
+  // Annotation macros between the previous statement boundary and the start
+  // of the declarator name chain.
+  Annotations CollectAnnotations(std::size_t name_start) {
+    Annotations ann;
+    std::size_t k = name_start;
+    int limit = 48;
+    while (k > 0 && limit-- > 0) {
+      k--;
+      const std::string& s = T(k).text;
+      if (s == ";" || s == "{" || s == "}" || s == ":") break;
+      if (s == "SKYLOFT_MAY_SWITCH") ann.may_switch = true;
+      if (s == "SKYLOFT_NO_SWITCH") ann.no_switch = true;
+      if (s == "SKYLOFT_SIGNAL_SAFE") ann.signal_safe = true;
+      if (s == "SKYLOFT_RETURNS_TLS") ann.returns_tls = true;
+    }
+    return ann;
+  }
+
+  const std::vector<Token>& toks_;
+  int file_index_;
+  int depth_ = 0;
+  std::vector<Scope> scopes_;
+  ParsedFile out_;
+};
+
+}  // namespace
+
+ParsedFile ParseFile(const FileTokens& file, int file_index) {
+  return Parser(file, file_index).Run();
+}
+
+}  // namespace skylint

@@ -1,0 +1,47 @@
+// Token model shared by the skylint lexer, parser and checks.
+//
+// skylint never runs the preprocessor: macros like SKYLOFT_MAY_SWITCH are
+// seen as plain identifiers, which is exactly what the annotation pass
+// relies on, and preprocessor directives are skipped whole.
+#ifndef TOOLS_SKYLINT_TOKEN_H_
+#define TOOLS_SKYLINT_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+namespace skylint {
+
+enum class Tok {
+  kIdent,   // identifiers and keywords (skylint does not distinguish)
+  kNumber,  // integer/float literals, including separators and suffixes
+  kString,  // "...", R"(...)", '...includes prefix-less strings only
+  kChar,    // 'x'
+  kPunct,   // operators and delimiters; multi-char ops are one token
+  kEof,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;
+  int line = 0;
+};
+
+// One `// skylint:allow(rule[,rule]) -- reason` comment. A suppression at
+// line L covers diagnostics reported at L (trailing comment) and at L+1
+// (comment on its own line above the offending code).
+struct Suppression {
+  int line = 0;
+  std::vector<std::string> rules;
+  bool has_reason = false;
+  bool used = false;
+};
+
+struct FileTokens {
+  std::string path;  // as printed in diagnostics
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+};
+
+}  // namespace skylint
+
+#endif  // TOOLS_SKYLINT_TOKEN_H_
