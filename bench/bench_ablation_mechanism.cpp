@@ -79,8 +79,16 @@ void Main() {
                                                "signal", "none"};
   const std::vector<double> load_fracs = {0.4, 0.7, 0.9};
 
+  BenchReporter reporter("ablation_mechanism");
+  reporter.MetaNum("workers", kWorkers);
+  reporter.MetaNum("capacity_rps", capacity);
+
+  // Interrupt-volume columns come from the chip/kernel counters, so the table
+  // reports what each mechanism actually *sent* during the measured window,
+  // not just its modelled per-event cost.
   PrintHeader("Ablation: preemption mechanism x dispersive load (p99 us of GETs)",
-              {"mechanism", "load(kRPS)", "p99 GET(us)", "p99 all(us)"});
+              {"mechanism", "load(kRPS)", "p99 GET(us)", "p99 all(us)", "senduipi", "uirq",
+               "signals", "kipis"});
   for (const char* kind : mechanisms) {
     for (const double frac : load_fracs) {
       SystemSetup setup = MakeWithMechanism(kind);
@@ -90,18 +98,42 @@ void Main() {
       options.rss_route = false;
       RunLoadPoint(setup, mix, capacity * frac, options);
       const auto& stats = setup.engine->stats();
+      const auto& chip = setup.chip->counters();
+      const auto& kernel = setup.kernel->counters();
+      const double p99_get =
+          static_cast<double>(stats.latency_by_kind[kKindShort].Percentile(0.99)) / 1000.0;
+      const double p99_all =
+          static_cast<double>(stats.request_latency.Percentile(0.99)) / 1000.0;
       PrintCell(kind);
       PrintCell(capacity * frac / 1000.0);
-      PrintCell(static_cast<double>(stats.latency_by_kind[kKindShort].Percentile(0.99)) /
-                1000.0);
-      PrintCell(static_cast<double>(stats.request_latency.Percentile(0.99)) / 1000.0);
+      PrintCell(p99_get);
+      PrintCell(p99_all);
+      PrintCell(static_cast<std::int64_t>(chip.senduipi_executed.Value()));
+      PrintCell(static_cast<std::int64_t>(chip.user_irqs_delivered.Value()));
+      PrintCell(static_cast<std::int64_t>(kernel.signals_sent.Value()));
+      PrintCell(static_cast<std::int64_t>(kernel.kernel_ipis_sent.Value()));
       EndRow();
+      reporter.AddRow()
+          .Str("mechanism", kind)
+          .Num("load_frac", frac)
+          .Num("offered_rps", capacity * frac)
+          .Num("p99_get_us", p99_get)
+          .Num("p99_all_us", p99_all)
+          .Int("senduipi_executed", static_cast<std::int64_t>(chip.senduipi_executed.Value()))
+          .Int("user_irqs_delivered",
+               static_cast<std::int64_t>(chip.user_irqs_delivered.Value()))
+          .Int("signals_sent", static_cast<std::int64_t>(kernel.signals_sent.Value()))
+          .Int("kernel_ipis_sent", static_cast<std::int64_t>(kernel.kernel_ipis_sent.Value()));
     }
   }
   std::printf(
       "\nExpected: GET p99 ordering user-ipi <= posted-ipi < kernel-ipi < signal\n"
       "<< none (head-of-line). Heavier mechanisms also erode high-load capacity\n"
-      "(the dispatcher and workers burn more time per preemption).\n");
+      "(the dispatcher and workers burn more time per preemption). The volume\n"
+      "columns are measured from the chip/kernel counters: only user-ipi\n"
+      "exercises the real SENDUIPI path; the modelled mechanisms apply flat\n"
+      "Table 6 costs without touching the chip, so their channels stay 0.\n");
+  reporter.WriteFile();
 }
 
 }  // namespace

@@ -73,21 +73,44 @@ void Main() {
   const std::vector<std::string> variants = {"user-timer", "user-deadline", "kernel-timer",
                                              "utimer-ipi", "none"};
 
+  BenchReporter reporter("ablation_tick");
+  reporter.MetaNum("workers", kWorkers);
+  reporter.MetaNum("quantum_us", static_cast<double>(kQuantum) / 1000.0);
+  reporter.MetaNum("offered_rps", rate);
+
+  // The utimer/uirq columns are measured interrupt volume from the chip and
+  // kernel counters: how many user timer IRQs fired and how often the kernel
+  // (re)programmed the timer on each path.
   PrintHeader("Ablation: tick path x RocksDB bimodal @60% (8 workers, q=15us)",
-              {"tick path", "achieved", "p999 slowdn", "ticks/ms"});
+              {"tick path", "achieved", "p999 slowdn", "ticks/ms", "utimer irq", "timer prog"});
   for (const std::string& kind : variants) {
     SystemSetup setup = MakeTickVariant(kind);
     LoadPointOptions options;
     options.warmup = Millis(100);
     options.measure = Millis(600);
     const LoadPointResult r = RunLoadPoint(setup, mix, rate, options);
+    const auto& chip = setup.chip->counters();
+    const auto& kernel = setup.kernel->counters();
+    const double ticks_per_ms = static_cast<double>(setup.percpu()->ticks()) /
+                                (static_cast<double>(options.measure + options.warmup) / 1e6);
     PrintCell(kind.c_str());
     PrintCell(r.achieved_rps / 1000.0);
     PrintCell(static_cast<double>(r.p999_slowdown_x100) / 100.0);
-    PrintCell(static_cast<double>(setup.percpu()->ticks()) /
-              (static_cast<double>(options.measure + options.warmup) / 1e6));
+    PrintCell(ticks_per_ms);
+    PrintCell(static_cast<std::int64_t>(chip.user_timer_irqs.Value()));
+    PrintCell(static_cast<std::int64_t>(kernel.timer_programs.Value()));
     EndRow();
+    reporter.AddRow()
+        .Str("tick_path", kind)
+        .Num("achieved_rps", r.achieved_rps)
+        .Num("p999_slowdown", static_cast<double>(r.p999_slowdown_x100) / 100.0)
+        .Num("ticks_per_ms", ticks_per_ms)
+        .Int("user_timer_irqs", static_cast<std::int64_t>(chip.user_timer_irqs.Value()))
+        .Int("user_irqs_delivered",
+             static_cast<std::int64_t>(chip.user_irqs_delivered.Value()))
+        .Int("timer_programs", static_cast<std::int64_t>(kernel.timer_programs.Value()));
   }
+  reporter.WriteFile();
   std::printf(
       "\nExpected: user-timer and user-deadline meet the same slowdown, but\n"
       "user-deadline takes far fewer ticks (none on idle/quiet cores);\n"

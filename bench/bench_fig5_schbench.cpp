@@ -49,15 +49,21 @@ void Main() {
   for (const int w : worker_counts) {
     cols.push_back(std::to_string(w) + " thr");
   }
+  BenchReporter reporter("fig5_schbench");
+  reporter.MetaNum("cores", kCores);
+
   PrintHeader("Fig.5 schbench p99 wakeup latency (us), 24 cores", cols);
   for (const Row& row : systems) {
     PrintCell(row.name);
     for (const int workers : worker_counts) {
       const std::int64_t p99 = RunSchbench(row.make, workers);
       PrintCell(static_cast<double>(p99) / 1000.0);
+      reporter.AddRow().Str("system", row.name).Int("workers", workers).Int("p99_wakeup_ns",
+                                                                            p99);
     }
     EndRow();
   }
+  reporter.WriteFile();
   std::printf(
       "\nExpected shape: skyloft-* stay ~1e2 us once workers > cores;\n"
       "linux-* rise to ~1e3-1e4 us; cfs <= rr; eevdf <= cfs within each family.\n");

@@ -36,6 +36,10 @@ void Main() {
   };
   const std::vector<double> load_fracs = {0.05, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95};
 
+  BenchReporter reporter("fig7a_single");
+  reporter.MetaNum("workers", kWorkers);
+  reporter.MetaNum("capacity_rps", capacity_rps);
+
   std::vector<std::string> cols = {"system", "load(kRPS)", "achieved", "p50(us)", "p99(us)"};
   PrintHeader("Fig.7a dispersive load, 20 workers: 99% latency vs load", cols);
   for (const Row& row : systems) {
@@ -53,6 +57,7 @@ void Main() {
       PrintCell(static_cast<double>(r.p50_ns) / 1000.0);
       PrintCell(static_cast<double>(r.p99_ns) / 1000.0);
       EndRow();
+      reporter.AddLoadPoint(row.name, r);
       // "Maximum throughput" = highest load still served (achieved within 2%
       // of offered) while meeting a 200 us 99% SLO — the knee where each
       // Fig. 7a curve goes vertical.
@@ -61,10 +66,13 @@ void Main() {
       }
     }
     std::printf("%16s  max throughput %.1f kRPS\n", row.name, max_good_rps / 1000.0);
+    reporter.AddRow().Str("label", std::string(row.name) + "-max").Num("max_good_rps",
+                                                                      max_good_rps);
   }
   std::printf(
       "\nExpected shape: skyloft ~= shinjuku; ghost max ~0.8x skyloft and ~3x\n"
       "p99 at low load; linux-cfs max ~0.59x skyloft.\n");
+  reporter.WriteFile();
 }
 
 }  // namespace

@@ -49,6 +49,10 @@ void Main() {
   const std::vector<const char*> systems = {"skyloft", "ghost", "linux"};
   const std::vector<double> load_fracs = {0.05, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95};
 
+  BenchReporter reporter("fig7b_colocated");
+  reporter.MetaNum("workers", kWorkers);
+  reporter.MetaNum("capacity_rps", capacity_rps);
+
   PrintHeader("Fig.7b dispersive LC + batch BE: 99% latency vs load",
               {"system", "load(kRPS)", "achieved", "p99(us)", "be-share"});
   for (const char* kind : systems) {
@@ -66,8 +70,10 @@ void Main() {
       PrintCell(static_cast<double>(r.p99_ns) / 1000.0);
       PrintCell(r.be_share);
       EndRow();
+      reporter.AddLoadPoint(kind, r);
     }
   }
+  reporter.WriteFile();
   std::printf(
       "\nExpected shape: skyloft p99 matches Fig.7a at every load (core\n"
       "allocation does not hurt the LC app); ghost saturates ~19%% earlier with\n"

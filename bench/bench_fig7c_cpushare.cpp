@@ -56,14 +56,21 @@ void Main() {
   for (const double f : load_fracs) {
     cols.push_back(std::to_string(static_cast<int>(f * 100)) + "% load");
   }
+  BenchReporter reporter("fig7c_cpushare");
+  reporter.MetaNum("workers", kWorkers);
+  reporter.MetaNum("capacity_rps", capacity_rps);
+
   PrintHeader("Fig.7c CPU share of the batch application vs LC load", cols);
   for (const char* kind : {"skyloft", "ghost", "linux", "shinjuku"}) {
     PrintCell(kind);
     for (const double frac : load_fracs) {
-      PrintCell(MeasureBeShare(kind, capacity_rps * frac, mix));
+      const double share = MeasureBeShare(kind, capacity_rps * frac, mix);
+      PrintCell(share);
+      reporter.AddRow().Str("system", kind).Num("load_frac", frac).Num("be_share", share);
     }
     EndRow();
   }
+  reporter.WriteFile();
   std::printf(
       "\nExpected shape: skyloft ~= ghost ~= linux (high share at low load,\n"
       "falling toward 0 near saturation); shinjuku pinned at 0.\n");

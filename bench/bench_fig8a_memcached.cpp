@@ -33,6 +33,10 @@ void Main() {
   };
   const std::vector<double> load_fracs = {0.05, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.98};
 
+  BenchReporter reporter("fig8a_memcached");
+  reporter.MetaNum("workers", kWorkers);
+  reporter.MetaNum("capacity_rps", capacity_rps);
+
   PrintHeader("Fig.8a Memcached USR, 4 workers: 99.9% latency vs load",
               {"system", "load(kRPS)", "achieved", "p99(us)", "p99.9(us)"});
   for (const Row& row : systems) {
@@ -50,8 +54,10 @@ void Main() {
       PrintCell(static_cast<double>(r.p99_ns) / 1000.0);
       PrintCell(static_cast<double>(r.p999_ns) / 1000.0);
       EndRow();
+      reporter.AddLoadPoint(row.name, r);
     }
   }
+  reporter.WriteFile();
   std::printf(
       "\nExpected shape: the two curves nearly overlap (within ~2%% max load);\n"
       "skyloft slightly lower tail at low load (no park/unpark penalty).\n");

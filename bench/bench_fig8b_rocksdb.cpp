@@ -41,6 +41,11 @@ void Main() {
                                           0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95};
   constexpr double kSloSlowdown = 50.0;
 
+  BenchReporter reporter("fig8b_rocksdb");
+  reporter.MetaNum("workers", kWorkers);
+  reporter.MetaNum("capacity_rps", capacity_rps);
+  reporter.MetaNum("slo_slowdown", kSloSlowdown);
+
   PrintHeader("Fig.8b RocksDB bimodal, 14 workers: 99.9% slowdown vs load",
               {"system", "load(kRPS)", "achieved", "p99.9 slowdn"});
   for (const Row& row : systems) {
@@ -59,13 +64,17 @@ void Main() {
       PrintCell(r.achieved_rps / 1000.0);
       PrintCell(slowdown);
       EndRow();
+      reporter.AddLoadPoint(row.name, r);
       if (slowdown <= kSloSlowdown && r.achieved_rps > 0.98 * r.offered_rps) {
         max_slo_rps = std::max(max_slo_rps, r.achieved_rps);
       }
     }
     std::printf("%16s  max load at %.0fx slowdown SLO: %.1f kRPS\n", row.name, kSloSlowdown,
                 max_slo_rps / 1000.0);
+    reporter.AddRow().Str("label", std::string(row.name) + "-max").Num("max_slo_rps",
+                                                                      max_slo_rps);
   }
+  reporter.WriteFile();
   std::printf(
       "\nExpected shape: skyloft-q5 sustains ~1.9x shenango's load at the 50x\n"
       "SLO; smaller quanta help; utimer ~13%% below skyloft-q5 (one fewer worker).\n");

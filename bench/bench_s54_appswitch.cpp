@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/bench_util.h"
 #include "src/libos/percpu_engine.h"
 #include "src/policies/round_robin.h"
 
@@ -59,19 +60,25 @@ void Main() {
 
   Rig rig;
   const CostModel& costs = rig.machine->costs();
+  BenchReporter reporter("s54_appswitch");
+  reporter.MetaNum("pairs", kPairs);
+  auto report = [&reporter](const char* op, double paper, double meas) {
+    std::printf("%-44s %10.0f %10.0f\n", op, paper, meas);
+    reporter.AddRow().Str("operation", op).Num("paper_ns", paper).Num("meas_ns", meas);
+  };
   std::printf("=== Section 5.4: thread/application switching ===\n");
   std::printf("%-44s %10s %10s\n", "operation", "paper ns", "meas ns");
-  std::printf("%-44s %10d %10.0f\n", "Skyloft inter-application uthread switch", 1905,
-              per_switch);
-  std::printf("%-44s %10d %10lld\n", "Linux kthread switch (both runnable)", 1124,
-              static_cast<long long>(costs.linux_kthread_switch_ns));
-  std::printf("%-44s %10d %10lld\n", "Linux kthread switch (wake first)", 2471,
-              static_cast<long long>(costs.linux_kthread_wake_switch_ns));
-  std::printf("%-44s %10d %10lld\n", "senduipi re-arm in timer handler (cycles)", 123,
-              static_cast<long long>(NsToCycles(costs.SenduipiSnRearmNs())));
+  report("Skyloft inter-application uthread switch", 1905, per_switch);
+  report("Linux kthread switch (both runnable)", 1124,
+         static_cast<double>(costs.linux_kthread_switch_ns));
+  report("Linux kthread switch (wake first)", 2471,
+         static_cast<double>(costs.linux_kthread_wake_switch_ns));
+  report("senduipi re-arm in timer handler (cycles)", 123,
+         static_cast<double>(NsToCycles(costs.SenduipiSnRearmNs())));
   std::printf(
       "\nShape check: inter-app switch ~1.9 us >> intra-app switch (~0.1 us),\n"
       "which is why policies should minimize cross-application switching (§3.3).\n");
+  reporter.WriteFile();
 }
 
 }  // namespace

@@ -18,12 +18,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/base/logging.h"
 #include "src/base/random.h"
 #include "src/base/time.h"
@@ -170,7 +170,7 @@ ProfileResult RunRandomHorizon(const char* engine_name, DurationNs sim_duration)
   return r;
 }
 
-void Report(const ProfileResult& ref, const ProfileResult& wheel, std::string& json,
+void Report(const ProfileResult& ref, const ProfileResult& wheel, BenchReporter& reporter,
             bool* ok) {
   SKYLOFT_CHECK(ref.name == wheel.name);
   if (ref.events != wheel.events) {
@@ -184,18 +184,14 @@ void Report(const ProfileResult& ref, const ProfileResult& wheel, std::string& j
               "wheel %8.3fs (%10.0f ev/s) | speedup %.2fx\n",
               ref.name.c_str(), static_cast<unsigned long long>(wheel.events), ref.wall_s,
               ref.events_per_s, wheel.wall_s, wheel.events_per_s, speedup);
-  char buf[512];
-  std::snprintf(buf, sizeof(buf),
-                "    {\"profile\": \"%s\", \"events\": %llu, "
-                "\"reference_wall_s\": %.6f, \"reference_events_per_s\": %.0f, "
-                "\"wheel_wall_s\": %.6f, \"wheel_events_per_s\": %.0f, "
-                "\"speedup\": %.3f}",
-                ref.name.c_str(), static_cast<unsigned long long>(wheel.events), ref.wall_s,
-                ref.events_per_s, wheel.wall_s, wheel.events_per_s, speedup);
-  if (!json.empty()) {
-    json += ",\n";
-  }
-  json += buf;
+  reporter.AddRow()
+      .Str("profile", ref.name)
+      .Int("events", static_cast<std::int64_t>(wheel.events))
+      .Num("reference_wall_s", ref.wall_s)
+      .Num("reference_events_per_s", ref.events_per_s)
+      .Num("wheel_wall_s", wheel.wall_s)
+      .Num("wheel_events_per_s", wheel.events_per_s)
+      .Num("speedup", speedup);
 }
 
 int Main(int argc, char** argv) {
@@ -212,12 +208,13 @@ int Main(int argc, char** argv) {
   const DurationNs horizon_duration = smoke ? Millis(60) : 2 * kSecond;
 
   bool ok = true;
-  std::string json;
+  BenchReporter reporter("simcore");
+  reporter.MetaBool("smoke", smoke);
 
   {
     auto ref = RunPeriodicHeavy<ReferenceSimulation>("reference", periodic_duration);
     auto wheel = RunPeriodicHeavy<Simulation>("wheel", periodic_duration);
-    Report(ref, wheel, json, &ok);
+    Report(ref, wheel, reporter, &ok);
     if (!smoke && ref.wall_s / wheel.wall_s < 2.0) {
       std::fprintf(stderr, "FAIL: periodic_heavy speedup below the 2x acceptance bar\n");
       ok = false;
@@ -226,15 +223,12 @@ int Main(int argc, char** argv) {
   {
     auto ref = RunRandomHorizon<ReferenceSimulation>("reference", horizon_duration);
     auto wheel = RunRandomHorizon<Simulation>("wheel", horizon_duration);
-    Report(ref, wheel, json, &ok);
+    Report(ref, wheel, reporter, &ok);
   }
 
-  std::ofstream out("BENCH_simcore.json");
-  out << "{\n  \"benchmark\": \"simcore_events\",\n  \"smoke\": "
-      << (smoke ? "true" : "false") << ",\n  \"profiles\": [\n"
-      << json << "\n  ]\n}\n";
-  out.close();
-  std::printf("wrote BENCH_simcore.json\n");
+  if (!reporter.WriteFile()) {
+    ok = false;
+  }
   return ok ? 0 : 1;
 }
 

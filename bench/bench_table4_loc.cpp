@@ -10,11 +10,15 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
+
 #ifndef SKYLOFT_SOURCE_DIR
 #define SKYLOFT_SOURCE_DIR "."
 #endif
 
 namespace {
+
+skyloft::BenchReporter* g_reporter = nullptr;
 
 int CountLoc(const std::vector<std::string>& files) {
   int loc = 0;
@@ -52,11 +56,14 @@ int CountLoc(const std::vector<std::string>& files) {
 
 void Row(const char* name, int paper_loc, int ours) {
   std::printf("%-38s %10d %12d\n", name, paper_loc, ours);
+  g_reporter->AddRow().Str("scheduler", name).Int("paper_loc", paper_loc).Int("repo_loc", ours);
 }
 
 }  // namespace
 
 int main() {
+  skyloft::BenchReporter reporter("table4_loc");
+  g_reporter = &reporter;
   std::printf("=== Table 4: lines of code per scheduler ===\n");
   std::printf("%-38s %10s %12s\n", "scheduler", "paper LOC", "this repo");
   Row("Linux CFS (kernel/sched/fair.c)", 6592, 0);
@@ -87,5 +94,6 @@ int main() {
       "one to two orders of magnitude below the kernel implementations.\n"
       "The same policy sources count for BOTH substrates: they include only\n"
       "src/sched and link into the simulator and the host runtime unchanged.\n");
+  reporter.WriteFile();
   return 0;
 }

@@ -1,11 +1,16 @@
 // Shared helpers for the figure/table benchmarks: open-loop load-point
-// driver with warmup, and fixed-width table printing.
+// driver with warmup, fixed-width table printing, and the BENCH_<name>.json
+// results reporter every bench emits for CI artifact collection.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <deque>
+#include <fstream>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/baselines/systems.h"
@@ -74,6 +79,130 @@ inline void PrintCell(double v) { std::printf("%16.1f", v); }
 inline void PrintCell(std::int64_t v) { std::printf("%16lld", static_cast<long long>(v)); }
 inline void PrintCell(const char* v) { std::printf("%16s", v); }
 inline void EndRow() { std::printf("\n"); }
+
+// Machine-readable results artifact. Every bench builds one of these and
+// calls WriteFile() before exiting, producing BENCH_<name>.json in the
+// working directory:
+//   {"benchmark":"<name>","meta":{...},"rows":[{...},...]}
+// Rows mirror the printed table; meta records the bench configuration.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string name) : name_(std::move(name)) {}
+
+  void MetaStr(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, Quote(value));
+  }
+  void MetaNum(const std::string& key, double value) { meta_.emplace_back(key, Render(value)); }
+  void MetaBool(const std::string& key, bool value) {
+    meta_.emplace_back(key, value ? "true" : "false");
+  }
+
+  class Row {
+   public:
+    Row& Num(const std::string& key, double v) {
+      fields_.emplace_back(key, Render(v));
+      return *this;
+    }
+    Row& Int(const std::string& key, std::int64_t v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Row& Str(const std::string& key, const std::string& v) {
+      fields_.emplace_back(key, Quote(v));
+      return *this;
+    }
+
+   private:
+    friend class BenchReporter;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  // Standard columns for an open-loop load point.
+  void AddLoadPoint(const std::string& label, const LoadPointResult& r) {
+    AddRow()
+        .Str("label", label)
+        .Num("offered_rps", r.offered_rps)
+        .Num("achieved_rps", r.achieved_rps)
+        .Int("p50_ns", r.p50_ns)
+        .Int("p99_ns", r.p99_ns)
+        .Int("p999_ns", r.p999_ns)
+        .Int("p999_slowdown_x100", r.p999_slowdown_x100)
+        .Num("be_share", r.be_share);
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"benchmark\":" + Quote(name_) + ",\"meta\":{";
+    bool first = true;
+    for (const auto& [key, value] : meta_) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += Quote(key) + ":" + value;
+    }
+    out += "},\"rows\":[";
+    first = true;
+    for (const Row& row : rows_) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += "{";
+      bool rfirst = true;
+      for (const auto& [key, value] : row.fields_) {
+        if (!rfirst) {
+          out += ",";
+        }
+        rfirst = false;
+        out += Quote(key) + ":" + value;
+      }
+      out += "}";
+    }
+    out += "]}";
+    return out;
+  }
+
+  bool WriteFile() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "failed to open %s for writing\n", path.c_str());
+      return false;
+    }
+    out << ToJson() << "\n";
+    std::printf("wrote %s\n", path.c_str());
+    return out.good();
+  }
+
+ private:
+  static std::string Render(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    out += "\"";
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::deque<Row> rows_;
+};
 
 }  // namespace skyloft
 

@@ -54,11 +54,16 @@ std::int64_t LatencyHistogram::Percentile(double q) const {
   q = std::clamp(q, 0.0, 1.0);
   const auto target =
       static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  if (target <= 1) {
+    // The quantile lands on the first sample: report the tracked minimum
+    // exactly instead of its bucket's upper bound, which can exceed it.
+    return min_;
+  }
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); i++) {
     seen += buckets_[i];
     if (seen >= target) {
-      return std::min(BucketUpperBound(static_cast<int>(i)), max_);
+      return std::clamp(BucketUpperBound(static_cast<int>(i)), min_, max_);
     }
   }
   return max_;

@@ -1,10 +1,12 @@
 // Log-bucketed latency histogram with percentile queries.
 //
 // HdrHistogram-style layout: values are bucketed with a fixed number of
-// sub-buckets per power-of-two range, giving a bounded relative error
-// (~1/kSubBuckets) over a huge dynamic range with O(1) recording. This is
-// what every benchmark uses to report p50/p99/p99.9 wakeup latencies and
-// slowdowns.
+// sub-buckets per power-of-two range, giving a bounded relative error over a
+// huge dynamic range with O(1) recording. With kSubBucketBits = 7 a bucketed
+// value lands in sub-bucket [64, 128) of its range, so the bucket upper
+// bound overshoots the true value by at most 1/64 (~1.6%); Percentile()
+// additionally clamps to the exact tracked [min, max]. This is what every
+// benchmark uses to report p50/p99/p99.9 wakeup latencies and slowdowns.
 #ifndef SRC_BASE_HISTOGRAM_H_
 #define SRC_BASE_HISTOGRAM_H_
 
@@ -21,7 +23,9 @@ class LatencyHistogram {
   void Record(std::int64_t value);
 
   // Value at quantile q in [0, 1]; returns 0 when empty. The returned value
-  // is an upper bound of the bucket containing the quantile.
+  // is the upper bound of the bucket containing the quantile (within 1/64
+  // above the true sample), clamped to the tracked [min, max]; q = 0 returns
+  // Min() exactly and q = 1 returns Max() exactly.
   std::int64_t Percentile(double q) const;
 
   std::int64_t Min() const { return count_ == 0 ? 0 : min_; }
@@ -35,7 +39,7 @@ class LatencyHistogram {
   void Merge(const LatencyHistogram& other);
 
  private:
-  static constexpr int kSubBucketBits = 7;  // 128 sub-buckets: <1% relative error
+  static constexpr int kSubBucketBits = 7;  // 128 sub-buckets: <=1/64 relative error
   static constexpr int kSubBuckets = 1 << kSubBucketBits;
   static constexpr int kBucketRanges = 64 - kSubBucketBits;
 

@@ -1,0 +1,188 @@
+#include "src/base/metrics.h"
+
+#include <cstdio>
+
+#include "src/base/logging.h"
+
+namespace skyloft {
+
+ShardedCounter::ShardedCounter(int shards)
+    : shards_(shards > 0 ? shards : 1),
+      lanes_(new Lane[static_cast<std::size_t>(shards_)]) {}
+
+std::uint64_t ShardedCounter::Value() const {
+  std::uint64_t total = 0;
+  for (int i = 0; i < shards_; i++) {
+    total += lanes_[static_cast<std::size_t>(i)].value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+MetricGroup::MetricGroup(std::string prefix) : prefix_(std::move(prefix)) {
+  MetricsRegistry::Global().Register(this);
+}
+
+MetricGroup::~MetricGroup() { MetricsRegistry::Global().Unregister(this); }
+
+Counter* MetricGroup::AddCounter(std::string name) {
+  counters_.emplace_back();
+  Entry entry;
+  entry.name = std::move(name);
+  entry.kind = MetricSample::Kind::kCounter;
+  entry.counter = &counters_.back();
+  entries_.push_back(std::move(entry));
+  return &counters_.back();
+}
+
+Gauge* MetricGroup::AddGauge(std::string name) {
+  gauges_.emplace_back();
+  Entry entry;
+  entry.name = std::move(name);
+  entry.kind = MetricSample::Kind::kGauge;
+  entry.gauge = &gauges_.back();
+  entries_.push_back(std::move(entry));
+  return &gauges_.back();
+}
+
+ShardedCounter* MetricGroup::AddSharded(std::string name, int shards) {
+  sharded_.emplace_back(shards);
+  Entry entry;
+  entry.name = std::move(name);
+  entry.kind = MetricSample::Kind::kCounter;
+  entry.sharded = &sharded_.back();
+  entries_.push_back(std::move(entry));
+  return &sharded_.back();
+}
+
+LatencyHistogram* MetricGroup::AddHistogram(std::string name) {
+  histograms_.emplace_back();
+  Entry entry;
+  entry.name = std::move(name);
+  entry.kind = MetricSample::Kind::kHistogram;
+  entry.histogram = &histograms_.back();
+  entries_.push_back(std::move(entry));
+  return &histograms_.back();
+}
+
+void MetricGroup::LinkHistogram(std::string name, const LatencyHistogram* histogram) {
+  SKYLOFT_CHECK(histogram != nullptr);
+  Entry entry;
+  entry.name = std::move(name);
+  entry.kind = MetricSample::Kind::kHistogram;
+  entry.histogram = histogram;
+  entries_.push_back(std::move(entry));
+}
+
+void MetricGroup::LinkValue(std::string name, std::function<std::int64_t()> read) {
+  SKYLOFT_CHECK(read != nullptr);
+  Entry entry;
+  entry.name = std::move(name);
+  entry.kind = MetricSample::Kind::kGauge;
+  entry.read = std::move(read);
+  entries_.push_back(std::move(entry));
+}
+
+void MetricGroup::LinkCounter(std::string name, const Counter* counter) {
+  SKYLOFT_CHECK(counter != nullptr);
+  Entry entry;
+  entry.name = std::move(name);
+  entry.kind = MetricSample::Kind::kCounter;
+  entry.counter = counter;
+  entries_.push_back(std::move(entry));
+}
+
+void MetricGroup::Sample(std::vector<MetricSample>* out) const {
+  for (const Entry& entry : entries_) {
+    MetricSample sample;
+    sample.name = prefix_ + "." + entry.name;
+    sample.kind = entry.kind;
+    if (entry.counter != nullptr) {
+      sample.value = static_cast<std::int64_t>(entry.counter->Value());
+    } else if (entry.sharded != nullptr) {
+      sample.value = static_cast<std::int64_t>(entry.sharded->Value());
+    } else if (entry.gauge != nullptr) {
+      sample.value = entry.gauge->Value();
+    } else if (entry.read) {
+      sample.value = entry.read();
+    } else if (entry.histogram != nullptr) {
+      const LatencyHistogram& h = *entry.histogram;
+      sample.count = h.Count();
+      sample.min = h.Min();
+      sample.p50 = h.Percentile(0.50);
+      sample.p99 = h.Percentile(0.99);
+      sample.max = h.Max();
+      sample.mean = h.Mean();
+    }
+    out->push_back(std::move(sample));
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void MetricsRegistry::Register(MetricGroup* group) {
+  std::lock_guard<std::mutex> lock(mu_);
+  groups_.push_back(group);
+}
+
+void MetricsRegistry::Unregister(MetricGroup* group) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < groups_.size(); i++) {
+    if (groups_[i] == group) {
+      groups_.erase(groups_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  for (const MetricGroup* group : groups_) {
+    group->Sample(&out);
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const std::vector<MetricSample> samples = Snapshot();
+  std::string out = "{";
+  bool first = true;
+  char buf[64];
+  for (const MetricSample& s : samples) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + s.name + "\":";
+    if (s.kind == MetricSample::Kind::kHistogram) {
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(s.count));
+      out += std::string("{\"count\":") + buf;
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(s.min));
+      out += std::string(",\"min\":") + buf;
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(s.p50));
+      out += std::string(",\"p50\":") + buf;
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(s.p99));
+      out += std::string(",\"p99\":") + buf;
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(s.max));
+      out += std::string(",\"max\":") + buf;
+      std::snprintf(buf, sizeof(buf), "%.3f", s.mean);
+      out += std::string(",\"mean\":") + buf + "}";
+    } else {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(s.value));
+      out += buf;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+int MetricsRegistry::group_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(groups_.size());
+}
+
+}  // namespace skyloft

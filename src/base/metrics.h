@@ -1,0 +1,175 @@
+// Unified metrics layer shared by both substrates (simulated libos engines
+// and the host M:N runtime).
+//
+// Design: hot paths touch only the metric object itself — a relaxed-atomic
+// increment for Counter/ShardedCounter, a relaxed store for Gauge — and never
+// the registry. The registry is a mutex-guarded list of MetricGroups consulted
+// only by Snapshot()/ToJson(), which benches and tests call while the system
+// is quiesced. ShardedCounter keeps one cache line per shard and aggregates
+// on read, so per-worker increments (steals, preemptions) never contend.
+//
+// Ownership: a MetricGroup registers itself on construction and unregisters
+// on destruction, so groups may come and go (benches build many engines in a
+// row). Metrics created through Add* are owned by the group in stable
+// storage; Link* entries reference externally-owned state (EngineStats
+// histograms, chip counters) that must outlive the group.
+#ifndef SRC_BASE_METRICS_H_
+#define SRC_BASE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/compiler.h"
+#include "src/base/histogram.h"
+
+namespace skyloft {
+
+// Monotonically increasing event count. Inc() is async-signal-safe and
+// lock-free; the host runtime bumps counters from the preemption signal
+// handler.
+class Counter {
+ public:
+  SKYLOFT_SIGNAL_SAFE void Inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-writer-wins instantaneous value (queue depth, active workers).
+class Gauge {
+ public:
+  SKYLOFT_SIGNAL_SAFE void Set(std::int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Counter split across cache-line-padded lanes; writers pick a lane (their
+// shard/worker index) so concurrent increments never bounce a line. Reads
+// aggregate across lanes.
+class ShardedCounter {
+ public:
+  explicit ShardedCounter(int shards);
+
+  SKYLOFT_SIGNAL_SAFE void Inc(int shard, std::uint64_t n = 1) {
+    lanes_[static_cast<std::size_t>(shard) % static_cast<std::size_t>(shards_)]
+        .value.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const;
+  int shards() const { return shards_; }
+
+ private:
+  struct alignas(kCacheLineSize) Lane {
+    std::atomic<std::uint64_t> value{0};
+  };
+  int shards_;
+  std::unique_ptr<Lane[]> lanes_;
+};
+
+// One sampled metric in a registry snapshot. Histograms carry a percentile
+// summary instead of raw buckets.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;  // "<group prefix>.<metric name>"
+  Kind kind = Kind::kCounter;
+  std::int64_t value = 0;  // counters and gauges
+  // Histogram summary (valid when kind == kHistogram).
+  std::uint64_t count = 0;
+  std::int64_t min = 0;
+  std::int64_t p50 = 0;
+  std::int64_t p99 = 0;
+  std::int64_t max = 0;
+  double mean = 0.0;
+};
+
+// A named bundle of metrics belonging to one component ("runtime",
+// "host_sched", "uintr", ...). Registers with the global registry for its
+// lifetime. Not thread-safe for concurrent Add*/Link* — populate at setup
+// time, before the component goes hot.
+class MetricGroup {
+ public:
+  explicit MetricGroup(std::string prefix);
+  ~MetricGroup();
+
+  MetricGroup(const MetricGroup&) = delete;
+  MetricGroup& operator=(const MetricGroup&) = delete;
+
+  Counter* AddCounter(std::string name);
+  Gauge* AddGauge(std::string name);
+  ShardedCounter* AddSharded(std::string name, int shards);
+  LatencyHistogram* AddHistogram(std::string name);
+
+  // Reference externally-owned state. The pointee / captured state must
+  // outlive this group.
+  void LinkHistogram(std::string name, const LatencyHistogram* histogram);
+  void LinkValue(std::string name, std::function<std::int64_t()> read);
+  void LinkCounter(std::string name, const Counter* counter);
+
+  const std::string& prefix() const { return prefix_; }
+
+  // Appends one MetricSample per entry, names qualified with the prefix.
+  void Sample(std::vector<MetricSample>* out) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricSample::Kind kind = MetricSample::Kind::kCounter;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const ShardedCounter* sharded = nullptr;
+    const LatencyHistogram* histogram = nullptr;
+    std::function<std::int64_t()> read;
+  };
+
+  std::string prefix_;
+  // Stable storage for owned metrics: entries hand out raw pointers.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<ShardedCounter> sharded_;
+  std::deque<LatencyHistogram> histograms_;
+  std::vector<Entry> entries_;
+};
+
+// Process-wide list of live MetricGroups. All methods take an internal mutex;
+// none are called on scheduling hot paths.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  void Register(MetricGroup* group);
+  void Unregister(MetricGroup* group);
+
+  // Samples every registered group. Safe to call while metrics are being
+  // incremented (reads are relaxed atomics); histogram reads assume the
+  // recording side is quiesced, which holds for the single-threaded sim and
+  // for benches sampling after Run() returns.
+  std::vector<MetricSample> Snapshot() const;
+
+  // Snapshot rendered as a JSON object keyed by qualified metric name.
+  std::string ToJson() const;
+
+  int group_count() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::vector<MetricGroup*> groups_;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_BASE_METRICS_H_

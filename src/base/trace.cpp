@@ -1,0 +1,102 @@
+#include "src/base/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace skyloft {
+
+const char* TraceEventName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kAssign:
+      return "assign";
+    case TraceEventType::kSegmentEnd:
+      return "segment_end";
+    case TraceEventType::kPreempt:
+      return "preempt";
+    case TraceEventType::kAppSwitch:
+      return "app_switch";
+    case TraceEventType::kFault:
+      return "fault";
+    case TraceEventType::kFaultDone:
+      return "fault_done";
+    case TraceEventType::kRun:
+      return "run";
+    case TraceEventType::kFaultStall:
+      return "fault_stall";
+    case TraceEventType::kSignal:
+      return "preempt_signal";
+    case TraceEventType::kDeferred:
+      return "preempt_deferred";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> SchedTracer::Snapshot() const {
+  const std::uint64_t total = total_.load(std::memory_order_relaxed);
+  const std::size_t n =
+      total < capacity_ ? static_cast<std::size_t>(total) : capacity_;
+  // Once wrapped, the slot the next write would take is the oldest event.
+  const std::size_t start =
+      total < capacity_ ? 0 : static_cast<std::size_t>(total % capacity_);
+  std::vector<TraceEvent> ordered;
+  ordered.reserve(n);
+  for (std::size_t i = 0; i < n; i++) {
+    ordered.push_back(events_[(start + i) % capacity_]);
+  }
+  return ordered;
+}
+
+std::size_t SchedTracer::size() const {
+  const std::uint64_t total = total_.load(std::memory_order_relaxed);
+  return total < capacity_ ? static_cast<std::size_t>(total) : capacity_;
+}
+
+std::size_t SchedTracer::CountOf(TraceEventType type) const {
+  const std::size_t n = size();
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; i++) {
+    if (events_[i].type == type) {
+      count++;
+    }
+  }
+  return count;
+}
+
+const char* TraceEventToJson(const TraceEvent& event, char* buf, std::size_t len) {
+  // Chrome-trace timestamps are microseconds; emit 3 decimals to keep ns
+  // resolution so sub-µs scheduling events stay distinct.
+  const double ts_us = static_cast<double>(event.when) / 1000.0;
+  if (event.dur >= 0) {
+    const double dur_us = static_cast<double>(event.dur) / 1000.0;
+    std::snprintf(buf, len,
+                  "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                  "\"pid\":%d,\"tid\":%d,\"args\":{\"task\":%" PRIu64 "}}",
+                  TraceEventName(event.type), ts_us, dur_us, event.app_id,
+                  event.worker, event.task_id);
+  } else {
+    // Instant events require a scope; "t" (thread) matches pid/tid scoping.
+    std::snprintf(buf, len,
+                  "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,"
+                  "\"pid\":%d,\"tid\":%d,\"args\":{\"task\":%" PRIu64 "}}",
+                  TraceEventName(event.type), ts_us, event.app_id, event.worker,
+                  event.task_id);
+  }
+  return buf;
+}
+
+std::string SchedTracer::ToJson() const {
+  std::string out = "[";
+  bool first = true;
+  char buf[256];
+  for (const TraceEvent& event : Snapshot()) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += TraceEventToJson(event, buf, sizeof(buf));
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace skyloft

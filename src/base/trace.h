@@ -1,0 +1,126 @@
+// Cross-layer scheduling-event tracer.
+//
+// A fixed-capacity ring of timestamped scheduling events shared by both
+// substrates: the simulated libos engines emit assignments, preemptions,
+// application switches and faults, and the host M:N runtime emits the same
+// vocabulary from real worker threads — including from inside the preemption
+// signal handler. Events are either instants ("ph":"i") or duration spans
+// ("ph":"X" complete events: core-occupancy segments, app switches, fault
+// stalls). Dumps as a chrome://tracing / Perfetto-loadable JSON array.
+//
+// Concurrency: RecordEvent reserves a slot with one relaxed fetch_add and
+// then does plain stores, so it is async-signal-safe and allocation-free
+// (skylint's signal-unsafe-call rule holds for the host preemption path) and
+// multiple host workers can record concurrently without locks. Readers
+// (Snapshot/CountOf/ToJson) assume the recording side is quiesced — after
+// Simulation::Run or Runtime::Run returns.
+#ifndef SRC_BASE_TRACE_H_
+#define SRC_BASE_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/compiler.h"
+#include "src/base/time.h"
+
+namespace skyloft {
+
+enum class TraceEventType : std::uint8_t {
+  kAssign,      // task placed on a core (instant)
+  kSegmentEnd,  // task segment completed: finish or block (instant)
+  kPreempt,     // task preempted off a core (instant)
+  kAppSwitch,   // inter-application kthread switch on a core (span: switch cost)
+  kFault,       // page fault blocked the core's kthread (instant)
+  kFaultDone,   // fault resolved (instant)
+  kRun,         // core occupied by one task segment (span)
+  kFaultStall,  // core stalled on a fault, start..resolution (span)
+  kSignal,      // host preemption signal accepted at a safe point (instant)
+  kDeferred,    // host preemption signal deferred at an unsafe PC (instant)
+};
+
+const char* TraceEventName(TraceEventType type);
+
+struct TraceEvent {
+  TimeNs when = 0;
+  DurationNs dur = -1;  // >= 0: "ph":"X" complete event; < 0: instant
+  TraceEventType type = TraceEventType::kAssign;
+  int worker = -1;
+  std::uint64_t task_id = 0;
+  int app_id = -1;
+};
+
+class SchedTracer {
+ public:
+  explicit SchedTracer(std::size_t capacity = 1 << 16)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    events_.resize(capacity_);
+  }
+
+  SchedTracer(const SchedTracer&) = delete;
+  SchedTracer& operator=(const SchedTracer&) = delete;
+
+  // Hot-path recording. Reserves a ring slot and fills it in place; wraps by
+  // overwriting the oldest event once capacity is exceeded. Safe to call
+  // concurrently from multiple workers and from the preemption signal
+  // handler (no allocation, no locks, no stdio).
+  SKYLOFT_SIGNAL_SAFE void RecordEvent(TimeNs when, TraceEventType type, int worker,
+                                       std::uint64_t task_id, int app_id,
+                                       DurationNs dur = -1) {
+    const std::uint64_t seq = total_.fetch_add(1, std::memory_order_relaxed);
+    TraceEvent& slot = events_[static_cast<std::size_t>(seq % capacity_)];
+    slot.when = when;
+    slot.dur = dur;
+    slot.type = type;
+    slot.worker = worker;
+    slot.task_id = task_id;
+    slot.app_id = app_id;
+  }
+
+  // Instant-event shorthand kept for the (single-threaded) sim engines.
+  void Record(TimeNs when, TraceEventType type, int worker, std::uint64_t task_id,
+              int app_id) {
+    RecordEvent(when, type, worker, task_id, app_id, /*dur=*/-1);
+  }
+
+  // Duration ("ph":"X") shorthand: a span starting at `start` lasting `dur`.
+  void RecordSpan(TimeNs start, DurationNs dur, TraceEventType type, int worker,
+                  std::uint64_t task_id, int app_id) {
+    RecordEvent(start, type, worker, task_id, app_id, dur >= 0 ? dur : 0);
+  }
+
+  // Events in record order (oldest retained first), accounting for wrap.
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Counts events of one type over the retained window.
+  std::size_t CountOf(TraceEventType type) const;
+
+  // chrome://tracing "trace events" JSON array. Instants carry the mandatory
+  // "s":"t" scope; timestamps/durations are fractional microseconds with ns
+  // resolution (3 decimals), so sub-µs events stay distinct in viewers.
+  std::string ToJson() const;
+
+  // Number of events ever recorded (may exceed the retained window).
+  std::uint64_t total_recorded() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  // Number of events currently retained: min(total_recorded, capacity).
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  void Clear() { total_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::atomic<std::uint64_t> total_{0};
+};
+
+// Formats one event as a chrome-trace JSON object into buf; returns buf.
+// Exposed for the golden-string tests.
+const char* TraceEventToJson(const TraceEvent& event, char* buf, std::size_t len);
+
+}  // namespace skyloft
+
+#endif  // SRC_BASE_TRACE_H_

@@ -5,7 +5,14 @@
 namespace skyloft {
 
 KernelSim::KernelSim(Machine* machine, UintrChip* chip)
-    : machine_(machine), chip_(chip), isolated_(static_cast<std::size_t>(machine->num_cores()), false) {}
+    : machine_(machine), chip_(chip), isolated_(static_cast<std::size_t>(machine->num_cores()), false) {
+  metrics_.LinkCounter("app_switches", &counters_.app_switches);
+  metrics_.LinkCounter("parks", &counters_.parks);
+  metrics_.LinkCounter("wakeups", &counters_.wakeups);
+  metrics_.LinkCounter("timer_programs", &counters_.timer_programs);
+  metrics_.LinkCounter("signals_sent", &counters_.signals_sent);
+  metrics_.LinkCounter("kernel_ipis_sent", &counters_.kernel_ipis_sent);
+}
 
 Tid KernelSim::CreateThread(int app_id) {
   auto kt = std::make_unique<KernelThread>();
@@ -68,6 +75,7 @@ int KernelSim::CountRunnableBound(CoreId core) const {
 
 DurationNs KernelSim::SkyloftParkOnCpu(Tid tid, CoreId core) {
   KernelThread& kt = thread(tid);
+  counters_.parks.Inc();
   SKYLOFT_CHECK(kt.state == KthreadState::kRunnable);
   kt.affinity = core;
   kt.state = KthreadState::kSuspended;
@@ -77,6 +85,7 @@ DurationNs KernelSim::SkyloftParkOnCpu(Tid tid, CoreId core) {
 DurationNs KernelSim::SkyloftSwitchTo(Tid cur, Tid target) {
   KernelThread& from = thread(cur);
   KernelThread& to = thread(target);
+  counters_.app_switches.Inc();
   SKYLOFT_CHECK(from.state == KthreadState::kRunnable)
       << "switch_to from a non-runnable thread " << cur;
   SKYLOFT_CHECK(to.state == KthreadState::kSuspended)
@@ -93,6 +102,7 @@ DurationNs KernelSim::SkyloftSwitchTo(Tid cur, Tid target) {
 
 DurationNs KernelSim::SkyloftWakeup(Tid tid) {
   KernelThread& kt = thread(tid);
+  counters_.wakeups.Inc();
   SKYLOFT_CHECK(kt.state == KthreadState::kSuspended);
   kt.state = KthreadState::kRunnable;
   if (kt.affinity != kInvalidCore && IsIsolated(kt.affinity)) {
@@ -104,6 +114,7 @@ DurationNs KernelSim::SkyloftWakeup(Tid tid) {
 
 DurationNs KernelSim::SkyloftTimerEnable(CoreId core, Upid* upid) {
   UserInterruptUnit& unit = chip_->unit(core);
+  counters_.timer_programs.Inc();
   // §3.2 configuration step 1: recognize the LAPIC timer vector as a user
   // interrupt. The UPID has SN set so self-SENDUIPIs post without IPIs.
   upid->sn = true;
@@ -116,6 +127,7 @@ DurationNs KernelSim::SkyloftTimerEnable(CoreId core, Upid* upid) {
 
 DurationNs KernelSim::SkyloftTimerSetHz(CoreId core, std::int64_t hz) {
   ApicTimer& timer = chip_->timer(core);
+  counters_.timer_programs.Inc();
   if (timer.enabled() && timer.hz() == hz) {
     // Redundant reprogram: the periodic tick stream is already armed at this
     // frequency; keep its event node in place instead of restarting the
@@ -129,6 +141,7 @@ DurationNs KernelSim::SkyloftTimerSetHz(CoreId core, std::int64_t hz) {
 
 DurationNs KernelSim::SendSignal(CoreId from_core, Tid tid, SignalHandler handler) {
   const KernelThread& kt = thread(tid);
+  counters_.signals_sent.Inc();
   SKYLOFT_CHECK(kt.state != KthreadState::kExited);
   const CostModel& costs = machine_->costs();
   machine_->sim().ScheduleAfter(costs.SignalDeliveryNs(),
@@ -137,6 +150,7 @@ DurationNs KernelSim::SendSignal(CoreId from_core, Tid tid, SignalHandler handle
 }
 
 DurationNs KernelSim::SendKernelIpi(CoreId from_core, CoreId to_core, SignalHandler handler) {
+  counters_.kernel_ipis_sent.Inc();
   const CostModel& costs = machine_->costs();
   machine_->sim().ScheduleAfter(costs.KernelIpiDeliveryNs(),
                                 [handler = std::move(handler)] { handler(); });

@@ -18,10 +18,22 @@
 #include <vector>
 
 #include "src/base/compiler.h"
+#include "src/base/metrics.h"
 #include "src/simcore/machine.h"
 #include "src/uintr/uintr_chip.h"
 
 namespace skyloft {
+
+// Kernel-side operation counts: the ioctl surface plus the two legacy
+// notification mechanisms (signals, kernel IPIs) the baselines lean on.
+struct KernelSimCounters {
+  Counter app_switches;      // skyloft_switch_to calls
+  Counter parks;             // skyloft_park_on_cpu calls
+  Counter wakeups;           // skyloft_wakeup calls
+  Counter timer_programs;    // skyloft_timer_enable/set_hz calls
+  Counter signals_sent;      // SendSignal (Shenango-style preemption)
+  Counter kernel_ipis_sent;  // SendKernelIpi (ghOSt-style preemption)
+};
 
 using Tid = int;
 inline constexpr Tid kInvalidTid = -1;
@@ -109,6 +121,9 @@ class KernelSim {
   Machine& machine() { return *machine_; }
   UintrChip& chip() { return *chip_; }
 
+  // Measured kernel operation volume since construction.
+  const KernelSimCounters& counters() const { return counters_; }
+
  private:
   int CountRunnableBound(CoreId core) const;
 
@@ -116,6 +131,8 @@ class KernelSim {
   UintrChip* chip_;
   std::vector<std::unique_ptr<KernelThread>> threads_;
   std::vector<bool> isolated_;
+  KernelSimCounters counters_;
+  MetricGroup metrics_{"kernelsim"};
 };
 
 }  // namespace skyloft

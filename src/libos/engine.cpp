@@ -17,6 +17,7 @@ Engine::Engine(Machine* machine, UintrChip* chip, KernelSim* kernel, SchedPolicy
   runs_.resize(config_.worker_cores.size());
   kernel_->IsolateCores(config_.worker_cores);
   policy_->SchedInit(this);
+  stats_.LinkTo(&metrics_);
 }
 
 Engine::~Engine() = default;
@@ -64,7 +65,9 @@ Task* Engine::NewTask(App* app, DurationNs service_ns, int kind) {
   task->app = app;
   task->remaining_ns = service_ns;
   task->total_service_ns = service_ns;
-  task->kind = kind;
+  // Kinds index the fixed per-kind stat arrays; clamp so a misbehaving
+  // workload degrades to the last kind instead of indexing out of bounds.
+  task->kind = std::clamp(kind, 0, EngineStats::kMaxKinds - 1);
   task->state = TaskState::kCreated;
   return task;
 }
@@ -99,12 +102,14 @@ void Engine::InjectPageFault(int worker, DurationNs fault_ns) {
   }
   task->state = TaskState::kBlocked;
   run.faulted_app = task->app;
+  const TimeNs fault_at = Now();
   Trace(TraceEventType::kFault, worker, task);
-  machine_->sim().ScheduleAfter(fault_ns, [this, worker, task] {
+  machine_->sim().ScheduleAfter(fault_ns, [this, worker, task, fault_at, fault_ns] {
     // Fault resolved: the kthread is runnable again; the task re-enters the
     // runqueues and competes normally (it may resume on another core).
     runs_[static_cast<std::size_t>(worker)].faulted_app = nullptr;
     task->state = TaskState::kRunnable;
+    TraceSpan(TraceEventType::kFaultStall, worker, task, fault_at, fault_ns);
     Trace(TraceEventType::kFaultDone, worker, task);
     policy_->TaskEnqueue(task, kEnqueueWakeup, worker);
     OnTaskAvailable(worker);
@@ -181,15 +186,18 @@ void Engine::AssignTask(int worker, Task* task, DurationNs pre_overhead_ns) {
     SKYLOFT_CHECK(run.app != nullptr);
     const Tid cur = run.app->kthreads[static_cast<std::size_t>(worker)];
     const Tid target = task->app->kthreads[static_cast<std::size_t>(worker)];
-    overhead += kernel_->SkyloftSwitchTo(cur, target);
+    const DurationNs switch_cost = kernel_->SkyloftSwitchTo(cur, target);
+    overhead += switch_cost;
     run.app = task->app;
-    Trace(TraceEventType::kAppSwitch, worker, task);
+    // Duration event: the core is unavailable for the switch cost.
+    TraceSpan(TraceEventType::kAppSwitch, worker, task, now, switch_cost);
   }
   Trace(TraceEventType::kAssign, worker, task);
 
   const TimeNs start = now + overhead;
   run.current = task;
   run.run_start = start;
+  run.span_start = start;
   run.last_account = start;
   run.completion_at = start + task->remaining_ns;
   run.completion_ev =
@@ -238,6 +246,7 @@ Task* Engine::DetachCurrent(int worker) {
   const DurationNs ran = now - run.run_start;
   task->app->cpu_time_ns += ran;
   run.busy_ns += ran;
+  TraceSpan(TraceEventType::kRun, worker, task, run.span_start, now - run.span_start);
   task->state = TaskState::kRunnable;
   run.current = nullptr;
   run.idle_since = now;
@@ -273,6 +282,7 @@ void Engine::FinishSegment(int worker) {
   run.idle_since = now;
   OnUnassigned(worker);
   task->remaining_ns = 0;
+  TraceSpan(TraceEventType::kRun, worker, task, run.span_start, now - run.span_start);
   Trace(TraceEventType::kSegmentEnd, worker, task);
 
   const SegmentAction action =
@@ -282,16 +292,18 @@ void Engine::FinishSegment(int worker) {
     stats_.completed++;
     const DurationNs latency = now - task->submit_time;
     stats_.request_latency.Record(latency);
+    // NewTask clamps kinds into range; re-clamp defensively so a stray
+    // direct write to task->kind still cannot index out of bounds.
+    const auto kind = static_cast<std::size_t>(
+        std::clamp(task->kind, 0, EngineStats::kMaxKinds - 1));
+    SKYLOFT_DCHECK(static_cast<int>(kind) == task->kind)
+        << "task " << task->id << " has out-of-range kind " << task->kind;
     if (task->total_service_ns > 0) {
       const std::int64_t slowdown = latency * 100 / task->total_service_ns;
       stats_.slowdown_x100.Record(slowdown);
-      if (task->kind >= 0 && task->kind < EngineStats::kMaxKinds) {
-        stats_.slowdown_by_kind_x100[static_cast<std::size_t>(task->kind)].Record(slowdown);
-      }
+      stats_.slowdown_by_kind_x100[kind].Record(slowdown);
     }
-    if (task->kind >= 0 && task->kind < EngineStats::kMaxKinds) {
-      stats_.latency_by_kind[static_cast<std::size_t>(task->kind)].Record(latency);
-    }
+    stats_.latency_by_kind[kind].Record(latency);
     policy_->TaskTerminate(task);
     task->on_segment_end = nullptr;
     free_tasks_.push_back(task);

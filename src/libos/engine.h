@@ -17,12 +17,13 @@
 #include <string>
 #include <vector>
 
+#include "src/base/metrics.h"
+#include "src/base/trace.h"
 #include "src/kernelsim/kernel_sim.h"
 #include "src/libos/app.h"
 #include "src/libos/engine_stats.h"
 #include "src/sched/policy.h"
 #include "src/libos/task.h"
-#include "src/libos/trace.h"
 #include "src/simcore/machine.h"
 #include "src/uintr/uintr_chip.h"
 
@@ -132,6 +133,7 @@ class Engine : public EngineView {
     Task* current = nullptr;
     App* app = nullptr;        // application active on this core
     TimeNs run_start = 0;      // when `current` began executing
+    TimeNs span_start = 0;     // occupancy-span origin (not reset by accounting)
     TimeNs completion_at = 0;  // scheduled end of current segment
     EventId completion_ev = kInvalidEventId;
     TimeNs last_account = 0;   // policy time-accounting watermark
@@ -193,6 +195,15 @@ class Engine : public EngineView {
     }
   }
 
+  // Emits a "ph":"X" complete event covering [start, start + dur).
+  void TraceSpan(TraceEventType type, int worker, const Task* task, TimeNs start,
+                 DurationNs dur) {
+    if (tracer_ != nullptr && dur > 0) {
+      tracer_->RecordSpan(start, dur, type, worker, task != nullptr ? task->id : 0,
+                          task != nullptr && task->app != nullptr ? task->app->id : -1);
+    }
+  }
+
   Machine* machine_;
   UintrChip* chip_;
   KernelSim* kernel_;
@@ -207,6 +218,9 @@ class Engine : public EngineView {
   EngineStats stats_;
   SchedTracer* tracer_ = nullptr;
   bool started_ = false;
+  // Declared after stats_ so it unregisters (destructor order) before the
+  // linked stats block goes away.
+  MetricGroup metrics_{"engine"};
 };
 
 }  // namespace skyloft

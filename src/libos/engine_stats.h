@@ -6,8 +6,10 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "src/base/histogram.h"
+#include "src/base/metrics.h"
 #include "src/base/time.h"
 
 namespace skyloft {
@@ -44,6 +46,22 @@ struct EngineStats {
       return 0.0;
     }
     return static_cast<double>(completed) * 1e9 / static_cast<double>(window);
+  }
+
+  // Registers every stat on `group` so engine telemetry shows up in the
+  // unified MetricsRegistry snapshot; this stats block must outlive `group`.
+  void LinkTo(MetricGroup* group) const {
+    group->LinkHistogram("wakeup_latency_ns", &wakeup_latency);
+    group->LinkHistogram("request_latency_ns", &request_latency);
+    group->LinkHistogram("slowdown_x100", &slowdown_x100);
+    for (int k = 0; k < kMaxKinds; k++) {
+      const std::string suffix = std::to_string(k);
+      group->LinkHistogram("latency_by_kind_ns." + suffix,
+                           &latency_by_kind[static_cast<std::size_t>(k)]);
+      group->LinkHistogram("slowdown_by_kind_x100." + suffix,
+                           &slowdown_by_kind_x100[static_cast<std::size_t>(k)]);
+    }
+    group->LinkValue("completed", [this] { return static_cast<std::int64_t>(completed); });
   }
 };
 

@@ -62,6 +62,7 @@ struct HostSched::Shard : EngineView {
 
 HostSched::HostSched(int workers, const HostSchedOptions& options) : workers_(workers) {
   SKYLOFT_CHECK(workers_ >= 1);
+  steals_ = metrics_.AddSharded("steals", workers_);
   int shards = options.shards;
   if (options.custom_policy != nullptr) {
     shards = 1;  // one instance cannot be split
@@ -160,7 +161,7 @@ SchedItem* HostSched::Retire(SchedItem* dead, int worker) {
       shard->policy->SchedBalance(local);
       next = shard->policy->TaskDequeue(local);
       if (next != nullptr) {
-        steals_.fetch_add(1, std::memory_order_relaxed);
+        steals_->Inc(worker);
       }
     }
   }
@@ -184,7 +185,7 @@ SchedItem* HostSched::Dequeue(int worker) {
       shard->policy->SchedBalance(local);
       item = shard->policy->TaskDequeue(local);
       if (item != nullptr) {
-        steals_.fetch_add(1, std::memory_order_relaxed);
+        steals_->Inc(worker);
       }
     }
   }
@@ -216,7 +217,7 @@ SchedItem* HostSched::Requeue(SchedItem* item, unsigned flags, int worker) {
       shard->policy->SchedBalance(local);
       next = shard->policy->TaskDequeue(local);
       if (next != nullptr) {
-        steals_.fetch_add(1, std::memory_order_relaxed);
+        steals_->Inc(worker);
       }
     }
   }

@@ -22,6 +22,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/base/metrics.h"
 #include "src/sched/policy.h"
 
 namespace skyloft {
@@ -92,7 +93,7 @@ class HostSched {
   SKYLOFT_NO_SWITCH void SetIdle(int worker, bool idle);
 
   std::size_t Queued() const;  // across all shards
-  std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  std::uint64_t steals() const { return steals_->Value(); }
   const char* PolicyName() const;
   int workers() const { return workers_; }
 
@@ -109,7 +110,10 @@ class HostSched {
   // deltas; balancing moves are invisible to it, hence "approximate".
   std::unique_ptr<std::atomic<bool>[]> idle_;
   std::unique_ptr<std::atomic<int>[]> approx_len_;
-  std::atomic<std::uint64_t> steals_{0};
+  MetricGroup metrics_{"host_sched"};
+  // Owned by metrics_; one cache-line lane per worker so the balance-rescue
+  // paths never contend on a shared counter word.
+  ShardedCounter* steals_ = nullptr;
   mutable std::atomic<unsigned> rr_shard_{0};
 };
 

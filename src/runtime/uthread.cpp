@@ -8,6 +8,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <ctime>
 #include <new>
 
 #include "src/base/logging.h"
@@ -164,6 +165,16 @@ std::int64_t MonotonicNs() {
       .count();
 }
 
+// Trace timestamps for the runtime, including from inside the signal
+// handler: clock_gettime(CLOCK_MONOTONIC) is async-signal-safe, unlike the
+// std::chrono machinery behind MonotonicNs. Same epoch as MonotonicNs on
+// glibc (steady_clock is CLOCK_MONOTONIC), so spans and ticks line up.
+SKYLOFT_SIGNAL_SAFE std::int64_t TraceClockNs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
 // glibc marks __errno_location() __attribute__((const)), so the compiler
 // reuses one pointer for every `errno` in a frame — including across a
 // context switch that migrates the uthread to another pthread, where the
@@ -189,6 +200,10 @@ struct RuntimeWorker {
   // When `current` was switched in (or last charged by a tick): the base for
   // the ran_ns passed to sched_timer_tick.
   std::int64_t run_charge = 0;
+  // When `current` was switched in, on the trace clock: the start of the
+  // occupancy span the scheduler emits when the uthread switches back out.
+  // Separate from run_charge, which is conditional on the signal timer.
+  std::int64_t trace_run_start = 0;
 
   // 0 => the preemption signal handler may switch; anything else defers.
   std::atomic<int> preempt_disable{1};
@@ -240,6 +255,11 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
   SKYLOFT_CHECK(options_.workers >= 1);
   SKYLOFT_CHECK(options_.stack_size >= 4096);
   sched_ = std::make_unique<HostSched>(options_.workers, options_.sched);
+  preemptions_ = metrics_.AddCounter("preemptions");
+  preempt_deferrals_ = metrics_.AddCounter("preempt_deferrals");
+  external_placements_ = metrics_.AddCounter("external_placements");
+  metrics_.LinkValue("live_uthreads", [this] { return live_uthreads_.load(std::memory_order_relaxed); });
+  tracer_ = options_.tracer;
   for (int i = 0; i < options_.workers; i++) {
     auto worker = std::make_unique<RuntimeWorker>();
     worker->runtime = this;
@@ -438,6 +458,14 @@ void Runtime::WorkerLoop(int index) {
     // Back on the scheduler stack: complete whatever the uthread asked.
     UThread* prev = worker->current;
     worker->current = nullptr;
+    if (tracer_ != nullptr) {
+      // Occupancy span for the segment that just ended ("ph":"X" in the
+      // chrome-trace output). Recorded here, not in the uthread, so exits
+      // and preemption entries are covered too.
+      const std::int64_t span_end = TraceClockNs();
+      tracer_->RecordEvent(worker->trace_run_start, TraceEventType::kRun, index, prev->id, 0,
+                           span_end - worker->trace_run_start);
+    }
     const SwitchAction action = worker->action;
     worker->action = SwitchAction::kNone;
     switch (action) {
@@ -450,7 +478,10 @@ void Runtime::WorkerLoop(int index) {
         // switched in (or last ticked); the policy decides preemption.
         const std::int64_t ran_ns = MonotonicNs() - worker->run_charge;
         if (worker->sched.Tick(prev, ran_ns)) {
-          preemptions_.fetch_add(1, std::memory_order_relaxed);
+          preemptions_->Inc();
+          if (tracer_ != nullptr) {
+            tracer_->RecordEvent(TraceClockNs(), TraceEventType::kPreempt, index, prev->id, 0);
+          }
           prev->state.store(UthreadState::kRunnable, std::memory_order_relaxed);
           next = static_cast<UThread*>(worker->sched.Requeue(prev, kEnqueuePreempted));
         } else {
@@ -497,6 +528,11 @@ void Runtime::SwitchTo(RuntimeWorker* worker, UThread* next) {
   // reads it, and the clock call would tax every switch (~30 ns here).
   if (options_.preempt_period_us > 0) {
     worker->run_charge = MonotonicNs();
+  }
+  if (tracer_ != nullptr) {
+    worker->trace_run_start = TraceClockNs();
+    tracer_->RecordEvent(worker->trace_run_start, TraceEventType::kAssign, worker->index, next->id,
+                         0);
   }
   // Enable preemption for the duration of the uthread's execution. The
   // signal handler additionally verifies it is on the uthread's stack, so
@@ -549,7 +585,7 @@ void Runtime::Schedule(UThread* thread, unsigned flags) {
   // Off-runtime submission (external Unpark, Run()'s main thread): place on
   // the first idle worker, falling back to the least-loaded queue, instead
   // of unconditionally piling onto worker 0.
-  external_placements_.fetch_add(1, std::memory_order_relaxed);
+  external_placements_->Inc();
   const int target = sched_->ExternalTarget();
   if (flags & kEnqueueNew) {
     sched_->EnqueueNew(thread, flags, target);
@@ -731,7 +767,11 @@ void Runtime::PreemptSignalHandler(int /*signo*/, siginfo_t* /*info*/, void* uct
   const auto* uc = static_cast<const ucontext_t*>(uctx);
   const auto pc = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
   if (!PreemptSafePc(pc)) {
-    worker->runtime->preempt_deferrals_.fetch_add(1, std::memory_order_relaxed);
+    worker->runtime->preempt_deferrals_->Inc();
+    if (worker->runtime->tracer_ != nullptr) {
+      worker->runtime->tracer_->RecordEvent(TraceClockNs(), TraceEventType::kDeferred,
+                                            worker->index, current->id, 0);
+    }
     return;
   }
 #else
@@ -743,6 +783,12 @@ void Runtime::PreemptSignalHandler(int /*signo*/, siginfo_t* /*info*/, void* uct
   // thread-local errno, so it must be restored when the uthread resumes —
   // into the errno of whichever pthread it resumed on, hence the re-derived
   // location (see CurrentErrnoLocation).
+  // Trace the accepted signal delivery before entering the scheduler. Both
+  // RecordEvent and TraceClockNs are allocation-free and signal-safe.
+  if (worker->runtime->tracer_ != nullptr) {
+    worker->runtime->tracer_->RecordEvent(TraceClockNs(), TraceEventType::kSignal, worker->index,
+                                          current->id, 0);
+  }
   const int saved_errno = *CurrentErrnoLocation();
   PreemptTick();
   *CurrentErrnoLocation() = saved_errno;

@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "src/base/compiler.h"
+#include "src/base/metrics.h"
+#include "src/base/trace.h"
 #include "src/runtime/host_sched.h"
 #include "src/sched/sched_item.h"
 
@@ -71,6 +73,10 @@ struct RuntimeOptions {
   std::int64_t preempt_period_us = 0;
   // Policy selection for the host scheduler (defaults to work stealing).
   HostSchedOptions sched{};
+  // Optional scheduling-event tracer (not owned; must outlive the Runtime).
+  // Records assignments, occupancy spans, preemptions, and — from inside the
+  // signal handler — preemption-signal delivery/deferral instants.
+  SchedTracer* tracer = nullptr;
 };
 
 class Runtime {
@@ -113,19 +119,15 @@ class Runtime {
     std::atomic<int>* counter_ = nullptr;
   };
 
-  std::uint64_t preemptions() const { return preemptions_.load(std::memory_order_relaxed); }
+  std::uint64_t preemptions() const { return preemptions_->Value(); }
   // Timer signals that landed while the interrupted PC was outside the main
   // executable's text (e.g. inside malloc) and were deferred to the next
   // period instead of preempting — the async-preemption safe-point check.
-  std::uint64_t preempt_deferrals() const {
-    return preempt_deferrals_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t preempt_deferrals() const { return preempt_deferrals_->Value(); }
   std::uint64_t steals() const { return sched_->steals(); }
   // Off-runtime submissions (external Unpark, Run()'s main thread) placed
   // via idle-first/least-loaded selection.
-  std::uint64_t external_placements() const {
-    return external_placements_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t external_placements() const { return external_placements_->Value(); }
   const char* policy_name() const { return sched_->PolicyName(); }
 
  private:
@@ -166,9 +168,16 @@ class Runtime {
   std::vector<std::unique_ptr<unsigned char[]>> uthread_storage_;
 
   std::atomic<std::uint64_t> next_uthread_id_{1};
-  std::atomic<std::uint64_t> preemptions_{0};
-  std::atomic<std::uint64_t> preempt_deferrals_{0};
-  std::atomic<std::uint64_t> external_placements_{0};
+
+  // Unified metrics (replacing the ad-hoc atomics): the counters live in
+  // metrics_ and are registered under the "runtime" prefix. Counter::Inc is
+  // async-signal-safe, so the signal handler may bump deferrals directly.
+  MetricGroup metrics_{"runtime"};
+  Counter* preemptions_ = nullptr;
+  Counter* preempt_deferrals_ = nullptr;
+  Counter* external_placements_ = nullptr;
+
+  SchedTracer* tracer_ = nullptr;  // from RuntimeOptions; not owned
 };
 
 }  // namespace skyloft

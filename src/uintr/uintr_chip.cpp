@@ -50,6 +50,12 @@ void UserInterruptUnit::TryDeliver() {
     frame.receive_cost_ns = pending_receive_cost_ns_;
     frame.from_timer = pending_from_timer_;
     frame.sender = pending_sender_;
+    if (counters_ != nullptr) {
+      counters_->user_irqs_delivered.Inc();
+      if (frame.from_timer) {
+        counters_->user_timer_irqs.Inc();
+      }
+    }
     handler_(frame);
   }
 }
@@ -70,10 +76,18 @@ UintrChip::UintrChip(Machine* machine) : machine_(machine) {
   user_timer_events_.resize(static_cast<std::size_t>(n), kInvalidEventId);
   for (CoreId core = 0; core < n; core++) {
     units_.push_back(std::make_unique<UserInterruptUnit>());
+    units_.back()->counters_ = &counters_;
     timers_.push_back(std::make_unique<ApicTimer>(
         &machine_->sim(), core,
         [this](CoreId c, int vector) { RaiseHardwareInterrupt(c, vector); }));
   }
+  metrics_.LinkCounter("senduipi_executed", &counters_.senduipi_executed);
+  metrics_.LinkCounter("senduipi_suppressed", &counters_.senduipi_suppressed);
+  metrics_.LinkCounter("physical_ipis", &counters_.physical_ipis);
+  metrics_.LinkCounter("user_irqs_delivered", &counters_.user_irqs_delivered);
+  metrics_.LinkCounter("user_timer_irqs", &counters_.user_timer_irqs);
+  metrics_.LinkCounter("hw_recognized", &counters_.hw_recognized);
+  metrics_.LinkCounter("legacy_interrupts", &counters_.legacy_interrupts);
 }
 
 int UintrChip::RegisterUittEntry(CoreId sender_core, Upid* target, int user_vector) {
@@ -91,6 +105,7 @@ DurationNs UintrChip::SendUipi(CoreId sender_core, int uitt_index) {
   SKYLOFT_CHECK(entry.valid);
   Upid* upid = entry.target;
 
+  counters_.senduipi_executed.Inc();
   upid->pir.Set(entry.user_vector);
 
   const bool cross_numa =
@@ -100,6 +115,7 @@ DurationNs UintrChip::SendUipi(CoreId sender_core, int uitt_index) {
   if (upid->sn || upid->on) {
     // SN set: post only, no notification IPI (Skyloft's timer trick).
     // ON set: a notification is already outstanding; hardware coalesces.
+    counters_.senduipi_suppressed.Inc();
     return costs.UserIpiSendNs(cross_numa);
   }
 
@@ -117,14 +133,17 @@ DurationNs UintrChip::SendUipi(CoreId sender_core, int uitt_index) {
 
 void UintrChip::DeliverPhysicalIpi(CoreId core, int vector, Upid* upid, CoreId sender) {
   UserInterruptUnit& unit = this->unit(core);
+  counters_.physical_ipis.Inc();
   if (unit.uinv() == vector && unit.active_upid() == upid) {
     const bool cross_numa = machine_->CrossNuma(sender, core);
+    counters_.hw_recognized.Inc();
     unit.Recognize(machine_->costs().UserIpiReceiveNs(cross_numa),
                    /*from_timer=*/false, sender);
     return;
   }
   // Vector mismatch or the receiving thread is no longer current on the
   // core: treated as a legacy interrupt (kernel handles and re-posts).
+  counters_.legacy_interrupts.Inc();
   if (legacy_handler_) {
     legacy_handler_(core, vector);
   }
@@ -159,10 +178,12 @@ void UintrChip::RaiseHardwareInterrupt(CoreId core, int vector) {
     // Identification (§3.2 step 1): vector matches UINV, so the core treats
     // this hardware interrupt as a user interrupt. Whether anything is
     // actually delivered depends on the PIR contents (the SN trick).
+    counters_.hw_recognized.Inc();
     unit.Recognize(machine_->costs().UserTimerReceiveNs(), /*from_timer=*/true,
                    kInvalidCore);
     return;
   }
+  counters_.legacy_interrupts.Inc();
   if (legacy_handler_) {
     legacy_handler_(core, vector);
   }

@@ -231,6 +231,45 @@ INSTANTIATE_TEST_SUITE_P(Scales, HistogramErrorTest,
                          ::testing::Values<std::int64_t>(100, 10'000, 1'000'000,
                                                          100'000'000));
 
+TEST(HistogramTest, PercentileZeroReturnsExactMin) {
+  // Regression: p0 used to return the bucket UPPER bound of the lowest
+  // occupied bucket — e.g. 1008 for a 1000 ns minimum — biasing every low
+  // quantile high. q=0 must report the tracked minimum exactly.
+  LatencyHistogram h;
+  h.Record(1000);
+  h.Record(5000);
+  EXPECT_EQ(h.Percentile(0.0), 1000);
+  EXPECT_EQ(h.Percentile(0.0), h.Min());
+}
+
+// Property: p0/p50/p99/p100 against a sorted-vector nearest-rank reference.
+// The endpoints are exact (Percentile clamps to the tracked [min, max]); the
+// interior quantiles are within the documented 1/64 bucket-resolution bound,
+// always from above (bucket upper bound >= every member of the bucket).
+TEST_P(HistogramErrorTest, QuantilesMatchSortedReference) {
+  const std::int64_t scale = GetParam();
+  Rng rng(23);
+  LatencyHistogram h;
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 20000; i++) {
+    const auto v = static_cast<std::int64_t>(rng.NextExponential(static_cast<double>(scale)));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(h.Percentile(0.0), values.front());
+  EXPECT_EQ(h.Percentile(1.0), values.back());
+  for (const double q : {0.5, 0.99}) {
+    const auto exact = values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const auto approx = h.Percentile(q);
+    ASSERT_GT(exact, 0);
+    EXPECT_GE(approx, exact) << "q=" << q;
+    const double rel =
+        static_cast<double>(approx - exact) / static_cast<double>(exact);
+    EXPECT_LE(rel, 1.0 / 64.0) << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+}
+
 // ---- intrusive_list.h ----
 
 struct Node : ListNode {
