@@ -1,10 +1,15 @@
-// 64-bit bitmap used to model the UINTR architectural registers (UIRR, PIR),
-// which hold up to 64 pending user-interrupt vectors.
+// Bitmaps: the plain 64-bit map modeling the UINTR architectural registers
+// (UIRR, PIR — up to 64 pending user-interrupt vectors), and a multi-word
+// atomic bitmap the host scheduler uses to publish per-worker idle state so
+// external placement finds an idle worker in O(workers/64) word scans
+// instead of an O(workers) flag walk.
 #ifndef SRC_BASE_BITMAP_H_
 #define SRC_BASE_BITMAP_H_
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
+#include <memory>
 
 #include "src/base/logging.h"
 
@@ -55,6 +60,56 @@ class Bitmap64 {
 
  private:
   std::uint64_t bits_ = 0;
+};
+
+// Fixed-size concurrent bitmap over 64-bit atomic words. Writers flip their
+// own bit with an RMW on the owning word; readers scan whole words. All
+// accesses are relaxed — the map is an advisory hint (idle-worker placement),
+// never a synchronization edge.
+class AtomicBitmap {
+ public:
+  explicit AtomicBitmap(int bits)
+      : bits_(bits),
+        words_((bits + 63) / 64),
+        data_(std::make_unique<std::atomic<std::uint64_t>[]>(static_cast<std::size_t>(words_))) {
+    SKYLOFT_CHECK(bits >= 1);
+    for (int i = 0; i < words_; i++) {
+      data_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void Set(int bit) {
+    SKYLOFT_DCHECK(bit >= 0 && bit < bits_);
+    data_[bit >> 6].fetch_or(std::uint64_t{1} << (bit & 63), std::memory_order_relaxed);
+  }
+
+  void Clear(int bit) {
+    SKYLOFT_DCHECK(bit >= 0 && bit < bits_);
+    data_[bit >> 6].fetch_and(~(std::uint64_t{1} << (bit & 63)), std::memory_order_relaxed);
+  }
+
+  bool Test(int bit) const {
+    SKYLOFT_DCHECK(bit >= 0 && bit < bits_);
+    return (data_[bit >> 6].load(std::memory_order_relaxed) >> (bit & 63)) & 1;
+  }
+
+  // Index of the lowest set bit, or -1 when the map is (racily) empty.
+  int FindFirstSet() const {
+    for (int w = 0; w < words_; w++) {
+      const std::uint64_t word = data_[w].load(std::memory_order_relaxed);
+      if (word != 0) {
+        return w * 64 + std::countr_zero(word);
+      }
+    }
+    return -1;
+  }
+
+  int bits() const { return bits_; }
+
+ private:
+  int bits_;
+  int words_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> data_;
 };
 
 }  // namespace skyloft

@@ -2,6 +2,8 @@
 #ifndef SRC_BASE_COMPILER_H_
 #define SRC_BASE_COMPILER_H_
 
+#include <sched.h>
+
 #include <cstddef>
 
 #define SKYLOFT_LIKELY(x) __builtin_expect(!!(x), 1)
@@ -40,6 +42,39 @@ namespace skyloft {
 // Size of a cache line on every x86-64 part we care about; used to pad
 // per-core state so simulated and real cores never false-share.
 inline constexpr std::size_t kCacheLineSize = 64;
+
+// Spin-wait hint: de-pipelines the spinning core so a sibling hyperthread
+// (or, on one-core hosts, the lock holder waiting for a timeslice) gets the
+// execution resources the spin would otherwise burn.
+SKYLOFT_SIGNAL_SAFE inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+// Exponential pause/yield ladder for short spin loops (sync-primitive wait
+// lists, lock-free retry loops). Doubles the pause batch each round up to
+// 2^kMaxPauseShift, then falls back to sched_yield() — essential whenever
+// the holder may not be running (oversubscribed or single-core hosts).
+class SpinBackoff {
+ public:
+  SKYLOFT_SIGNAL_SAFE void Pause() {
+    if (round_ < kMaxPauseShift) {
+      for (int i = 0; i < (1 << round_); i++) {
+        CpuRelax();
+      }
+      round_++;
+    } else {
+      sched_yield();
+    }
+  }
+
+ private:
+  static constexpr int kMaxPauseShift = 6;  // 1+2+...+32 = 63 pauses, then yield
+  int round_ = 0;
+};
 
 }  // namespace skyloft
 

@@ -1,0 +1,176 @@
+// Chase-Lev work-stealing deque (Chase & Lev, SPAA '05; memory orderings
+// after Lê et al., PPoPP '13, strengthened to avoid standalone fences —
+// see below).
+//
+// One owner thread pushes and pops at the bottom; any number of thieves
+// steal from the top with a CAS. This is the local runqueue of the host
+// scheduler's lock-free fast path (src/runtime/host_sched.cpp): the owner's
+// push/pop are a handful of plain and relaxed-atomic operations, and cross-
+// thread synchronization is paid only on the one-element race and on steals.
+//
+// Memory-ordering argument for the take/steal race (DESIGN.md section 9):
+//   - PopBottom publishes its claim with a seq_cst store to bottom_ and then
+//     reads top_ with seq_cst; Steal reads top_ then bottom_ with seq_cst.
+//     The two accesses to {top_, bottom_} in each operation therefore cannot
+//     both see the other's "before" state: either the owner sees the thief's
+//     incremented top_, or the thief sees the owner's decremented bottom_,
+//     so for a single remaining element at most one of them passes its range
+//     check into the CAS — and the CAS on top_ arbitrates that last case.
+//   - Item contents are published by PushBottom's release store of bottom_
+//     and acquired by Steal's bottom_ load, so a thief that wins the CAS
+//     sees everything the owner wrote into the item before pushing.
+// The original formulation uses seq_cst thread fences with relaxed accesses;
+// we put the ordering on the accesses themselves, which is marginally
+// stronger, measurably identical on x86, and — unlike standalone fences —
+// modeled precisely by ThreadSanitizer, keeping the TSan CI job exact.
+//
+// Growth: the circular buffer doubles when full. A thief may still hold a
+// pointer to a retired buffer; retired buffers are kept alive until the
+// deque is destroyed (the standard leak-to-quiescence scheme — growth is
+// rare and bounded, and the top_ CAS makes stale reads harmless: the old
+// buffer's slots in [top, bottom) are never rewritten).
+#ifndef SRC_BASE_WS_DEQUE_H_
+#define SRC_BASE_WS_DEQUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/compiler.h"
+#include "src/base/logging.h"
+
+namespace skyloft {
+
+enum class StealOutcome {
+  kSuccess,   // *out holds the stolen item
+  kEmpty,     // nothing to steal
+  kLostRace,  // another thief (or the owner's pop) won the CAS; retry is fair game
+};
+
+template <typename T>
+class WsDeque {
+ public:
+  explicit WsDeque(std::int64_t initial_capacity = 64) {
+    SKYLOFT_CHECK(initial_capacity > 0 &&
+                  (initial_capacity & (initial_capacity - 1)) == 0)
+        << "capacity must be a power of two";
+    auto buf = std::make_unique<Buffer>(initial_capacity);
+    buffer_.store(buf.get(), std::memory_order_relaxed);
+    buffers_.push_back(std::move(buf));
+  }
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  // Owner only. Never fails; grows the buffer when full.
+  SKYLOFT_NO_SWITCH void PushBottom(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= buf->capacity) {
+      buf = Grow(buf, t, b);
+    }
+    buf->slots[b & buf->mask].store(item, std::memory_order_relaxed);
+    // Release: a thief acquiring bottom_ sees the slot and the item's fields.
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  // Owner only. LIFO end; returns nullptr when empty (or when a thief wins
+  // the last element).
+  SKYLOFT_NO_SWITCH T* PopBottom() {
+    // Empty fast path on two relaxed loads: only the owner writes bottom_,
+    // and top_ is monotonic, so a stale top_ can only under-read — if even
+    // the stale value says empty, the deque is empty. This keeps the
+    // owner's dequeue-when-drained loop (the scheduler's common case) off
+    // the seq_cst claim/undo dance below.
+    const std::int64_t b0 = bottom_.load(std::memory_order_relaxed);
+    if (top_.load(std::memory_order_relaxed) >= b0) {
+      return nullptr;
+    }
+    const std::int64_t b = b0 - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    // Claim the slot before reading top_ (see the ordering argument above).
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Empty: undo the claim.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item = buf->slots[b & buf->mask].load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race thieves for it through top_.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        item = nullptr;  // a thief got there first
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  // Any thread. FIFO end.
+  SKYLOFT_NO_SWITCH StealOutcome Steal(T** out) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) {
+      return StealOutcome::kEmpty;
+    }
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    T* item = buf->slots[t & buf->mask].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return StealOutcome::kLostRace;
+    }
+    *out = item;
+    return StealOutcome::kSuccess;
+  }
+
+  // Racy size estimate for steal-half sizing and placement. Signal-safe:
+  // two relaxed loads.
+  SKYLOFT_SIGNAL_SAFE std::int64_t SizeApprox() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::int64_t cap)
+        : capacity(cap),
+          mask(cap - 1),
+          slots(std::make_unique<std::atomic<T*>[]>(static_cast<std::size_t>(cap))) {}
+    const std::int64_t capacity;
+    const std::int64_t mask;
+    std::unique_ptr<std::atomic<T*>[]> slots;
+  };
+
+  // Owner only (called from PushBottom).
+  SKYLOFT_NO_SWITCH Buffer* Grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto grown = std::make_unique<Buffer>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; i++) {
+      grown->slots[i & grown->mask].store(old->slots[i & old->mask].load(std::memory_order_relaxed),
+                                          std::memory_order_relaxed);
+    }
+    Buffer* raw = grown.get();
+    // Release: a thief that acquires the new pointer sees the copied slots.
+    // Thieves still holding `old` read slots the owner will never rewrite.
+    buffer_.store(raw, std::memory_order_release);
+    buffers_.push_back(std::move(grown));
+    return raw;
+  }
+
+  // Thieves CAS top_ while the owner spins on bottom_: keep them on separate
+  // cache lines so steals never stall the owner's push/pop line.
+  alignas(kCacheLineSize) std::atomic<std::int64_t> top_{0};
+  alignas(kCacheLineSize) std::atomic<std::int64_t> bottom_{0};
+  alignas(kCacheLineSize) std::atomic<Buffer*> buffer_{nullptr};
+  // All buffers ever allocated, retired ones included (owner-only mutation;
+  // freed when the deque dies, after every thief is quiesced).
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_BASE_WS_DEQUE_H_

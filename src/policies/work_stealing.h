@@ -42,6 +42,14 @@ class WorkStealingPolicy : public SchedPolicy {
   SKYLOFT_NO_SWITCH std::size_t QueuedTasks() const override { return queued_; }
   const char* Name() const override { return "skyloft-ws"; }
 
+  // FIFO + steal-half is exactly what the host's lock-free driver implements,
+  // so the host runtime runs this policy without ever entering the methods
+  // above (the sim engines still drive them).
+  SKYLOFT_NO_SWITCH bool SupportsLockFree() const override { return true; }
+  SKYLOFT_NO_SWITCH DurationNs LockFreeQuantumNs() const override {
+    return params_.quantum == kInfiniteSliceWs ? 0 : params_.quantum;
+  }
+
   std::uint64_t steals() const { return steals_; }
 
  private:

@@ -3,6 +3,9 @@
 #include <chrono>
 
 #include "src/base/logging.h"
+#include "src/base/mpsc_queue.h"
+#include "src/base/random.h"
+#include "src/base/ws_deque.h"
 #include "src/policies/cfs.h"
 #include "src/policies/eevdf.h"
 #include "src/policies/round_robin.h"
@@ -39,6 +42,18 @@ std::unique_ptr<SchedPolicy> MakeHostPolicy(RuntimePolicy policy, std::int64_t t
   return std::make_unique<WorkStealingPolicy>(params);
 }
 
+// Per-task state of the lock-free driver, stored in SchedItem::policy_data
+// (the driver plays the policy's role, so it owns the policy-defined field).
+struct LfRunData {
+  DurationNs ran = 0;  // run time since last dequeue; reset on dequeue
+};
+
+// At most this many items move per steal — half of a huge backlog would
+// turn one steal into a long stop-the-victim scan of CAS traffic.
+constexpr std::int64_t kStealBatchMax = 8;
+// Lost-race retries against one victim before probing the next.
+constexpr int kStealRetries = 2;
+
 }  // namespace
 
 // One policy instance plus the EngineView it schedules through. Worker
@@ -56,13 +71,54 @@ struct HostSched::Shard : EngineView {
   int NumWorkers() const override { return count; }
   int WorkerCore(int index) const override { return base + index; }
   bool IsWorkerIdle(int index) const override {
-    return parent->idle_[base + index].load(std::memory_order_relaxed);
+    return parent->idle_map_.Test(base + index);
   }
 };
 
-HostSched::HostSched(int workers, const HostSchedOptions& options) : workers_(workers) {
+// Lock-free driver state for one worker: the two-level runqueue (DESIGN.md
+// section 9). All submissions land in the mailbox (one CAS); only the owner
+// touches the deque's bottom (drain, pop, steal-surplus push); thieves CAS
+// the deque's top. Cache-line aligned so neighbor workers' queues never
+// share a line.
+struct alignas(kCacheLineSize) HostSched::LfWorker {
+  explicit LfWorker(std::uint64_t seed) : rng(seed) {}
+  WsDeque<SchedItem> deque;
+  MpscQueue<SchedItem> mailbox;
+  Rng rng;  // victim-probe start, owner-only
+};
+
+HostSched::HostSched(int workers, const HostSchedOptions& options)
+    : workers_(workers), idle_map_(workers >= 1 ? workers : 1) {
   SKYLOFT_CHECK(workers_ >= 1);
   steals_ = metrics_.AddSharded("steals", workers_);
+  mailbox_drains_ = metrics_.AddSharded("mailbox_drains", workers_);
+  steal_attempts_ = metrics_.AddSharded("steal_attempts", workers_);
+  steal_successes_ = metrics_.AddSharded("steal_successes", workers_);
+  cas_retries_ = metrics_.AddSharded("mailbox_cas_retries", workers_);
+
+  approx_len_ = std::make_unique<HotLine[]>(static_cast<std::size_t>(workers_));
+
+  // Build (or adopt) one policy instance first: it decides the driver.
+  SchedPolicy* selected = options.custom_policy;
+  std::unique_ptr<SchedPolicy> owned;
+  if (selected == nullptr) {
+    owned = MakeHostPolicy(options.policy, options.time_slice_us);
+    selected = owned.get();
+  }
+
+  if (selected->SupportsLockFree() && !options.force_locked) {
+    lock_free_ = true;
+    lf_policy_ = selected;
+    lf_owned_ = std::move(owned);
+    lf_quantum_ = selected->LockFreeQuantumNs();
+    lf_.reserve(static_cast<std::size_t>(workers_));
+    for (int w = 0; w < workers_; w++) {
+      lf_.push_back(std::make_unique<LfWorker>(
+          0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(w + 1) + 1));
+    }
+    return;
+  }
+
   int shards = options.shards;
   if (options.custom_policy != nullptr) {
     shards = 1;  // one instance cannot be split
@@ -74,13 +130,6 @@ HostSched::HostSched(int workers, const HostSchedOptions& options) : workers_(wo
     shards = workers_;
   }
 
-  idle_ = std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(workers_));
-  approx_len_ = std::make_unique<std::atomic<int>[]>(static_cast<std::size_t>(workers_));
-  for (int w = 0; w < workers_; w++) {
-    idle_[w].store(false, std::memory_order_relaxed);
-    approx_len_[w].store(0, std::memory_order_relaxed);
-  }
-
   shard_of_.resize(static_cast<std::size_t>(workers_));
   int base = 0;
   for (int s = 0; s < shards; s++) {
@@ -90,6 +139,9 @@ HostSched::HostSched(int workers, const HostSchedOptions& options) : workers_(wo
     shard->count = workers_ / shards + (s < workers_ % shards ? 1 : 0);
     if (options.custom_policy != nullptr) {
       shard->policy = options.custom_policy;
+    } else if (s == 0) {
+      shard->owned = std::move(owned);  // reuse the capability-probe instance
+      shard->policy = shard->owned.get();
     } else {
       shard->owned = MakeHostPolicy(options.policy, options.time_slice_us);
       shard->policy = shard->owned.get();
@@ -110,7 +162,115 @@ HostSched::Shard* HostSched::ShardOf(int worker) const {
   return shards_[static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(worker)])].get();
 }
 
+// ---- lock-free driver -------------------------------------------------------
+
+// All submissions — local, cross-worker, external — go through the target's
+// mailbox, never the deque: the deque's bottom end is strictly owner-written,
+// so no caller needs to know whether it IS the owner. One CAS, no length
+// accounting: placement and preemption read the queues' own state
+// (SizeApprox / EmptyApprox) instead of a shared ledger.
+void HostSched::LfEnqueue(SchedItem* item, int target) {
+  const int retries = lf_[static_cast<std::size_t>(target)]->mailbox.Push(item);
+  if (SKYLOFT_UNLIKELY(retries != 0)) {
+    cas_retries_->Inc(target, static_cast<std::uint64_t>(retries));
+  }
+}
+
+SchedItem* HostSched::LfDequeue(int worker) {
+  LfWorker& me = *lf_[static_cast<std::size_t>(worker)];
+  SchedItem* item = me.deque.PopBottom();
+  if (item == nullptr && !me.mailbox.EmptyApprox()) {
+    // Drain the backlog. The chain arrives newest-first, so its TAIL is the
+    // oldest submission: return that one directly (it never touches the
+    // deque — the single-item yield cycle costs one CAS plus one exchange)
+    // and push the rest in chain order, which leaves the oldest of the
+    // remainder at the bottom. Later pops therefore continue in FIFO
+    // arrival order — two reversals cancel — while thieves take the newest
+    // from the top.
+    SchedItem* chain = me.mailbox.DrainReversed();
+    if (chain != nullptr) {
+      mailbox_drains_->Inc(worker);
+      SchedItem* next = MpscQueue<SchedItem>::Next(chain);
+      while (next != nullptr) {
+        me.deque.PushBottom(chain);
+        chain = next;
+        next = MpscQueue<SchedItem>::Next(chain);
+      }
+      item = chain;
+    }
+  }
+  if (item == nullptr && workers_ > 1) {
+    item = LfStealHalf(worker);
+  }
+  if (item != nullptr) {
+    item->PolicyData<LfRunData>()->ran = 0;
+  }
+  return item;
+}
+
+// Probe victims from a random start; take half the first non-empty deque
+// found (capped at kStealBatchMax). The first stolen item is returned to run
+// now, the surplus goes into our own deque. Mailbox backlogs are invisible
+// to thieves — only the owner may drain a mailbox — so a busy worker's
+// undrained submissions cannot be rescued here; the preemption tick bounds
+// how long they wait (DESIGN.md section 9).
+SchedItem* HostSched::LfStealHalf(int worker) {
+  LfWorker& me = *lf_[static_cast<std::size_t>(worker)];
+  const int start = static_cast<int>(me.rng.NextBelow(static_cast<std::uint64_t>(workers_)));
+  for (int i = 0; i < workers_; i++) {
+    const int v = (start + i) % workers_;
+    if (v == worker) {
+      continue;
+    }
+    LfWorker& victim = *lf_[static_cast<std::size_t>(v)];
+    const std::int64_t size = victim.deque.SizeApprox();
+    if (size <= 0) {
+      continue;
+    }
+    std::int64_t want = size - size / 2;  // ceil(size / 2)
+    if (want > kStealBatchMax) {
+      want = kStealBatchMax;
+    }
+    SchedItem* first = nullptr;
+    std::int64_t got = 0;
+    int lost = 0;
+    while (got < want) {
+      SchedItem* stolen = nullptr;
+      steal_attempts_->Inc(worker);
+      const StealOutcome outcome = victim.deque.Steal(&stolen);
+      if (outcome == StealOutcome::kSuccess) {
+        steal_successes_->Inc(worker);
+        if (first == nullptr) {
+          first = stolen;
+        } else {
+          me.deque.PushBottom(stolen);
+        }
+        got++;
+      } else if (outcome == StealOutcome::kLostRace && got == 0 && ++lost <= kStealRetries) {
+        continue;  // contended but non-empty: brief retry before moving on
+      } else {
+        break;  // empty, or we already hold a batch — stop fighting
+      }
+    }
+    if (got > 0) {
+      steals_->Inc(worker, static_cast<std::uint64_t>(got));
+      return first;
+    }
+  }
+  return nullptr;
+}
+
+// ---- public surface (dispatches per driver) ---------------------------------
+
 void HostSched::Enqueue(SchedItem* item, unsigned flags, int worker_hint) {
+  if (lock_free_) {
+    // The lock-free discipline is pure FIFO + steal-half: enqueue flags only
+    // matter to policies with ordering state, so they are dropped here.
+    const int target =
+        (worker_hint >= 0 && worker_hint < workers_) ? worker_hint : ExternalTarget();
+    LfEnqueue(item, target);
+    return;
+  }
   Shard* shard;
   int local_hint;
   if (worker_hint >= 0 && worker_hint < workers_) {
@@ -119,7 +279,7 @@ void HostSched::Enqueue(SchedItem* item, unsigned flags, int worker_hint) {
     // Length accounting only informs cross-worker placement; skip the atomic
     // on a single-worker runtime.
     if (workers_ > 1) {
-      approx_len_[worker_hint].fetch_add(1, std::memory_order_relaxed);
+      approx_len_[worker_hint].len.fetch_add(1, std::memory_order_relaxed);
     }
   } else {
     const unsigned s = rr_shard_.fetch_add(1, std::memory_order_relaxed);
@@ -131,13 +291,22 @@ void HostSched::Enqueue(SchedItem* item, unsigned flags, int worker_hint) {
 }
 
 void HostSched::EnqueueNew(SchedItem* item, unsigned flags, int worker_hint) {
+  if (lock_free_) {
+    // TaskInit is policy state the lock-free driver replaces: LfRunData is
+    // zero-initialized with the SchedItem itself, so a new item needs no
+    // extra init step and the spawn path is exactly one mailbox CAS.
+    const int target =
+        (worker_hint >= 0 && worker_hint < workers_) ? worker_hint : ExternalTarget();
+    LfEnqueue(item, target);
+    return;
+  }
   Shard* shard;
   int local_hint;
   if (worker_hint >= 0 && worker_hint < workers_) {
     shard = ShardOf(worker_hint);
     local_hint = worker_hint - shard->base;
     if (workers_ > 1) {
-      approx_len_[worker_hint].fetch_add(1, std::memory_order_relaxed);
+      approx_len_[worker_hint].len.fetch_add(1, std::memory_order_relaxed);
     }
   } else {
     const unsigned s = rr_shard_.fetch_add(1, std::memory_order_relaxed);
@@ -150,6 +319,12 @@ void HostSched::EnqueueNew(SchedItem* item, unsigned flags, int worker_hint) {
 }
 
 SchedItem* HostSched::Retire(SchedItem* dead, int worker) {
+  if (lock_free_) {
+    // task_terminate is a no-op for the FIFO+steal discipline (no per-task
+    // policy state to tear down); the exit fast path is just the dequeue.
+    (void)dead;
+    return LfDequeue(worker);
+  }
   Shard* shard = ShardOf(worker);
   const int local = worker - shard->base;
   SchedItem* next;
@@ -166,15 +341,19 @@ SchedItem* HostSched::Retire(SchedItem* dead, int worker) {
     }
   }
   if (next != nullptr && workers_ > 1) {
-    int len = approx_len_[worker].load(std::memory_order_relaxed);
+    int len = approx_len_[worker].len.load(std::memory_order_relaxed);
     while (len > 0 &&
-           !approx_len_[worker].compare_exchange_weak(len, len - 1, std::memory_order_relaxed)) {
+           !approx_len_[worker].len.compare_exchange_weak(len, len - 1,
+                                                          std::memory_order_relaxed)) {
     }
   }
   return next;
 }
 
 SchedItem* HostSched::Dequeue(int worker) {
+  if (lock_free_) {
+    return LfDequeue(worker);
+  }
   Shard* shard = ShardOf(worker);
   const int local = worker - shard->base;
   SchedItem* item;
@@ -192,15 +371,25 @@ SchedItem* HostSched::Dequeue(int worker) {
   if (item != nullptr && workers_ > 1) {
     // Approximate: the item may have migrated from another worker's queue,
     // in which case that worker's counter stays high until it drains.
-    int len = approx_len_[worker].load(std::memory_order_relaxed);
+    int len = approx_len_[worker].len.load(std::memory_order_relaxed);
     while (len > 0 &&
-           !approx_len_[worker].compare_exchange_weak(len, len - 1, std::memory_order_relaxed)) {
+           !approx_len_[worker].len.compare_exchange_weak(len, len - 1,
+                                                          std::memory_order_relaxed)) {
     }
   }
   return item;
 }
 
 SchedItem* HostSched::Requeue(SchedItem* item, unsigned flags, int worker) {
+  if (lock_free_) {
+    // Self-submit through the mailbox, then dequeue. Because the deque is
+    // drained FIFO, a yielding uthread that re-enqueues itself pops any
+    // earlier-arrived work first — strict yield alternation falls out. If a
+    // thief migrates the only item (possibly `item` itself) between the push
+    // and the pop, this returns nullptr and the caller's loop goes idle.
+    LfEnqueue(item, worker);
+    return LfDequeue(worker);
+  }
   // task_enqueue + task_dequeue under ONE lock acquisition: the scheduler's
   // yield/preempt completion always re-enqueues the previous uthread and
   // immediately needs the next one, and paying two lock round-trips there
@@ -225,27 +414,71 @@ SchedItem* HostSched::Requeue(SchedItem* item, unsigned flags, int worker) {
   // only the (policy placed the item elsewhere and found nothing) corner
   // needs the enqueue side of the accounting.
   if (next == nullptr && workers_ > 1) {
-    approx_len_[worker].fetch_add(1, std::memory_order_relaxed);
+    approx_len_[worker].len.fetch_add(1, std::memory_order_relaxed);
   }
   return next;
 }
 
 bool HostSched::Tick(int worker, SchedItem* current, DurationNs ran_ns) {
+  if (lock_free_) {
+    // sched_timer_tick without a lock: charge the run time into the item's
+    // policy field and preempt once a full quantum has elapsed AND runnable
+    // work is waiting somewhere (own queues first — O(1) — then a relaxed
+    // scan of the other workers' queues, matching the mutex work-stealing
+    // policy's queued_ > 0 test).
+    if (current == nullptr || lf_quantum_ == 0) {
+      return false;
+    }
+    LfRunData* data = current->PolicyData<LfRunData>();
+    data->ran += ran_ns;
+    if (data->ran < lf_quantum_) {
+      return false;
+    }
+    const LfWorker& me = *lf_[static_cast<std::size_t>(worker)];
+    if (me.deque.SizeApprox() > 0 || !me.mailbox.EmptyApprox()) {
+      return true;
+    }
+    for (int v = 0; v < workers_; v++) {
+      if (v == worker) {
+        continue;
+      }
+      const LfWorker& other = *lf_[static_cast<std::size_t>(v)];
+      if (other.deque.SizeApprox() > 0 || !other.mailbox.EmptyApprox()) {
+        return true;
+      }
+    }
+    return false;
+  }
   Shard* shard = ShardOf(worker);
   std::lock_guard<std::mutex> lock(shard->mu);
   return shard->policy->SchedTimerTick(worker - shard->base, current, ran_ns);
 }
 
 int HostSched::ExternalTarget() const {
-  for (int w = 0; w < workers_; w++) {
-    if (idle_[w].load(std::memory_order_relaxed)) {
-      return w;
+  const int idle = idle_map_.FindFirstSet();
+  if (idle >= 0 && idle < workers_) {
+    return idle;
+  }
+  if (lock_free_) {
+    // Least loaded by the queues' own state: deque depth plus one for an
+    // undrained mailbox backlog (its exact size is unknowable without
+    // draining, which only the owner may do).
+    int best = 0;
+    std::int64_t best_len = INT64_MAX;
+    for (int w = 0; w < workers_; w++) {
+      const LfWorker& lw = *lf_[static_cast<std::size_t>(w)];
+      const std::int64_t len = lw.deque.SizeApprox() + (lw.mailbox.EmptyApprox() ? 0 : 1);
+      if (len < best_len) {
+        best_len = len;
+        best = w;
+      }
     }
+    return best;
   }
   int best = 0;
-  int best_len = approx_len_[0].load(std::memory_order_relaxed);
+  int best_len = approx_len_[0].len.load(std::memory_order_relaxed);
   for (int w = 1; w < workers_; w++) {
-    const int len = approx_len_[w].load(std::memory_order_relaxed);
+    const int len = approx_len_[w].len.load(std::memory_order_relaxed);
     if (len < best_len) {
       best_len = len;
       best = w;
@@ -255,10 +488,32 @@ int HostSched::ExternalTarget() const {
 }
 
 void HostSched::SetIdle(int worker, bool idle) {
-  idle_[worker].store(idle, std::memory_order_relaxed);
+  // The idle loop republishes its state every poll round; only transitions
+  // touch the shared bitmap word, so steady-state idle polling stays a load.
+  if (idle_map_.Test(worker) != idle) {
+    if (idle) {
+      idle_map_.Set(worker);
+    } else {
+      idle_map_.Clear(worker);
+    }
+  }
 }
 
 std::size_t HostSched::Queued() const {
+  if (lock_free_) {
+    // Deque depths plus one per undrained mailbox backlog — an undercount
+    // while submissions sit in mailboxes, exact once every worker has
+    // drained (the only states observable without being each queue's owner).
+    std::size_t total = 0;
+    for (int w = 0; w < workers_; w++) {
+      const LfWorker& lw = *lf_[static_cast<std::size_t>(w)];
+      total += static_cast<std::size_t>(lw.deque.SizeApprox());
+      if (!lw.mailbox.EmptyApprox()) {
+        total += 1;
+      }
+    }
+    return total;
+  }
   std::size_t total = 0;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
@@ -267,6 +522,11 @@ std::size_t HostSched::Queued() const {
   return total;
 }
 
-const char* HostSched::PolicyName() const { return shards_.front()->policy->Name(); }
+const char* HostSched::PolicyName() const {
+  if (lock_free_) {
+    return lf_policy_->Name();
+  }
+  return shards_.front()->policy->Name();
+}
 
 }  // namespace skyloft

@@ -2,17 +2,27 @@
 //
 // The sim engines (src/libos) drive a SchedPolicy from a single event loop;
 // the host runtime has N real worker pthreads, so the policy must be driven
-// concurrently. HostSched wraps a policy in one-or-more locked shards — each
-// shard owns one policy instance covering a contiguous range of workers —
-// and exposes the per-worker operations the runtime's scheduler loop needs.
-// The same policy translation units that run under the simulator (RR, CFS,
-// EEVDF, work stealing, ...) run here unchanged; only the driver differs.
+// concurrently. HostSched owns two interchangeable drivers behind one
+// per-worker operation surface:
 //
-// Locking model: every policy call happens under the owning shard's mutex,
-// and callers on a uthread stack must hold a Runtime::PreemptGuard (a
-// preemption signal landing while a shard lock is held would deadlock the
-// worker). The runtime's scheduler stack always runs with preemption
-// disabled, so WorkerLoop-side calls are safe by construction.
+//   - the shard-mutex driver: one-or-more locked shards, each owning a policy
+//     instance covering a contiguous worker range. Every policy call happens
+//     under the owning shard's mutex. This is the general path — any Table 2
+//     policy (CFS, EEVDF, RR, ...) runs here unchanged.
+//   - the lock-free driver: a two-level runqueue per worker — an intrusive
+//     MPSC mailbox absorbing all submissions plus a Chase-Lev deque the owner
+//     drains it into — with steal-half batching when a worker runs dry
+//     (DESIGN.md section 9). No mutex anywhere on the task path. Selected
+//     when the policy declares SchedPolicy::SupportsLockFree() (the
+//     work-stealing default does); the policy object then only supplies its
+//     name and preemption quantum.
+//
+// Locking model (shard-mutex driver): callers on a uthread stack must hold a
+// Runtime::PreemptGuard (a preemption signal landing while a shard lock is
+// held would deadlock the worker). The runtime's scheduler stack always runs
+// with preemption disabled, so WorkerLoop-side calls are safe by
+// construction. The lock-free driver has no locks to deadlock on, but the
+// same guard discipline applies so the two drivers stay swappable.
 #ifndef SRC_RUNTIME_HOST_SCHED_H_
 #define SRC_RUNTIME_HOST_SCHED_H_
 
@@ -22,6 +32,8 @@
 #include <mutex>
 #include <vector>
 
+#include "src/base/bitmap.h"
+#include "src/base/compiler.h"
 #include "src/base/metrics.h"
 #include "src/sched/policy.h"
 
@@ -42,78 +54,119 @@ struct HostSchedOptions {
   // Slice/quantum override in microseconds; 0 keeps the policy default
   // (12.5 us RR slice, 5 us work-stealing quantum).
   std::int64_t time_slice_us = 0;
-  // Number of policy shards. Workers are split into contiguous ranges, one
-  // policy instance per range; balancing (stealing) stays within a shard.
+  // Number of policy shards (shard-mutex driver only). Workers are split
+  // into contiguous ranges, one policy instance per range; balancing
+  // (stealing) stays within a shard.
   int shards = 1;
   // Non-owning: schedule with this policy instance instead of constructing
   // one from `policy`. Forces a single shard. The caller keeps the object
   // alive for the lifetime of the Runtime.
   SchedPolicy* custom_policy = nullptr;
+  // Pin the shard-mutex driver even when the policy supports the lock-free
+  // one (benchmark baselines, driver-parity tests).
+  bool force_locked = false;
 };
 
 class HostSched {
  public:
   HostSched(int workers, const HostSchedOptions& options);
-  ~HostSched();  // out of line: Shard is an incomplete type here
+  ~HostSched();  // out of line: Shard/LfWorker are incomplete types here
 
-  // Every operation below executes policy code under a shard mutex and so
-  // must never reach a switch primitive (a park with the shard lock held
-  // would deadlock the worker) — hence the blanket SKYLOFT_NO_SWITCH.
+  // Every operation below runs policy code under a shard mutex (shard-mutex
+  // driver) or manipulates lock-free queues whose progress other workers
+  // depend on (lock-free driver); either way it must never reach a switch
+  // primitive — hence the blanket SKYLOFT_NO_SWITCH.
 
   // task_enqueue. `worker_hint` is a global worker index (or -1): a valid
-  // hint routes to that worker's shard with a shard-local hint, no hint
-  // round-robins across shards and lets the policy place the task.
+  // hint routes to that worker's runqueue/shard, no hint lets the driver
+  // place the task (lock-free: idle-first placement; shard-mutex:
+  // round-robin across shards with the policy placing within).
   SKYLOFT_NO_SWITCH void Enqueue(SchedItem* item, unsigned flags, int worker_hint);
 
-  // task_init + task_enqueue fused under the target shard's lock: a new item
-  // is initialized by the same policy instance that first queues it, and the
-  // spawn path pays one lock round trip instead of two.
+  // task_init + task_enqueue fused: a new item is initialized by the same
+  // policy instance that first queues it, and the spawn path pays one lock
+  // round trip instead of two (lock-free: TaskInit is policy-free, this is
+  // a plain mailbox push).
   SKYLOFT_NO_SWITCH void EnqueueNew(SchedItem* item, unsigned flags, int worker_hint);
 
   // task_terminate + task_dequeue fused: retire a finished item and fetch
-  // the worker's next task in one lock acquisition (the exit fast path).
+  // the worker's next task in one acquisition (the exit fast path).
   SKYLOFT_NO_SWITCH SchedItem* Retire(SchedItem* dead, int worker);
 
-  // task_dequeue for `worker`; on an empty queue invokes sched_balance and
-  // retries once (the paper's idle path). A balance rescue counts as a steal.
+  // task_dequeue for `worker`; on an empty queue invokes sched_balance /
+  // steal-half and retries (the paper's idle path). A rescue counts as a
+  // steal.
   SKYLOFT_NO_SWITCH SchedItem* Dequeue(int worker);
 
-  // Enqueue(item, flags, worker) + Dequeue(worker) fused under one shard
-  // lock acquisition — the scheduler's yield-completion fast path.
+  // Enqueue(item, flags, worker) + Dequeue(worker) fused — the scheduler's
+  // yield-completion fast path. May return a different item than `item`
+  // (including nullptr if a thief migrated it before we could re-fetch).
   SKYLOFT_NO_SWITCH SchedItem* Requeue(SchedItem* item, unsigned flags, int worker);
 
   // sched_timer_tick for `worker`; true => preempt `current`.
   SKYLOFT_NO_SWITCH bool Tick(int worker, SchedItem* current, DurationNs ran_ns);
 
   // Placement target for submissions that originate off-runtime (external
-  // Unpark, Run()'s main thread): first idle worker, else the worker with
-  // the (approximately) shortest queue.
+  // Unpark, Run()'s main thread): first idle worker (one bitmap word scan),
+  // else the worker with the (approximately) shortest queue.
   SKYLOFT_NO_SWITCH int ExternalTarget() const;
 
   SKYLOFT_NO_SWITCH void SetIdle(int worker, bool idle);
 
-  std::size_t Queued() const;  // across all shards
+  std::size_t Queued() const;  // approximate under the lock-free driver
   std::uint64_t steals() const { return steals_->Value(); }
   const char* PolicyName() const;
   int workers() const { return workers_; }
+  // True when this instance runs the lock-free two-level-runqueue driver.
+  bool lock_free() const { return lock_free_; }
 
  private:
-  struct Shard;
+  struct Shard;     // shard-mutex driver state (one policy + mutex)
+  struct LfWorker;  // lock-free driver state (mailbox + deque + rng)
 
   Shard* ShardOf(int worker) const;
 
+  // Lock-free driver internals (see host_sched.cpp).
+  SKYLOFT_NO_SWITCH void LfEnqueue(SchedItem* item, int target);
+  SKYLOFT_NO_SWITCH SchedItem* LfDequeue(int worker);
+  SKYLOFT_NO_SWITCH SchedItem* LfStealHalf(int worker);
+
+  // Per-worker approximate queue length, one cache line per worker (same
+  // treatment as ShardedCounter lanes) so enqueue accounting on neighbor
+  // workers never false-shares.
+  struct alignas(kCacheLineSize) HotLine {
+    std::atomic<int> len{0};
+  };
+
   int workers_;
+  bool lock_free_ = false;
+
+  // ---- shard-mutex driver ----
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<int> shard_of_;  // worker -> shard index
+
+  // ---- lock-free driver ----
+  std::vector<std::unique_ptr<LfWorker>> lf_;
+  SchedPolicy* lf_policy_ = nullptr;  // name + quantum only; Table 2 unused
+  std::unique_ptr<SchedPolicy> lf_owned_;
+  DurationNs lf_quantum_ = 0;  // 0 = no tick preemption
+
   // Worker state the policies read through EngineView and ExternalTarget
   // reads for placement. approx_len_ tracks per-worker enqueue/dequeue
-  // deltas; balancing moves are invisible to it, hence "approximate".
-  std::unique_ptr<std::atomic<bool>[]> idle_;
-  std::unique_ptr<std::atomic<int>[]> approx_len_;
+  // deltas under the shard-mutex driver only (migrations make it
+  // approximate); the lock-free driver reads its queues' own state instead
+  // and never touches the ledger.
+  AtomicBitmap idle_map_;
+  std::unique_ptr<HotLine[]> approx_len_;
+
   MetricGroup metrics_{"host_sched"};
-  // Owned by metrics_; one cache-line lane per worker so the balance-rescue
-  // paths never contend on a shared counter word.
-  ShardedCounter* steals_ = nullptr;
+  // All owned by metrics_; one cache-line lane per worker so hot-path
+  // accounting never contends on a shared counter word.
+  ShardedCounter* steals_ = nullptr;           // items gained via balance/steal
+  ShardedCounter* mailbox_drains_ = nullptr;   // non-empty mailbox drains
+  ShardedCounter* steal_attempts_ = nullptr;   // Steal() calls (any outcome)
+  ShardedCounter* steal_successes_ = nullptr;  // Steal() calls that won an item
+  ShardedCounter* cas_retries_ = nullptr;      // mailbox-push CAS retries
   mutable std::atomic<unsigned> rr_shard_{0};
 };
 

@@ -1,11 +1,14 @@
 #include "src/runtime/sync.h"
 
+#include "src/base/compiler.h"
 #include "src/base/logging.h"
 
 namespace skyloft {
 
 void UthreadMutex::SpinAcquire() {
+  SpinBackoff backoff;
   while (wait_spin_.test_and_set(std::memory_order_acquire)) {
+    backoff.Pause();
   }
 }
 
@@ -68,7 +71,9 @@ void UthreadMutex::Unlock() {
 }
 
 void UthreadCondVar::SpinAcquire() {
+  SpinBackoff backoff;
   while (wait_spin_.test_and_set(std::memory_order_acquire)) {
+    backoff.Pause();
   }
 }
 

@@ -129,6 +129,9 @@ class Runtime {
   // via idle-first/least-loaded selection.
   std::uint64_t external_placements() const { return external_placements_->Value(); }
   const char* policy_name() const { return sched_->PolicyName(); }
+  // True when the host scheduler selected the lock-free two-level-runqueue
+  // driver for the active policy (see HostSched / DESIGN.md section 9).
+  bool lock_free_sched() const { return sched_->lock_free(); }
 
  private:
   friend struct RuntimeWorker;

@@ -73,6 +73,24 @@ class SchedPolicy {
   // (sched_poll model) rather than per-CPU queues.
   SKYLOFT_NO_SWITCH virtual bool IsCentralized() const { return false; }
 
+  // ---- Lock-free driver capability ----
+  //
+  // A policy that returns true declares that its scheduling discipline is
+  // exactly "per-worker FIFO + steal-half when idle": the host runtime may
+  // then bypass the policy's Table 2 methods entirely and run the task flow
+  // on its lock-free two-level runqueue (MPSC mailbox -> Chase-Lev deque,
+  // DESIGN.md section 9). The policy object still provides Name() and the
+  // preemption quantum below; its TaskEnqueue/TaskDequeue are never called.
+  // Policies with cross-task ordering state (CFS, EEVDF, RR's cyclic order,
+  // centralized dispatch) must keep the default false and ride the
+  // shard-mutex driver.
+  SKYLOFT_NO_SWITCH virtual bool SupportsLockFree() const { return false; }
+
+  // Preemption quantum the lock-free driver should enforce on timer ticks
+  // (preempt when a task has run this long and work is waiting). 0 disables
+  // tick preemption. Only consulted when SupportsLockFree() is true.
+  SKYLOFT_NO_SWITCH virtual DurationNs LockFreeQuantumNs() const { return 0; }
+
   // Number of runnable tasks currently queued (all queues). Used by engines
   // for work-conservation checks and by core allocators for congestion.
   SKYLOFT_NO_SWITCH virtual std::size_t QueuedTasks() const = 0;

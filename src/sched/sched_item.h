@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "src/base/intrusive_list.h"
+#include "src/base/mpsc_queue.h"
 
 namespace skyloft {
 
@@ -25,7 +26,10 @@ enum EnqueueFlags : unsigned {
   kEnqueueYield = 1u << 3,      // task voluntarily yielded
 };
 
-struct SchedItem : ListNode {
+// ListNode links the item into a policy's IntrusiveList runqueues; MpscNode
+// links it into a worker's lock-free submission mailbox (the two linkages are
+// never live at once: an item is either inside a policy or in flight to one).
+struct SchedItem : ListNode, MpscNode {
   std::uint64_t id = 0;
 
   // ---- policy-defined per-task state (paper: the extra field in task_t) ----

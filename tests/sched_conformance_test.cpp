@@ -301,6 +301,63 @@ TEST(HostPolicySemanticsTest, RoundRobinPreemptsCpuHog) {
   EXPECT_GT(rt.preemptions(), 0u);
 }
 
+// ---- Driver selection (SchedPolicy::SupportsLockFree capability) ----
+//
+// The host scheduler runs a policy on one of two drivers: the lock-free
+// two-level runqueue (mailbox -> Chase-Lev deque, DESIGN.md section 9) when
+// the policy declares its discipline is FIFO + steal-half, or the shard-mutex
+// driver otherwise. The conformance suites above already exercise both (the
+// registry's "ws" entry rides lock-free, everything else rides the mutex);
+// these tests pin the selection logic itself and the force_locked escape.
+
+TEST(HostDriverSelectionTest, WorkStealingSelectsLockFreeDriver) {
+  Runtime rt(RuntimeOptions{.workers = 2});  // default policy: work stealing
+  EXPECT_TRUE(rt.lock_free_sched());
+  EXPECT_EQ(std::string(rt.policy_name()), "skyloft-ws");
+}
+
+TEST(HostDriverSelectionTest, OrderingPoliciesKeepShardMutexDriver) {
+  for (RuntimePolicy p : {RuntimePolicy::kCfs, RuntimePolicy::kEevdf,
+                          RuntimePolicy::kRoundRobin, RuntimePolicy::kFifo}) {
+    RuntimeOptions opts{.workers = 2};
+    opts.sched.policy = p;
+    Runtime rt(opts);
+    EXPECT_FALSE(rt.lock_free_sched());
+  }
+}
+
+TEST(HostDriverSelectionTest, ForceLockedPinsMutexDriverAndStillConforms) {
+  // force_locked runs work stealing through the policy's own Table 2 methods
+  // under the shard mutex (the benchmark baseline path); the lifecycle
+  // workload must behave identically to the lock-free driver.
+  RuntimeOptions opts{.workers = 2};
+  opts.sched.force_locked = true;
+  Runtime rt(opts);
+  EXPECT_FALSE(rt.lock_free_sched());
+  EXPECT_EQ(std::string(rt.policy_name()), "skyloft-ws");
+  constexpr int kThreads = 300;
+  auto slots = std::make_unique<std::atomic<int>[]>(kThreads);
+  for (int i = 0; i < kThreads; i++) {
+    slots[i].store(0);
+  }
+  rt.Run([&] {
+    std::vector<UThread*> children;
+    for (int i = 0; i < kThreads; i++) {
+      children.push_back(Runtime::Spawn([&slots, i] {
+        slots[i].fetch_add(1);
+        Runtime::Yield();
+        slots[i].fetch_add(1);
+      }));
+    }
+    for (UThread* c : children) {
+      Runtime::Join(c);
+    }
+  });
+  for (int i = 0; i < kThreads; i++) {
+    EXPECT_EQ(slots[i].load(), 2) << "uthread " << i << " lost or run twice";
+  }
+}
+
 TEST(HostPolicySemanticsTest, ExternalSubmissionsArePlaced) {
   // Run()'s main uthread enters from outside the runtime; the scheduler
   // must route it through idle-first/least-loaded placement and count it.

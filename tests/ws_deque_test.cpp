@@ -1,0 +1,183 @@
+// WsDeque: the Chase-Lev deque behind the host scheduler's lock-free
+// runqueues. The single-thread tests pin the LIFO/FIFO-end semantics and
+// buffer growth; the multi-thread stress tests drive the two races the
+// memory-ordering argument in ws_deque.h covers — owner pop vs. concurrent
+// thieves, and the one-element take/steal duel — and are meant to run under
+// the TSan and ASan CI jobs.
+#include "src/base/ws_deque.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace skyloft {
+namespace {
+
+struct Item {
+  int value = 0;
+};
+
+TEST(WsDequeTest, OwnerPopsLifoThievesStealFifo) {
+  WsDeque<Item> deque;
+  Item items[3] = {{1}, {2}, {3}};
+  for (Item& item : items) {
+    deque.PushBottom(&item);
+  }
+  EXPECT_EQ(deque.SizeApprox(), 3);
+
+  Item* stolen = nullptr;
+  ASSERT_EQ(deque.Steal(&stolen), StealOutcome::kSuccess);
+  EXPECT_EQ(stolen->value, 1);  // FIFO end: oldest push
+
+  EXPECT_EQ(deque.PopBottom()->value, 3);  // LIFO end: newest push
+  EXPECT_EQ(deque.PopBottom()->value, 2);
+  EXPECT_EQ(deque.PopBottom(), nullptr);
+  EXPECT_EQ(deque.SizeApprox(), 0);
+  EXPECT_EQ(deque.Steal(&stolen), StealOutcome::kEmpty);
+}
+
+TEST(WsDequeTest, GrowthPreservesEveryItem) {
+  WsDeque<Item> deque(/*initial_capacity=*/2);
+  constexpr int kItems = 1000;  // forces many doublings
+  std::vector<Item> items(kItems);
+  for (int i = 0; i < kItems; i++) {
+    items[i].value = i;
+    deque.PushBottom(&items[i]);
+  }
+  // Pop everything back; LIFO means values come out descending.
+  for (int i = kItems - 1; i >= 0; i--) {
+    Item* item = deque.PopBottom();
+    ASSERT_NE(item, nullptr);
+    EXPECT_EQ(item->value, i);
+  }
+  EXPECT_EQ(deque.PopBottom(), nullptr);
+}
+
+TEST(WsDequeTest, InterleavedPushPopSingleThread) {
+  WsDeque<Item> deque(/*initial_capacity=*/2);
+  Item items[64];
+  for (int round = 0; round < 200; round++) {
+    for (int i = 0; i < 5; i++) {
+      deque.PushBottom(&items[i]);
+    }
+    for (int i = 0; i < 5; i++) {
+      EXPECT_NE(deque.PopBottom(), nullptr);
+    }
+    EXPECT_EQ(deque.PopBottom(), nullptr);
+  }
+}
+
+// Owner pushes then drains while thieves steal concurrently: every item must
+// be claimed exactly once, none lost, none duplicated.
+TEST(WsDequeStressTest, OwnerPopVsConcurrentStealers) {
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  WsDeque<Item> deque(/*initial_capacity=*/8);  // exercise growth under fire
+  std::vector<Item> items(kItems);
+  std::vector<std::atomic<int>> claims(kItems);
+  for (int i = 0; i < kItems; i++) {
+    items[i].value = i;
+    claims[i].store(0);
+  }
+  std::atomic<int> claimed{0};
+  std::atomic<bool> owner_done{false};
+
+  auto claim = [&](Item* item) {
+    claims[item->value].fetch_add(1, std::memory_order_relaxed);
+    claimed.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; t++) {
+    thieves.emplace_back([&] {
+      while (claimed.load(std::memory_order_relaxed) < kItems) {
+        Item* stolen = nullptr;
+        if (deque.Steal(&stolen) == StealOutcome::kSuccess) {
+          claim(stolen);
+        } else {
+          // Empty or lost race: let the owner (or the winning thief) run —
+          // on a single-core host a bare spin would burn its whole timeslice.
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  // Owner: interleave pushes with occasional pops so the one-element race and
+  // the mid-push steal both occur, then drain the rest.
+  for (int i = 0; i < kItems; i++) {
+    deque.PushBottom(&items[i]);
+    if ((i & 7) == 7) {
+      Item* item = deque.PopBottom();
+      if (item != nullptr) {
+        claim(item);
+      }
+    }
+  }
+  while (true) {
+    Item* item = deque.PopBottom();
+    if (item == nullptr) {
+      break;
+    }
+    claim(item);
+  }
+  owner_done.store(true);
+  for (std::thread& t : thieves) {
+    t.join();
+  }
+
+  EXPECT_EQ(claimed.load(), kItems);
+  for (int i = 0; i < kItems; i++) {
+    EXPECT_EQ(claims[i].load(), 1) << "item " << i << " lost or double-claimed";
+  }
+}
+
+// The tightest race in the structure: one element, owner popping while a
+// thief steals. Exactly one side must win each round.
+TEST(WsDequeStressTest, OneElementTakeStealDuel) {
+  constexpr int kRounds = 10000;
+  WsDeque<Item> deque;
+  Item item{42};
+  std::atomic<int> phase{0};  // 0: armed, 1: thief may go, 2: round settled
+  std::atomic<int> owner_wins{0};
+  std::atomic<int> thief_wins{0};
+
+  std::thread thief([&] {
+    for (int r = 0; r < kRounds; r++) {
+      while (phase.load(std::memory_order_acquire) != 1) {
+        std::this_thread::yield();
+      }
+      Item* stolen = nullptr;
+      const bool won = deque.Steal(&stolen) == StealOutcome::kSuccess;
+      if (won) {
+        thief_wins.fetch_add(1, std::memory_order_relaxed);
+      }
+      phase.store(2, std::memory_order_release);
+    }
+  });
+
+  for (int r = 0; r < kRounds; r++) {
+    deque.PushBottom(&item);
+    phase.store(1, std::memory_order_release);
+    Item* popped = deque.PopBottom();
+    if (popped != nullptr) {
+      owner_wins.fetch_add(1, std::memory_order_relaxed);
+    }
+    while (phase.load(std::memory_order_acquire) != 2) {
+      std::this_thread::yield();
+    }
+    // Exactly one winner; the deque must be empty before re-arming.
+    ASSERT_EQ(deque.PopBottom(), nullptr);
+    phase.store(0, std::memory_order_release);
+  }
+  thief.join();
+
+  EXPECT_EQ(owner_wins.load() + thief_wins.load(), kRounds)
+      << "one-element race lost or duplicated an item";
+}
+
+}  // namespace
+}  // namespace skyloft
