@@ -1,100 +1,130 @@
-// A real in-memory KV server on the Skyloft host runtime.
+// A real networked KV server on the Skyloft host runtime.
 //
-// Models the paper's Memcached scenario (§5.3) end-to-end with *real* code:
-// a closed-loop set of client uthreads issue GET/SET/SCAN against a sharded
-// KvStore served by uthread workers; UDP framing uses the repo's codec. All
-// of it runs on the M:N runtime with work stealing and (optionally)
-// preemption.
+// The serving path lives in src/apps/kv_server_net: per-worker I/O engine
+// cores (epoll, or io_uring when built with SKYLOFT_IO_URING), SO_REUSEPORT
+// listener sharding, one handler uthread per TCP connection, frame-codec
+// requests answered via scatter/gather writev. This main just stands the
+// server up on loopback, drives it with a few closed-loop client threads
+// over real TCP sockets (plus a UDP spot check), and dumps the metrics
+// registry — per-op-kind service latencies, preemption/steal counters —
+// as JSON. For the measured sweep, see bench/bench_kv_server.
 //
 //   ./build/examples/kv_server [workers] [clients] [requests_per_client]
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
-#include "src/apps/kvstore.h"
-#include "src/base/histogram.h"
-#include "src/net/udp.h"
-#include "src/runtime/sync.h"
+#include "src/apps/kv_server_net.h"
+#include "src/base/metrics.h"
+#include "src/net/frame.h"
 #include "src/runtime/uthread.h"
 
-using skyloft::KvStore;
-using skyloft::LatencyHistogram;
+using skyloft::FrameDecoder;
+using skyloft::FrameDecodeStatus;
+using skyloft::KvServerNet;
+using skyloft::KvServerNetOptions;
 using skyloft::Runtime;
 using skyloft::RuntimeOptions;
-using skyloft::UThread;
 
 namespace {
 
-constexpr int kShards = 8;
-
-struct Shard {
-  skyloft::UthreadMutex mutex;
-  KvStore store;
-};
-
-Shard g_shards[kShards];
-
-int ShardOf(const std::string& key) {
-  unsigned h = 2166136261u;
-  for (const char c : key) {
-    h = (h ^ static_cast<unsigned char>(c)) * 16777619u;
+int DialTcp(std::uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
   }
-  return static_cast<int>(h % kShards);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
 }
 
-// Serves one request; returns the reply payload.
-std::string Serve(const std::string& request) {
-  // Wire format: "GET key" | "SET key value" | "SCAN start limit"
-  const auto sp1 = request.find(' ');
-  const std::string op = request.substr(0, sp1);
-  if (op == "GET") {
-    const std::string key = request.substr(sp1 + 1);
-    Shard& shard = g_shards[ShardOf(key)];
-    skyloft::UthreadMutexGuard guard(&shard.mutex);
-    auto value = shard.store.Get(key);
-    return value ? "VALUE " + *value : "NOT_FOUND";
-  }
-  if (op == "SET") {
-    const auto sp2 = request.find(' ', sp1 + 1);
-    const std::string key = request.substr(sp1 + 1, sp2 - sp1 - 1);
-    Shard& shard = g_shards[ShardOf(key)];
-    skyloft::UthreadMutexGuard guard(&shard.mutex);
-    shard.store.Set(key, request.substr(sp2 + 1));
-    return "STORED";
-  }
-  if (op == "SCAN") {
-    const auto sp2 = request.find(' ', sp1 + 1);
-    const std::string start = request.substr(sp1 + 1, sp2 - sp1 - 1);
-    const auto limit = static_cast<std::size_t>(std::stoul(request.substr(sp2 + 1)));
-    std::string reply;
-    for (int s = 0; s < kShards; s++) {  // heavy: touches every shard
-      skyloft::UthreadMutexGuard guard(&g_shards[s].mutex);
-      for (const auto& [k, v] : g_shards[s].store.Scan(start, limit)) {
-        reply += k + "=" + v + ";";
-      }
-    }
-    return reply.empty() ? "EMPTY" : reply;
-  }
-  return "ERROR";
-}
-
-// Round-trips a request through the UDP codec (client -> wire -> server),
-// as the paper's UDP stack does, then serves it.
-std::string RoundTrip(const std::string& request) {
-  skyloft::UdpDatagram dgram;
-  dgram.ip.src_addr = 0x0a000001;
-  dgram.ip.dst_addr = 0x0a000002;
-  dgram.udp.src_port = 40000;
-  dgram.udp.dst_port = 11211;
-  dgram.payload.assign(request.begin(), request.end());
-  const auto wire = skyloft::SerializeUdp(dgram);
-  const auto parsed = skyloft::ParseUdp(wire);
-  if (!parsed) {
+// Blocking request/response round trip over an established framed stream.
+std::string Call(int fd, FrameDecoder* decoder, const std::string& request) {
+  const std::string wire = skyloft::EncodeFrame(request);
+  if (write(fd, wire.data(), wire.size()) != static_cast<ssize_t>(wire.size())) {
     return "DROP";
   }
-  return Serve(std::string(parsed->payload.begin(), parsed->payload.end()));
+  std::string payload;
+  char buf[4096];
+  while (decoder->Next(&payload) != FrameDecodeStatus::kFrame) {
+    if (decoder->poisoned()) {
+      return "DROP";
+    }
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      return "DROP";
+    }
+    decoder->Feed(buf, static_cast<std::size_t>(n));
+  }
+  return payload;
+}
+
+void ClientLoop(std::uint16_t port, int id, int requests, std::atomic<int>* done) {
+  const int fd = DialTcp(port);
+  if (fd < 0) {
+    std::fprintf(stderr, "client %d: connect failed\n", id);
+    std::abort();
+  }
+  FrameDecoder decoder;
+  unsigned rng = static_cast<unsigned>(id) * 2654435761u + 1;
+  for (int r = 0; r < requests; r++) {
+    rng = rng * 1664525u + 1013904223u;
+    const unsigned roll = rng % 1000;
+    const std::string key = "user" + std::to_string(rng % 10'000);
+    std::string request;
+    if (roll < 2) {
+      request = "SCAN user 64";  // rare heavy range query (RocksDB-style)
+    } else if (roll < 4) {
+      request = "SET " + key + " updated";
+    } else {
+      request = "GET " + key;  // USR mix: overwhelmingly GETs
+    }
+    const std::string reply = Call(fd, &decoder, request);
+    if (reply == "ERROR" || reply == "DROP") {
+      std::fprintf(stderr, "client %d: bad reply for %s\n", id, request.c_str());
+      std::abort();
+    }
+  }
+  close(fd);
+  done->fetch_add(1, std::memory_order_release);
+}
+
+// One framed datagram round trip, exercising the UDP serving path.
+bool UdpSpotCheck(std::uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  const std::string wire = skyloft::EncodeFrame("GET user1");
+  sendto(fd, wire.data(), wire.size(), 0, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  std::uint8_t buf[4096];
+  const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+  close(fd);
+  std::string payload;
+  return n > 0 &&
+         skyloft::DecodeFrame(buf, static_cast<std::size_t>(n), &payload) ==
+             FrameDecodeStatus::kFrame &&
+         payload == "VALUE profile-1";
 }
 
 }  // namespace
@@ -104,69 +134,55 @@ int main(int argc, char** argv) {
   const int clients = argc > 2 ? std::atoi(argv[2]) : 16;
   const int requests = argc > 3 ? std::atoi(argv[3]) : 5000;
 
-  Runtime rt(RuntimeOptions{.workers = workers, .preempt_period_us = 1000});
-  LatencyHistogram latency;
-  skyloft::UthreadMutex latency_mutex;
+  Runtime rt(RuntimeOptions{
+      .workers = workers, .preempt_period_us = 1000, .io_engine = true});
+  std::uint64_t served = 0;
+  bool udp_ok = false;
+  double secs = 0.0;
+  std::string metrics_json;
 
-  const auto wall_start = std::chrono::steady_clock::now();
   rt.Run([&] {
-    // Preload.
-    for (int i = 0; i < 10'000; i++) {
-      const std::string key = "user" + std::to_string(i);
-      g_shards[ShardOf(key)].store.Set(key, "profile-" + std::to_string(i));
-    }
-    std::vector<UThread*> threads;
-    for (int c = 0; c < clients; c++) {
-      threads.push_back(Runtime::Spawn([&, c] {
-        unsigned rng = static_cast<unsigned>(c) * 2654435761u + 1;
-        for (int r = 0; r < requests; r++) {
-          rng = rng * 1664525u + 1013904223u;
-          std::string request;
-          const unsigned roll = rng % 1000;
-          const std::string key = "user" + std::to_string(rng % 10'000);
-          if (roll < 2) {
-            request = "SCAN user 64";  // rare heavy range query (RocksDB-style)
-          } else if (roll < 4) {
-            request = "SET " + key + " updated";
-          } else {
-            request = "GET " + key;  // USR: overwhelmingly GETs
-          }
-          const auto t0 = std::chrono::steady_clock::now();
-          const std::string reply = RoundTrip(request);
-          const auto t1 = std::chrono::steady_clock::now();
-          if (reply == "ERROR" || reply == "DROP") {
-            std::fprintf(stderr, "bad reply for %s\n", request.c_str());
-            std::abort();
-          }
-          {
-            skyloft::UthreadMutexGuard guard(&latency_mutex);
-            latency.Record(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
-          }
-          if (r % 64 == 0) {
-            Runtime::Yield();
-          }
-        }
-      }));
-    }
-    for (UThread* t : threads) {
-      Runtime::Join(t);
-    }
-  });
-  const auto wall_end = std::chrono::steady_clock::now();
-  const double secs =
-      std::chrono::duration_cast<std::chrono::duration<double>>(wall_end - wall_start).count();
+    KvServerNet server(&rt, KvServerNetOptions{});
+    server.Start();
 
-  std::printf("kv_server: %d workers, %d clients x %d requests\n", workers, clients, requests);
-  std::printf("throughput: %.0f req/s (wall %.2fs)\n",
-              static_cast<double>(latency.Count()) / secs, secs);
-  std::printf("latency ns: p50=%lld p99=%lld p99.9=%lld max=%lld\n",
-              static_cast<long long>(latency.Percentile(0.5)),
-              static_cast<long long>(latency.Percentile(0.99)),
-              static_cast<long long>(latency.Percentile(0.999)),
-              static_cast<long long>(latency.Max()));
-  std::printf("runtime: %llu preemptions, %llu steals\n",
-              static_cast<unsigned long long>(rt.preemptions()),
-              static_cast<unsigned long long>(rt.steals()));
-  return 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::atomic<int> done{0};
+    std::vector<std::thread> load;
+    for (int c = 0; c < clients; c++) {
+      load.emplace_back(ClientLoop, server.tcp_port(), c, requests, &done);
+    }
+    // Wait runtime-aware: std::thread::join would block this worker pthread
+    // and with it the engine core it polls — a serving slice would go dead.
+    while (done.load(std::memory_order_acquire) < clients) {
+      skyloft::Runtime::SleepFor(1000);
+    }
+    for (auto& t : load) {
+      t.join();  // all finished; joins return immediately
+    }
+    secs = std::chrono::duration_cast<std::chrono::duration<double>>(
+               std::chrono::steady_clock::now() - t0)
+               .count();
+    // The spot check also blocks in recv, so it too runs off-runtime.
+    std::atomic<int> udp_done{0};
+    std::thread udp_check([&] {
+      udp_ok = UdpSpotCheck(server.udp_port());
+      udp_done.store(1, std::memory_order_release);
+    });
+    while (udp_done.load(std::memory_order_acquire) == 0) {
+      skyloft::Runtime::SleepFor(1000);
+    }
+    udp_check.join();
+
+    served = server.tcp_requests();
+    server.Stop();  // merges latency lanes into the registry-linked histograms
+    // Snapshot while the server (and its metric group) is still alive.
+    metrics_json = skyloft::MetricsRegistry::Global().ToJson();
+  });
+
+  std::printf("kv_server: %d workers, %d clients x %d requests over TCP (udp check: %s)\n",
+              workers, clients, requests, udp_ok ? "ok" : "FAILED");
+  std::printf("throughput: %.0f req/s (wall %.2fs)\n", static_cast<double>(served) / secs,
+              secs);
+  std::printf("%s\n", metrics_json.c_str());
+  return udp_ok ? 0 : 1;
 }

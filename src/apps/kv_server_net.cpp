@@ -1,0 +1,570 @@
+#include "src/apps/kv_server_net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+
+#include "src/base/logging.h"
+#include "src/net/frame.h"
+#include "src/runtime/io_engine.h"
+#include "src/runtime/sync.h"
+
+namespace skyloft {
+
+namespace {
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+unsigned RoundUpPow2(unsigned v) {
+  unsigned p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+std::uint64_t KeyHash(const std::string& key) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (const char c : key) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  }
+  return h;
+}
+
+// Creates a bound nonblocking socket on 127.0.0.1:`port` with SO_REUSEPORT
+// (the kernel shards incoming connections/datagrams across the per-worker
+// sockets of the group). Returns -1 on failure.
+int BoundSocket(int type, std::uint16_t port) {
+  const int fd = socket(AF_INET, type | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    close(fd);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::uint16_t BoundPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+// One queued response frame: header and payload stay separate buffers and go
+// out as two iovec entries — the "no intermediate copy" scatter/gather path.
+struct OutFrame {
+  std::uint8_t hdr[kFrameHeaderSize];
+  std::string payload;
+};
+
+constexpr std::size_t kMaxFlushIovs = 32;  // 16 frames per writev
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// KvStripedStore
+// ---------------------------------------------------------------------------
+
+KvStripedStore::KvStripedStore(int workers, int stripes_override) {
+  const int stripes = stripes_override > 0
+                          ? stripes_override
+                          : static_cast<int>(RoundUpPow2(
+                                static_cast<unsigned>(std::max(8, 4 * workers))));
+  for (int i = 0; i < stripes; i++) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+  const int lanes = static_cast<int>(RoundUpPow2(static_cast<unsigned>(std::max(4, workers))));
+  for (int i = 0; i < lanes; i++) {
+    lanes_.push_back(std::make_unique<LatencyLane>());
+  }
+}
+
+void KvStripedStore::SpinLock(std::atomic_flag& flag) {
+  SpinBackoff backoff;
+  while (flag.test_and_set(std::memory_order_acquire)) {
+    backoff.Pause();
+  }
+}
+
+void KvStripedStore::SpinUnlock(std::atomic_flag& flag) {
+  flag.clear(std::memory_order_release);
+}
+
+KvStripedStore::Stripe& KvStripedStore::StripeOf(const std::string& key) {
+  return *stripes_[KeyHash(key) & (stripes_.size() - 1)];
+}
+
+void KvStripedStore::Preload(const std::string& key, const std::string& value) {
+  StripeOf(key).store.Set(key, value);
+}
+
+std::string KvStripedStore::Serve(const std::string& request, std::uint64_t lane) {
+  const std::int64_t t0 = NowNs();
+  KvOpKind kind = KvOpKind::kError;
+  std::string reply;
+
+  const auto sp1 = request.find(' ');
+  const std::string op = request.substr(0, sp1);
+  if (op == "GET" && sp1 != std::string::npos) {
+    kind = KvOpKind::kGet;
+    const std::string key = request.substr(sp1 + 1);
+    Stripe& stripe = StripeOf(key);
+    // Spin sections are preemption-guarded: a signal-timer preemption while
+    // holding the stripe would leave every other worker spinning on it for a
+    // full scheduling round.
+    Runtime::PreemptGuard guard;
+    SpinLock(stripe.spin);
+    auto value = stripe.store.Get(key);
+    SpinUnlock(stripe.spin);
+    reply = value ? "VALUE " + *value : "NOT_FOUND";
+  } else if (op == "SET" && sp1 != std::string::npos) {
+    const auto sp2 = request.find(' ', sp1 + 1);
+    if (sp2 != std::string::npos) {
+      kind = KvOpKind::kSet;
+      const std::string key = request.substr(sp1 + 1, sp2 - sp1 - 1);
+      Stripe& stripe = StripeOf(key);
+      Runtime::PreemptGuard guard;
+      SpinLock(stripe.spin);
+      stripe.store.Set(key, request.substr(sp2 + 1));
+      SpinUnlock(stripe.spin);
+      reply = "STORED";
+    }
+  } else if (op == "SCAN" && sp1 != std::string::npos) {
+    const auto sp2 = request.find(' ', sp1 + 1);
+    if (sp2 != std::string::npos) {
+      kind = KvOpKind::kScan;
+      const std::string start = request.substr(sp1 + 1, sp2 - sp1 - 1);
+      std::size_t limit = 0;
+      const std::string limit_str = request.substr(sp2 + 1);
+      for (const char c : limit_str) {
+        if (c < '0' || c > '9') {
+          limit = 0;
+          break;
+        }
+        limit = limit * 10 + static_cast<std::size_t>(c - '0');
+        if (limit > 4096) {
+          limit = 4096;  // bound the reply; SCAN is the heavy tail op already
+          break;
+        }
+      }
+      if (limit == 0) {
+        kind = KvOpKind::kError;
+      } else {
+        // One stripe at a time (never nested), so a heavy scan stalls at
+        // most one stripe's GET/SET traffic at a time.
+        for (auto& stripe_ptr : stripes_) {
+          Runtime::PreemptGuard guard;
+          SpinLock(stripe_ptr->spin);
+          for (const auto& [k, v] : stripe_ptr->store.Scan(start, limit)) {
+            reply += k + "=" + v + ";";
+          }
+          SpinUnlock(stripe_ptr->spin);
+        }
+        if (reply.empty()) {
+          reply = "EMPTY";
+        }
+      }
+    }
+  }
+  if (kind == KvOpKind::kError) {
+    reply = "ERROR";
+  }
+
+  const std::int64_t t1 = NowNs();
+  LatencyLane& lat = *lanes_[lane & (lanes_.size() - 1)];
+  {
+    Runtime::PreemptGuard guard;
+    SpinLock(lat.spin);
+    lat.hist[static_cast<int>(kind)].Record(t1 - t0);
+    SpinUnlock(lat.spin);
+  }
+  return reply;
+}
+
+void KvStripedStore::MergeLatencies() {
+  for (int k = 0; k < 4; k++) {
+    merged_[k].Reset();
+    for (auto& lane : lanes_) {
+      merged_[k].Merge(lane->hist[k]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KvServerNet
+// ---------------------------------------------------------------------------
+
+// Per-worker serving slice: the SO_REUSEPORT listener + UDP socket and their
+// engine handles. The acceptor registers accepted connections with `engine`
+// (its home worker's engine) no matter which worker the acceptor uthread
+// currently runs on — sharding is by listener, not by scheduler placement.
+struct KvServerNet::Listener {
+  int worker = 0;
+  IoEngine* engine = nullptr;
+  IoHandle* tcp = nullptr;
+  IoHandle* udp = nullptr;
+};
+
+KvServerNet::KvServerNet(Runtime* rt, const KvServerNetOptions& options)
+    : rt_(rt), options_(options), store_(rt->workers(), options.lock_stripes) {
+  tcp_conns_ = metrics_.AddCounter("tcp_connections");
+  tcp_requests_ = metrics_.AddCounter("tcp_requests");
+  udp_requests_ = metrics_.AddCounter("udp_requests");
+  frame_errors_ = metrics_.AddCounter("frame_errors");
+  peer_resets_ = metrics_.AddCounter("peer_resets");
+  metrics_.LinkValue("open_connections",
+                     [this] { return open_conns_.load(std::memory_order_relaxed); });
+  metrics_.LinkHistogram("get_ns", &store_.latency(KvOpKind::kGet));
+  metrics_.LinkHistogram("set_ns", &store_.latency(KvOpKind::kSet));
+  metrics_.LinkHistogram("scan_ns", &store_.latency(KvOpKind::kScan));
+}
+
+KvServerNet::~KvServerNet() = default;
+
+void KvServerNet::Start() {
+  SKYLOFT_CHECK(listeners_.empty()) << "Start() called twice";
+  for (int i = 0; i < options_.preload_keys; i++) {
+    store_.Preload("user" + std::to_string(i), "profile-" + std::to_string(i));
+  }
+  for (int w = 0; w < rt_->workers(); w++) {
+    IoEngine* engine = rt_->io_engine(w);
+    SKYLOFT_CHECK(engine != nullptr) << "KvServerNet needs RuntimeOptions::io_engine";
+    auto listener = std::make_unique<Listener>();
+    listener->worker = w;
+    listener->engine = engine;
+    if (options_.tcp) {
+      const int fd = BoundSocket(SOCK_STREAM, tcp_port_ != 0 ? tcp_port_ : options_.tcp_port);
+      SKYLOFT_CHECK(fd >= 0) << "tcp listener bind failed: " << std::strerror(errno);
+      SKYLOFT_CHECK(listen(fd, options_.listen_backlog) == 0);
+      if (tcp_port_ == 0) {
+        tcp_port_ = BoundPort(fd);  // first bind fixes the group's port
+      }
+      listener->tcp = engine->Register(fd);
+      SKYLOFT_CHECK(listener->tcp != nullptr);
+    }
+    if (options_.udp) {
+      const int fd = BoundSocket(SOCK_DGRAM, udp_port_ != 0 ? udp_port_ : options_.udp_port);
+      SKYLOFT_CHECK(fd >= 0) << "udp bind failed: " << std::strerror(errno);
+      if (udp_port_ == 0) {
+        udp_port_ = BoundPort(fd);
+      }
+      listener->udp = engine->Register(fd);
+      SKYLOFT_CHECK(listener->udp != nullptr);
+    }
+    listeners_.push_back(std::move(listener));
+  }
+  for (auto& listener : listeners_) {
+    Listener* l = listener.get();
+    if (l->tcp != nullptr) {
+      live_server_uthreads_.fetch_add(1, std::memory_order_acq_rel);
+      Runtime::Spawn([this, l] { AcceptLoop(l); });
+    }
+    if (l->udp != nullptr) {
+      live_server_uthreads_.fetch_add(1, std::memory_order_acq_rel);
+      Runtime::Spawn([this, l] { UdpLoop(l); });
+    }
+  }
+}
+
+void KvServerNet::Stop() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& listener : listeners_) {
+    if (listener->tcp != nullptr) {
+      IoEngine::Interrupt(listener->tcp);
+    }
+    if (listener->udp != nullptr) {
+      IoEngine::Interrupt(listener->udp);
+    }
+  }
+  // Interrupt live connection handlers under the registry lock: a handler
+  // untracks itself (same lock) before deregistering, so no handle is
+  // interrupted after its teardown began.
+  {
+    Runtime::PreemptGuard guard;
+    SpinBackoff backoff;
+    while (conns_spin_.test_and_set(std::memory_order_acquire)) {
+      backoff.Pause();
+    }
+    for (IoHandle* handle : conns_) {
+      IoEngine::Interrupt(handle);
+    }
+    conns_spin_.clear(std::memory_order_release);
+  }
+  while (live_server_uthreads_.load(std::memory_order_acquire) > 0) {
+    Runtime::Yield();
+  }
+  store_.MergeLatencies();
+}
+
+void KvServerNet::TrackConn(IoHandle* handle) {
+  Runtime::PreemptGuard guard;
+  SpinBackoff backoff;
+  while (conns_spin_.test_and_set(std::memory_order_acquire)) {
+    backoff.Pause();
+  }
+  conns_.push_back(handle);
+  conns_spin_.clear(std::memory_order_release);
+}
+
+bool KvServerNet::UntrackConn(IoHandle* handle) {
+  Runtime::PreemptGuard guard;
+  SpinBackoff backoff;
+  while (conns_spin_.test_and_set(std::memory_order_acquire)) {
+    backoff.Pause();
+  }
+  bool found = false;
+  for (std::size_t i = 0; i < conns_.size(); i++) {
+    if (conns_[i] == handle) {
+      conns_[i] = conns_.back();
+      conns_.pop_back();
+      found = true;
+      break;
+    }
+  }
+  conns_spin_.clear(std::memory_order_release);
+  return found;
+}
+
+void KvServerNet::AcceptLoop(Listener* listener) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    const unsigned ready = WaitForReadable(listener->tcp);
+    if (stop_.load(std::memory_order_acquire) || (ready & kIoError) != 0) {
+      break;
+    }
+    int accepted = 0;
+    while (accepted < options_.accept_batch) {
+      const int fd = accept4(listener->tcp->fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        break;  // EAGAIN: backlog drained (or transient error; next edge retries)
+      }
+      accepted++;
+      const int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      IoHandle* conn = listener->engine->Register(fd);
+      if (conn == nullptr) {
+        close(fd);
+        continue;
+      }
+      tcp_conns_->Inc();
+      open_conns_.fetch_add(1, std::memory_order_relaxed);
+      TrackConn(conn);
+      live_server_uthreads_.fetch_add(1, std::memory_order_acq_rel);
+      Runtime::Spawn([this, conn] { HandleConn(conn); });
+    }
+    if (accepted == options_.accept_batch) {
+      // Batch limit hit before EAGAIN: the consumed edge must be restored or
+      // the rest of the backlog would wait for the next incoming SYN. Yield
+      // so freshly spawned handlers get a turn before we keep accepting.
+      IoEngine::RelatchReadable(listener->tcp);
+      Runtime::Yield();
+    }
+  }
+  listener->engine->Deregister(listener->tcp);
+  listener->tcp = nullptr;
+  live_server_uthreads_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+// Flushes queued response frames with writev. `front_off` tracks bytes of
+// the front frame already written (partial writev). Returns false when the
+// connection died (peer reset mid-write).
+SKYLOFT_MAY_SWITCH static bool FlushFrames(IoHandle* conn, std::deque<OutFrame>* queue,
+                                           std::size_t* front_off) {
+  while (!queue->empty()) {
+    iovec iov[kMaxFlushIovs];
+    int niov = 0;
+    std::size_t skip = *front_off;
+    for (const OutFrame& frame : *queue) {
+      if (niov + 2 > static_cast<int>(kMaxFlushIovs)) {
+        break;
+      }
+      if (skip < kFrameHeaderSize) {
+        iov[niov].iov_base = const_cast<std::uint8_t*>(frame.hdr) + skip;
+        iov[niov].iov_len = kFrameHeaderSize - skip;
+        niov++;
+        skip = 0;
+      } else {
+        skip -= kFrameHeaderSize;
+      }
+      if (skip < frame.payload.size()) {
+        iov[niov].iov_base = const_cast<char*>(frame.payload.data()) + skip;
+        iov[niov].iov_len = frame.payload.size() - skip;
+        niov++;
+      }
+      skip = 0;  // only the front frame carries an offset
+    }
+    const ssize_t wrote = writev(conn->fd, iov, niov);
+    if (wrote < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        const unsigned ready = WaitForWritable(conn);
+        if (ready & kIoError) {
+          return false;
+        }
+        continue;
+      }
+      return false;  // EPIPE / ECONNRESET: peer is gone
+    }
+    std::size_t remaining = static_cast<std::size_t>(wrote) + *front_off;
+    while (!queue->empty()) {
+      const std::size_t frame_len = kFrameHeaderSize + queue->front().payload.size();
+      if (remaining < frame_len) {
+        break;
+      }
+      remaining -= frame_len;
+      queue->pop_front();
+    }
+    *front_off = remaining;
+  }
+  return true;
+}
+
+void KvServerNet::HandleConn(IoHandle* conn) {
+  const std::uint64_t lane = Runtime::Current()->id;
+  FrameDecoder decoder;
+  std::deque<OutFrame> outq;
+  std::size_t front_off = 0;
+  std::vector<char> buf(options_.read_buffer);
+  bool reset = false;
+
+  while (true) {
+    const unsigned ready = WaitForReadable(conn);
+    if (stop_.load(std::memory_order_acquire)) {
+      break;
+    }
+    bool dead = (ready & kIoError) != 0;
+    bool peer_eof = false;
+    while (!dead) {
+      const ssize_t n = read(conn->fd, buf.data(), buf.size());
+      if (n > 0) {
+        decoder.Feed(buf.data(), static_cast<std::size_t>(n));
+        if (static_cast<std::size_t>(n) < buf.size()) {
+          continue;  // short read usually means the socket is drained; one
+                     // more read() confirms with EAGAIN
+        }
+        continue;
+      }
+      if (n == 0) {
+        peer_eof = true;
+        break;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      reset = errno == ECONNRESET;
+      dead = true;
+    }
+    std::string payload;
+    while (!dead && decoder.Next(&payload) == FrameDecodeStatus::kFrame) {
+      OutFrame out;
+      out.payload = store_.Serve(payload, lane);
+      EncodeFrameHeader(out.hdr, static_cast<std::uint32_t>(out.payload.size()));
+      outq.push_back(std::move(out));
+      tcp_requests_->Inc();
+    }
+    if (decoder.poisoned()) {
+      frame_errors_->Inc();
+      dead = true;
+    }
+    if (!dead && !outq.empty()) {
+      if (!FlushFrames(conn, &outq, &front_off)) {
+        reset = true;
+        dead = true;
+      }
+    }
+    if (dead || peer_eof || (ready & kIoHup) != 0) {
+      break;
+    }
+  }
+
+  if (reset) {
+    peer_resets_->Inc();
+  }
+  open_conns_.fetch_sub(1, std::memory_order_relaxed);
+  // Whether or not Stop() already removed us from the registry (and owns any
+  // interrupt), releasing the fd is the handler's job.
+  UntrackConn(conn);
+  conn->engine->Deregister(conn);
+  live_server_uthreads_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void KvServerNet::UdpLoop(Listener* listener) {
+  const std::uint64_t lane = Runtime::Current()->id;
+  std::vector<std::uint8_t> buf(65536);
+  while (!stop_.load(std::memory_order_acquire)) {
+    const unsigned ready = WaitForReadable(listener->udp);
+    if (stop_.load(std::memory_order_acquire) || (ready & kIoError) != 0) {
+      break;
+    }
+    int handled = 0;
+    while (handled < options_.udp_batch) {
+      sockaddr_in peer{};
+      socklen_t peer_len = sizeof(peer);
+      const ssize_t n = recvfrom(listener->udp->fd, buf.data(), buf.size(), 0,
+                                 reinterpret_cast<sockaddr*>(&peer), &peer_len);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        break;  // EAGAIN: drained
+      }
+      handled++;
+      std::string payload;
+      if (DecodeFrame(buf.data(), static_cast<std::size_t>(n), &payload) !=
+          FrameDecodeStatus::kFrame) {
+        frame_errors_->Inc();  // stray/truncated datagram: drop, never assert
+        continue;
+      }
+      const std::string reply = EncodeFrame(store_.Serve(payload, lane));
+      // Best-effort datagram reply: a full socket buffer drops the response,
+      // exactly like a real UDP service under overload.
+      sendto(listener->udp->fd, reply.data(), reply.size(), 0,
+             reinterpret_cast<sockaddr*>(&peer), peer_len);
+      udp_requests_->Inc();
+    }
+    if (handled == options_.udp_batch) {
+      IoEngine::RelatchReadable(listener->udp);
+      Runtime::Yield();
+    }
+  }
+  listener->engine->Deregister(listener->udp);
+  listener->udp = nullptr;
+  live_server_uthreads_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+}  // namespace skyloft

@@ -1,0 +1,114 @@
+#include "src/net/frame.h"
+
+#include <cstring>
+
+namespace skyloft {
+
+namespace {
+
+std::uint16_t Load16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t Load32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+// Validates the fixed header fields (magic/version/length bound); the length
+// itself is returned through *len.
+FrameDecodeStatus CheckHeader(const std::uint8_t* hdr, std::uint32_t* len) {
+  if (Load16(hdr) != kFrameMagic || hdr[2] != kFrameVersion) {
+    return FrameDecodeStatus::kError;
+  }
+  *len = Load32(hdr + 4);
+  if (*len > kMaxFramePayload) {
+    return FrameDecodeStatus::kError;
+  }
+  return FrameDecodeStatus::kFrame;
+}
+
+}  // namespace
+
+void EncodeFrameHeader(std::uint8_t out[kFrameHeaderSize], std::uint32_t len, FrameOp op) {
+  out[0] = static_cast<std::uint8_t>(kFrameMagic >> 8);
+  out[1] = static_cast<std::uint8_t>(kFrameMagic & 0xff);
+  out[2] = kFrameVersion;
+  out[3] = static_cast<std::uint8_t>(op);
+  out[4] = static_cast<std::uint8_t>(len >> 24);
+  out[5] = static_cast<std::uint8_t>(len >> 16);
+  out[6] = static_cast<std::uint8_t>(len >> 8);
+  out[7] = static_cast<std::uint8_t>(len & 0xff);
+}
+
+std::string EncodeFrame(std::string_view payload, FrameOp op) {
+  std::uint8_t hdr[kFrameHeaderSize];
+  EncodeFrameHeader(hdr, static_cast<std::uint32_t>(payload.size()), op);
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  out.append(reinterpret_cast<const char*>(hdr), kFrameHeaderSize);
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+FrameDecodeStatus DecodeFrame(const std::uint8_t* data, std::size_t len, std::string* payload,
+                              FrameOp* op) {
+  if (len < kFrameHeaderSize) {
+    return FrameDecodeStatus::kNeedMore;
+  }
+  std::uint32_t body = 0;
+  if (CheckHeader(data, &body) == FrameDecodeStatus::kError) {
+    return FrameDecodeStatus::kError;
+  }
+  if (len < kFrameHeaderSize + body) {
+    return FrameDecodeStatus::kNeedMore;
+  }
+  if (len != kFrameHeaderSize + body) {
+    return FrameDecodeStatus::kError;  // datagrams carry exactly one frame
+  }
+  payload->assign(reinterpret_cast<const char*>(data + kFrameHeaderSize), body);
+  if (op != nullptr) {
+    *op = static_cast<FrameOp>(data[3]);
+  }
+  return FrameDecodeStatus::kFrame;
+}
+
+void FrameDecoder::Feed(const void* data, std::size_t len) {
+  if (poisoned_) {
+    return;  // stream already desynchronized; drop everything
+  }
+  // Compact lazily: only once the consumed prefix dominates, so steady-state
+  // framing does one memmove per buffer cycle, not per frame.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(static_cast<const char*>(data), len);
+}
+
+FrameDecodeStatus FrameDecoder::Next(std::string* payload, FrameOp* op) {
+  if (poisoned_) {
+    return FrameDecodeStatus::kError;
+  }
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < kFrameHeaderSize) {
+    return FrameDecodeStatus::kNeedMore;
+  }
+  const auto* hdr = reinterpret_cast<const std::uint8_t*>(buffer_.data() + consumed_);
+  std::uint32_t body = 0;
+  if (CheckHeader(hdr, &body) == FrameDecodeStatus::kError) {
+    poisoned_ = true;
+    return FrameDecodeStatus::kError;
+  }
+  if (avail < kFrameHeaderSize + body) {
+    return FrameDecodeStatus::kNeedMore;
+  }
+  payload->assign(buffer_, consumed_ + kFrameHeaderSize, body);
+  if (op != nullptr) {
+    *op = static_cast<FrameOp>(hdr[3]);
+  }
+  consumed_ += kFrameHeaderSize + body;
+  return FrameDecodeStatus::kFrame;
+}
+
+}  // namespace skyloft

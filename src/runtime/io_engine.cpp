@@ -1,0 +1,504 @@
+#include "src/runtime/io_engine.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+#include "src/base/logging.h"
+#include "src/runtime/uthread.h"
+
+#ifdef SKYLOFT_IO_URING
+#include <linux/io_uring.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#endif
+
+namespace skyloft {
+
+namespace {
+
+// Low bits of a CQE user_data distinguish what completed for a handle
+// (IoHandle is cache-line aligned, so the bits are free).
+constexpr std::uintptr_t kTagMask = 0x7;
+constexpr std::uintptr_t kTagMainPoll = 0;    // multishot POLLIN|HUP|ERR
+constexpr std::uintptr_t kTagRemove = 1;      // POLL_REMOVE completion
+constexpr std::uintptr_t kTagWritePoll = 2;   // oneshot POLLOUT
+
+void IncLane(ShardedCounter* c, int lane, std::uint64_t n = 1) {
+  if (c != nullptr) {
+    c->Inc(lane, n);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// io_uring backend plumbing (raw syscalls; liburing is not a dependency).
+// Compiled only under SKYLOFT_IO_URING; every entry point has an epoll
+// fallback so a kernel that refuses io_uring_setup (seccomp'd containers,
+// CONFIG_IO_URING=n) degrades cleanly at runtime.
+// ---------------------------------------------------------------------------
+
+#ifdef SKYLOFT_IO_URING
+
+struct IoEngine::UringState {
+  io_uring_params params{};
+  // SQ ring.
+  void* sq_ring = nullptr;
+  std::size_t sq_ring_len = 0;
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned sq_mask = 0;
+  unsigned* sq_array = nullptr;
+  io_uring_sqe* sqes = nullptr;
+  std::size_t sqes_len = 0;
+  // CQ ring (separate mmap unless IORING_FEAT_SINGLE_MMAP).
+  void* cq_ring = nullptr;
+  std::size_t cq_ring_len = 0;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned cq_mask = 0;
+  io_uring_cqe* cqes = nullptr;
+  // SQE production is multi-producer (RequestWritable and Deregister run on
+  // whatever worker the handler uthread was stolen to); short spinlock.
+  std::atomic_flag sqe_spin = ATOMIC_FLAG_INIT;
+  unsigned to_submit = 0;
+};
+
+namespace {
+
+int SysIoUringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete, unsigned flags) {
+  return static_cast<int>(syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags,
+                                  nullptr, 0));
+}
+
+unsigned PollBitsFromRevents(unsigned revents) {
+  unsigned bits = 0;
+  if (revents & (POLLIN | POLLRDHUP)) {
+    bits |= kIoReadable;
+  }
+  if (revents & POLLOUT) {
+    bits |= kIoWritable;
+  }
+  if (revents & POLLHUP) {
+    bits |= kIoHup;
+  }
+  if (revents & (POLLERR | POLLNVAL)) {
+    bits |= kIoError;
+  }
+  return bits;
+}
+
+}  // namespace
+
+bool IoEngine::UringInit(int entries) {
+  auto state = std::make_unique<UringState>();
+  const int fd = SysIoUringSetup(static_cast<unsigned>(entries), &state->params);
+  if (fd < 0) {
+    return false;
+  }
+  UringState* s = state.get();
+  s->sq_ring_len = s->params.sq_off.array + s->params.sq_entries * sizeof(unsigned);
+  s->cq_ring_len = s->params.cq_off.cqes + s->params.cq_entries * sizeof(io_uring_cqe);
+  const bool single_mmap = (s->params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap) {
+    s->sq_ring_len = s->cq_ring_len = std::max(s->sq_ring_len, s->cq_ring_len);
+  }
+  s->sq_ring = mmap(nullptr, s->sq_ring_len, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE,
+                    fd, IORING_OFF_SQ_RING);
+  if (s->sq_ring == MAP_FAILED) {
+    close(fd);
+    return false;
+  }
+  s->cq_ring = single_mmap
+                   ? s->sq_ring
+                   : mmap(nullptr, s->cq_ring_len, PROT_READ | PROT_WRITE,
+                          MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+  if (s->cq_ring == MAP_FAILED) {
+    munmap(s->sq_ring, s->sq_ring_len);
+    close(fd);
+    return false;
+  }
+  s->sqes_len = s->params.sq_entries * sizeof(io_uring_sqe);
+  s->sqes = static_cast<io_uring_sqe*>(mmap(nullptr, s->sqes_len, PROT_READ | PROT_WRITE,
+                                            MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES));
+  if (s->sqes == MAP_FAILED) {
+    if (!single_mmap) {
+      munmap(s->cq_ring, s->cq_ring_len);
+    }
+    munmap(s->sq_ring, s->sq_ring_len);
+    close(fd);
+    return false;
+  }
+  auto* sq = static_cast<unsigned char*>(s->sq_ring);
+  s->sq_head = reinterpret_cast<unsigned*>(sq + s->params.sq_off.head);
+  s->sq_tail = reinterpret_cast<unsigned*>(sq + s->params.sq_off.tail);
+  s->sq_mask = *reinterpret_cast<unsigned*>(sq + s->params.sq_off.ring_mask);
+  s->sq_array = reinterpret_cast<unsigned*>(sq + s->params.sq_off.array);
+  auto* cq = static_cast<unsigned char*>(s->cq_ring);
+  s->cq_head = reinterpret_cast<unsigned*>(cq + s->params.cq_off.head);
+  s->cq_tail = reinterpret_cast<unsigned*>(cq + s->params.cq_off.tail);
+  s->cq_mask = *reinterpret_cast<unsigned*>(cq + s->params.cq_off.ring_mask);
+  s->cqes = reinterpret_cast<io_uring_cqe*>(cq + s->params.cq_off.cqes);
+
+  uring_fd_ = fd;
+  uring_ = state.release();
+  return true;
+}
+
+void IoEngine::UringShutdown() {
+  if (uring_ == nullptr) {
+    return;
+  }
+  munmap(uring_->sqes, uring_->sqes_len);
+  const bool single_mmap = (uring_->params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (!single_mmap) {
+    munmap(uring_->cq_ring, uring_->cq_ring_len);
+  }
+  munmap(uring_->sq_ring, uring_->sq_ring_len);
+  close(uring_fd_);
+  uring_fd_ = -1;
+  delete uring_;
+  uring_ = nullptr;
+}
+
+bool IoEngine::UringArmPoll(IoHandle* handle, unsigned poll_mask, std::uintptr_t tag) {
+  UringState* s = uring_;
+  SpinBackoff backoff;
+  while (s->sqe_spin.test_and_set(std::memory_order_acquire)) {
+    backoff.Pause();
+  }
+  const unsigned head = __atomic_load_n(s->sq_head, __ATOMIC_ACQUIRE);
+  unsigned tail = *s->sq_tail;
+  if (tail - head >= s->params.sq_entries) {
+    // SQ full: flush what is queued and retry once; a second failure means
+    // the ring is badly undersized — report it to the caller.
+    SysIoUringEnter(uring_fd_, s->to_submit, 0, 0);
+    s->to_submit = 0;
+    if (*s->sq_tail - __atomic_load_n(s->sq_head, __ATOMIC_ACQUIRE) >= s->params.sq_entries) {
+      s->sqe_spin.clear(std::memory_order_release);
+      return false;
+    }
+    tail = *s->sq_tail;
+  }
+  const unsigned index = tail & s->sq_mask;
+  io_uring_sqe* sqe = &s->sqes[index];
+  std::memset(sqe, 0, sizeof(*sqe));
+  if (tag == kTagRemove) {
+    sqe->opcode = IORING_OP_POLL_REMOVE;
+    // addr identifies the poll to cancel by its submission user_data.
+    sqe->addr = reinterpret_cast<std::uintptr_t>(handle) | kTagMainPoll;
+  } else {
+    sqe->opcode = IORING_OP_POLL_ADD;
+    sqe->fd = handle->fd;
+    sqe->poll32_events = poll_mask;
+    if (tag == kTagMainPoll) {
+      sqe->len = IORING_POLL_ADD_MULTI;
+    }
+  }
+  sqe->user_data = reinterpret_cast<std::uintptr_t>(handle) | tag;
+  s->sq_array[index] = index;
+  __atomic_store_n(s->sq_tail, tail + 1, __ATOMIC_RELEASE);
+  s->to_submit++;
+  s->sqe_spin.clear(std::memory_order_release);
+  return true;
+}
+
+void IoEngine::UringRemovePoll(IoHandle* handle) {
+  UringArmPoll(handle, 0, kTagRemove);
+  UringSubmit();
+}
+
+void IoEngine::UringSubmit() {
+  UringState* s = uring_;
+  SpinBackoff backoff;
+  while (s->sqe_spin.test_and_set(std::memory_order_acquire)) {
+    backoff.Pause();
+  }
+  const unsigned n = s->to_submit;
+  s->to_submit = 0;
+  s->sqe_spin.clear(std::memory_order_release);
+  if (n > 0) {
+    SysIoUringEnter(uring_fd_, n, 0, 0);
+  }
+}
+
+int IoEngine::UringPoll() {
+  UringSubmit();
+  UringState* s = uring_;
+  int dispatched = 0;
+  unsigned head = __atomic_load_n(s->cq_head, __ATOMIC_ACQUIRE);
+  const unsigned tail = __atomic_load_n(s->cq_tail, __ATOMIC_ACQUIRE);
+  const int budget = options_.max_events;
+  while (head != tail && dispatched < budget) {
+    const io_uring_cqe* cqe = &s->cqes[head & s->cq_mask];
+    auto* handle = reinterpret_cast<IoHandle*>(cqe->user_data & ~kTagMask);
+    const std::uintptr_t tag = cqe->user_data & kTagMask;
+    if (tag == kTagRemove) {
+      // The CQ is FIFO: after the remove completion no further CQEs for this
+      // handle's polls can appear, so the handle may be freed now.
+      UntrackHandle(handle);
+      delete handle;
+    } else if (handle->closed.load(std::memory_order_acquire)) {
+      // Stale completion for a deregistered handle; the remove CQE frees it.
+    } else if (cqe->res < 0) {
+      DeliverReady(handle, kIoError);
+      dispatched++;
+    } else {
+      DeliverReady(handle, PollBitsFromRevents(static_cast<unsigned>(cqe->res)));
+      dispatched++;
+      // A terminated multishot (or a oneshot write poll) needs re-arming.
+      if (tag == kTagMainPoll && (cqe->flags & IORING_CQE_F_MORE) == 0) {
+        UringArmPoll(handle, POLLIN | POLLRDHUP, kTagMainPoll);
+      }
+    }
+    head++;
+  }
+  __atomic_store_n(s->cq_head, head, __ATOMIC_RELEASE);
+  if (dispatched > 0) {
+    UringSubmit();  // flush any re-arms queued while reaping
+  }
+  return dispatched;
+}
+
+#else  // !SKYLOFT_IO_URING
+
+struct IoEngine::UringState {};
+bool IoEngine::UringInit(int /*entries*/) { return false; }
+void IoEngine::UringShutdown() {}
+int IoEngine::UringPoll() { return 0; }
+bool IoEngine::UringArmPoll(IoHandle*, unsigned, std::uintptr_t) { return false; }
+void IoEngine::UringRemovePoll(IoHandle*) {}
+void IoEngine::UringSubmit() {}
+
+#endif  // SKYLOFT_IO_URING
+
+// ---------------------------------------------------------------------------
+// Backend-neutral engine.
+// ---------------------------------------------------------------------------
+
+IoEngine::IoEngine(int worker, const IoEngineOptions& options, const IoEngineStats& stats)
+    : worker_(worker), options_(options), stats_(stats) {
+  SKYLOFT_CHECK(options_.max_events > 0);
+  if (options_.backend != IoEngineOptions::Backend::kEpoll) {
+    if (!UringInit(options_.uring_entries) &&
+        options_.backend == IoEngineOptions::Backend::kIoUring) {
+      IncLane(stats_.uring_fallbacks, worker_);
+    }
+  }
+  if (uring_fd_ < 0) {
+    epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+    SKYLOFT_CHECK(epoll_fd_ >= 0) << "epoll_create1 failed: " << std::strerror(errno);
+    event_buf_.resize(static_cast<std::size_t>(options_.max_events) * sizeof(epoll_event));
+  }
+}
+
+IoEngine::~IoEngine() {
+  // Drain the retire pipeline, then close out whatever the application left
+  // registered (a server torn down mid-connection).
+  FreeRetired();
+  FreeRetired();
+  for (IoHandle* handle : handles_) {
+    if (!handle->closed.load(std::memory_order_relaxed)) {
+      close(handle->fd);
+    }
+    delete handle;
+  }
+  handles_.clear();
+  UringShutdown();
+  if (epoll_fd_ >= 0) {
+    close(epoll_fd_);
+  }
+}
+
+void IoEngine::TrackHandle(IoHandle* handle) {
+  SpinBackoff backoff;
+  while (handles_spin_.test_and_set(std::memory_order_acquire)) {
+    backoff.Pause();
+  }
+  handles_.push_back(handle);
+  handles_spin_.clear(std::memory_order_release);
+}
+
+void IoEngine::UntrackHandle(IoHandle* handle) {
+  SpinBackoff backoff;
+  while (handles_spin_.test_and_set(std::memory_order_acquire)) {
+    backoff.Pause();
+  }
+  for (std::size_t i = 0; i < handles_.size(); i++) {
+    if (handles_[i] == handle) {
+      handles_[i] = handles_.back();
+      handles_.pop_back();
+      break;
+    }
+  }
+  handles_spin_.clear(std::memory_order_release);
+}
+
+IoHandle* IoEngine::Register(int fd) {
+  const int fl = fcntl(fd, F_GETFL, 0);
+  if (fl < 0 || fcntl(fd, F_SETFL, fl | O_NONBLOCK) < 0) {
+    return nullptr;
+  }
+  auto* handle = new IoHandle;
+  handle->fd = fd;
+  handle->engine = this;
+  if (uring_fd_ >= 0) {
+#ifdef SKYLOFT_IO_URING
+    if (!UringArmPoll(handle, POLLIN | POLLRDHUP, kTagMainPoll)) {
+      delete handle;
+      return nullptr;
+    }
+    UringSubmit();
+#endif
+  } else {
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+    ev.data.ptr = handle;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      delete handle;
+      return nullptr;
+    }
+  }
+  TrackHandle(handle);
+  IncLane(stats_.registered, worker_);
+  return handle;
+}
+
+void IoEngine::Deregister(IoHandle* handle) {
+  SKYLOFT_CHECK(handle != nullptr && handle->engine == this);
+  const bool was_closed = handle->closed.exchange(true, std::memory_order_acq_rel);
+  SKYLOFT_CHECK(!was_closed) << "double Deregister of fd " << handle->fd;
+  if (uring_fd_ >= 0) {
+    // The remove CQE is the free point (see UringPoll); the fd can be closed
+    // right away — POLL_REMOVE targets by user_data, not fd.
+    UringRemovePoll(handle);
+    close(handle->fd);
+  } else {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, handle->fd, nullptr);
+    close(handle->fd);
+    // Two-phase retire (list -> graveyard -> free) so an event batch fetched
+    // by a concurrent epoll_wait on the home worker can never outlive the
+    // handle it points at.
+    IoHandle* head = retired_head_.load(std::memory_order_relaxed);
+    do {
+      handle->retire_next = head;
+    } while (!retired_head_.compare_exchange_weak(head, handle, std::memory_order_release,
+                                                  std::memory_order_relaxed));
+  }
+  IncLane(stats_.retired, worker_);
+}
+
+void IoEngine::FreeRetired() {
+  for (IoHandle* handle : retire_graveyard_) {
+    UntrackHandle(handle);
+    delete handle;
+  }
+  retire_graveyard_.clear();
+  IoHandle* head = retired_head_.exchange(nullptr, std::memory_order_acquire);
+  while (head != nullptr) {
+    IoHandle* next = head->retire_next;
+    retire_graveyard_.push_back(head);
+    head = next;
+  }
+}
+
+void IoEngine::DeliverReady(IoHandle* handle, unsigned bits) {
+  if (bits == 0 || handle->closed.load(std::memory_order_acquire)) {
+    return;
+  }
+  handle->ready.fetch_or(bits, std::memory_order_acq_rel);
+  if (bits & (kIoReadable | kIoHup | kIoError)) {
+    UThread* waiter = handle->reader.exchange(nullptr, std::memory_order_acq_rel);
+    if (waiter != nullptr) {
+      Runtime::Unpark(waiter);
+      IncLane(stats_.wakeups, worker_);
+    }
+  }
+  if (bits & (kIoWritable | kIoHup | kIoError)) {
+    UThread* waiter = handle->writer.exchange(nullptr, std::memory_order_acq_rel);
+    if (waiter != nullptr) {
+      Runtime::Unpark(waiter);
+      IncLane(stats_.wakeups, worker_);
+    }
+  }
+}
+
+int IoEngine::EpollPoll() {
+  FreeRetired();
+  auto* events = reinterpret_cast<epoll_event*>(event_buf_.data());
+  const int n = epoll_wait(epoll_fd_, events, options_.max_events, 0);
+  if (n <= 0) {
+    return 0;
+  }
+  for (int i = 0; i < n; i++) {
+    unsigned bits = 0;
+    const unsigned ev = events[i].events;
+    if (ev & (EPOLLIN | EPOLLRDHUP)) {
+      bits |= kIoReadable;
+    }
+    if (ev & EPOLLOUT) {
+      bits |= kIoWritable;
+    }
+    if (ev & EPOLLHUP) {
+      bits |= kIoHup;
+    }
+    if (ev & EPOLLERR) {
+      bits |= kIoError;
+    }
+    DeliverReady(static_cast<IoHandle*>(events[i].data.ptr), bits);
+  }
+  return n;
+}
+
+int IoEngine::Poll() {
+  const int n = uring_fd_ >= 0 ? UringPoll() : EpollPoll();
+  if (n > 0) {
+    IncLane(stats_.polls, worker_);
+    IncLane(stats_.events, worker_, static_cast<std::uint64_t>(n));
+  }
+  return n;
+}
+
+void IoEngine::RequestWritable(IoHandle* handle) {
+  if (uring_fd_ >= 0) {
+#ifdef SKYLOFT_IO_URING
+    UringArmPoll(handle, POLLOUT, kTagWritePoll);
+    UringSubmit();
+#endif
+  }
+  // epoll: EPOLLOUT|EPOLLET is permanently armed; the edge fires when the
+  // send buffer drains.
+}
+
+void IoEngine::RelatchReadable(IoHandle* handle) {
+  handle->ready.fetch_or(kIoReadable, std::memory_order_acq_rel);
+  UThread* waiter = handle->reader.exchange(nullptr, std::memory_order_acq_rel);
+  if (waiter != nullptr) {
+    Runtime::Unpark(waiter);
+  }
+}
+
+void IoEngine::Interrupt(IoHandle* handle) {
+  handle->ready.fetch_or(kIoError, std::memory_order_acq_rel);
+  UThread* reader = handle->reader.exchange(nullptr, std::memory_order_acq_rel);
+  if (reader != nullptr) {
+    Runtime::Unpark(reader);
+  }
+  UThread* writer = handle->writer.exchange(nullptr, std::memory_order_acq_rel);
+  if (writer != nullptr) {
+    Runtime::Unpark(writer);
+  }
+}
+
+}  // namespace skyloft

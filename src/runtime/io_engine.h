@@ -1,0 +1,180 @@
+// Per-worker I/O engine cores for the host runtime (DESIGN.md section 10).
+//
+// Skyloft's latency argument needs a real wakeup path: a NIC-driven readiness
+// event must turn into a runnable uthread in microseconds. Each runtime
+// worker owns one IoEngine — a private epoll set (io_uring behind
+// SKYLOFT_IO_URING, falling back to epoll when the kernel refuses) polled
+// from the worker's scheduler loop between uthread switches. Connections are
+// sharded at accept time (SO_REUSEPORT listeners, one per worker) and an fd
+// never changes engines; only the *handler uthread* migrates, via ordinary
+// work stealing. A readiness event therefore always fires on the fd's home
+// engine, and the resulting Unpark enqueues through that worker's own
+// runqueue — the remote-enqueue mailbox path when the handler was stolen.
+//
+// Blocking is cooperative, not thread-blocking: a uthread that would block on
+// a socket parks through WaitForReadable/WaitForWritable (src/runtime/sync.h)
+// and the worker runs other uthreads until the engine latches readiness and
+// unparks it. Readiness is edge-triggered and latched in the handle:
+//
+//   engine Poll():  ready.fetch_or(bits); wake parked reader/writer
+//   WaitForReadable: wait for the latch, consume it, caller then drains the
+//                    socket until EAGAIN (edge-triggered contract)
+//
+// Handle lifetime: Deregister unlinks the fd from the kernel set, closes it,
+// and pushes the handle onto the engine's retire list; the engine frees
+// retired handles at the top of a later Poll, after any in-flight event
+// batch that might still reference them has been processed (events on a
+// closed handle are skipped via the `closed` flag). This lets a handler
+// uthread close its connection from whatever worker it was stolen to while
+// the home engine is mid-poll.
+#ifndef SRC_RUNTIME_IO_ENGINE_H_
+#define SRC_RUNTIME_IO_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/compiler.h"
+#include "src/base/metrics.h"
+
+namespace skyloft {
+
+struct UThread;
+class IoEngine;
+
+// Readiness bits latched in IoHandle::ready. kIoHup/kIoError are sticky:
+// once the peer is gone the condition never clears, so waits return
+// immediately and the handler can tear the connection down.
+enum IoReady : unsigned {
+  kIoReadable = 1u << 0,
+  kIoWritable = 1u << 1,
+  kIoHup = 1u << 2,
+  kIoError = 1u << 3,
+};
+
+// One registered fd. Created by IoEngine::Register, destroyed by the engine
+// after Deregister. At most one waiting reader and one waiting writer at a
+// time (the KV server's one-uthread-per-connection model; a second concurrent
+// waiter on the same direction is a caller bug).
+struct alignas(kCacheLineSize) IoHandle {
+  int fd = -1;
+  IoEngine* engine = nullptr;
+  std::atomic<unsigned> ready{0};
+  std::atomic<UThread*> reader{nullptr};
+  std::atomic<UThread*> writer{nullptr};
+  std::atomic<bool> closed{false};
+  IoHandle* retire_next = nullptr;  // engine retire list linkage
+};
+
+// Counter lanes shared by every engine of one Runtime; `worker` indexes the
+// lane, so per-engine accounting never bounces a cache line. All pointers are
+// owned by the Runtime's MetricGroup (null in standalone/unit contexts).
+struct IoEngineStats {
+  ShardedCounter* polls = nullptr;         // Poll() calls that found events
+  ShardedCounter* events = nullptr;        // readiness events dispatched
+  ShardedCounter* wakeups = nullptr;       // parked uthreads unparked
+  ShardedCounter* registered = nullptr;    // fds registered (lifetime total)
+  ShardedCounter* retired = nullptr;       // fds deregistered
+  ShardedCounter* uring_fallbacks = nullptr;  // io_uring refused -> epoll
+};
+
+struct IoEngineOptions {
+  enum class Backend {
+    kAuto,    // io_uring when compiled in and the kernel allows it, else epoll
+    kEpoll,   // force epoll
+    kIoUring, // require io_uring (falls back to epoll with a counted fallback)
+  };
+  Backend backend = Backend::kAuto;
+  int max_events = 256;     // readiness batch drained per Poll
+  int uring_entries = 256;  // SQ depth (io_uring backend)
+};
+
+class IoEngine {
+ public:
+  // `worker` is the owning runtime worker's index (stats lane + diagnostics).
+  IoEngine(int worker, const IoEngineOptions& options, const IoEngineStats& stats);
+  ~IoEngine();
+
+  IoEngine(const IoEngine&) = delete;
+  IoEngine& operator=(const IoEngine&) = delete;
+
+  // Registers `fd` with this engine: sets O_NONBLOCK and arms edge-triggered
+  // read/write/hup monitoring. Callable from any worker (registration is
+  // spinlocked); returns null if the kernel rejects the fd.
+  SKYLOFT_NO_SWITCH IoHandle* Register(int fd);
+
+  // Unlinks the fd, closes it, and retires the handle (freed by a later
+  // Poll on the home engine). Callable from any worker; the caller must not
+  // touch the handle afterwards.
+  SKYLOFT_NO_SWITCH void Deregister(IoHandle* handle);
+
+  // Drains up to max_events readiness events, latches them into handles, and
+  // unparks waiters. Returns the number of events dispatched. Must only be
+  // called from the owning worker's scheduler loop (single consumer).
+  SKYLOFT_NO_SWITCH int Poll();
+
+  // Backend hook for write-interest (io_uring arms a oneshot POLLOUT; epoll's
+  // persistent EPOLLOUT|EPOLLET makes this a no-op). Called by
+  // WaitForWritable before parking.
+  SKYLOFT_NO_SWITCH void RequestWritable(IoHandle* handle);
+
+  // Re-latches readability on a handle — used by batched accept loops that
+  // stop before EAGAIN (the consumed edge must be restored or the remaining
+  // backlog would wait for the next connection attempt).
+  SKYLOFT_NO_SWITCH static void RelatchReadable(IoHandle* handle);
+
+  // Latches kIoError and unparks any waiters without touching the kernel
+  // set — the shutdown path: a server's Stop() interrupts uthreads blocked
+  // in WaitFor* so they can observe their stop flag and exit. Callable from
+  // any thread.
+  SKYLOFT_NO_SWITCH static void Interrupt(IoHandle* handle);
+
+  bool using_io_uring() const { return uring_fd_ >= 0; }
+  int worker() const { return worker_; }
+
+ private:
+  struct UringState;  // mmap'd ring pointers (io_uring backend only)
+
+  SKYLOFT_NO_SWITCH void DeliverReady(IoHandle* handle, unsigned bits);
+  SKYLOFT_NO_SWITCH void FreeRetired();
+  SKYLOFT_NO_SWITCH void TrackHandle(IoHandle* handle);
+  SKYLOFT_NO_SWITCH void UntrackHandle(IoHandle* handle);
+
+  // epoll backend.
+  SKYLOFT_NO_SWITCH int EpollPoll();
+
+  // io_uring backend (compiled under SKYLOFT_IO_URING; stubs otherwise).
+  bool UringInit(int entries);
+  void UringShutdown();
+  SKYLOFT_NO_SWITCH int UringPoll();
+  SKYLOFT_NO_SWITCH bool UringArmPoll(IoHandle* handle, unsigned poll_mask, std::uintptr_t tag);
+  SKYLOFT_NO_SWITCH void UringRemovePoll(IoHandle* handle);
+  SKYLOFT_NO_SWITCH void UringSubmit();
+
+  int worker_;
+  IoEngineOptions options_;
+  IoEngineStats stats_;
+
+  int epoll_fd_ = -1;
+  int uring_fd_ = -1;  // >= 0 => io_uring backend active
+  UringState* uring_ = nullptr;
+
+  std::vector<unsigned char> event_buf_;  // epoll_event array storage
+
+  // Live-handle table for teardown; spinlocked (registration is off the hot
+  // path — Poll never takes it).
+  std::atomic_flag handles_spin_ = ATOMIC_FLAG_INIT;
+  std::vector<IoHandle*> handles_;
+
+  // Retired handles awaiting a safe free point (MPSC: any worker pushes,
+  // the home engine's Poll frees).
+  std::atomic<IoHandle*> retired_head_{nullptr};
+  // Handles that survived one Poll on the retire list and are freed at the
+  // next: by then no event batch fetched before their epoll_ctl(DEL) can
+  // still be in flight.
+  std::vector<IoHandle*> retire_graveyard_;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_RUNTIME_IO_ENGINE_H_

@@ -2,8 +2,53 @@
 
 #include "src/base/compiler.h"
 #include "src/base/logging.h"
+#include "src/runtime/io_engine.h"
 
 namespace skyloft {
+
+namespace {
+
+// Shared wait loop for both directions. `consume` is the latch bit this wait
+// consumes (kIoReadable/kIoWritable); hup/error terminate either direction
+// and stay latched.
+SKYLOFT_MAY_SWITCH unsigned WaitForIo(IoHandle* handle, unsigned consume,
+                                      std::atomic<UThread*>* waiter_slot, bool want_write) {
+  const unsigned wake_mask = consume | kIoHup | kIoError;
+  while (true) {
+    unsigned ready = handle->ready.load(std::memory_order_acquire);
+    if (ready & wake_mask) {
+      handle->ready.fetch_and(~consume, std::memory_order_acq_rel);
+      return ready;
+    }
+    // Publish ourselves, then re-check: the engine's DeliverReady latches ready
+    // BEFORE exchanging the waiter slot, so either we see the latch here or
+    // the engine sees us and unparks. A double-win (both happen) costs one
+    // stale unpark token, which every Park loop tolerates.
+    waiter_slot->store(Runtime::Current(), std::memory_order_release);
+    if (want_write) {
+      // io_uring arms write interest on demand (oneshot POLLOUT); epoll's
+      // persistent EPOLLOUT|EPOLLET makes this a no-op.
+      handle->engine->RequestWritable(handle);
+    }
+    ready = handle->ready.load(std::memory_order_acquire);
+    if (ready & wake_mask) {
+      waiter_slot->store(nullptr, std::memory_order_release);
+      handle->ready.fetch_and(~consume, std::memory_order_acq_rel);
+      return ready;
+    }
+    Runtime::Park();
+  }
+}
+
+}  // namespace
+
+unsigned WaitForReadable(IoHandle* handle) {
+  return WaitForIo(handle, kIoReadable, &handle->reader, /*want_write=*/false);
+}
+
+unsigned WaitForWritable(IoHandle* handle) {
+  return WaitForIo(handle, kIoWritable, &handle->writer, /*want_write=*/true);
+}
 
 void UthreadMutex::SpinAcquire() {
   SpinBackoff backoff;

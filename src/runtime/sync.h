@@ -14,6 +14,24 @@
 
 namespace skyloft {
 
+struct IoHandle;
+
+// ---- I/O waits (DESIGN.md section 10) ----
+//
+// Blocks the current uthread until the handle's engine latches the matching
+// readiness (or a sticky kIoHup/kIoError), then consumes the readable/
+// writable latch and returns the observed IoReady mask. Edge-triggered
+// contract: after WaitForReadable returns, the caller must read until EAGAIN
+// before waiting again (symmetrically for writes) — the kernel only re-arms
+// the edge once the socket has been drained/filled. kIoHup/kIoError bits are
+// left latched so teardown paths keep observing them.
+//
+// Both primitives may return spuriously under racing wakeups (like every
+// Park-based wait in this runtime); callers sit in read/write loops that
+// tolerate an extra EAGAIN round.
+SKYLOFT_MAY_SWITCH unsigned WaitForReadable(IoHandle* handle);
+SKYLOFT_MAY_SWITCH unsigned WaitForWritable(IoHandle* handle);
+
 // A queued blocking mutex: fast path is one CAS; contended acquirers park
 // and are woken FIFO by the releasing thread.
 class UthreadMutex {

@@ -267,6 +267,17 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
     worker->sched.Bind(sched_.get(), i);
     workers_.push_back(std::move(worker));
   }
+  if (options_.io_engine) {
+    io_stats_.polls = io_metrics_.AddSharded("polls", options_.workers);
+    io_stats_.events = io_metrics_.AddSharded("events", options_.workers);
+    io_stats_.wakeups = io_metrics_.AddSharded("wakeups", options_.workers);
+    io_stats_.registered = io_metrics_.AddSharded("registered", options_.workers);
+    io_stats_.retired = io_metrics_.AddSharded("retired", options_.workers);
+    io_stats_.uring_fallbacks = io_metrics_.AddSharded("uring_fallbacks", options_.workers);
+    for (int i = 0; i < options_.workers; i++) {
+      engines_.push_back(std::make_unique<IoEngine>(i, options_.io, io_stats_));
+    }
+  }
 }
 
 Runtime::~Runtime() {
@@ -296,7 +307,10 @@ UThread* Runtime::AllocUthread(std::function<void()> fn) {
     auto storage = std::make_unique<unsigned char[]>(sizeof(UThread) + sizeof(UThreadExtra));
     t = new (storage.get()) UThread();
     new (storage.get() + sizeof(UThread)) UThreadExtra();
-    t->stack = std::make_unique<unsigned char[]>(options_.stack_size);
+    // for_overwrite: zero-initializing would touch (and commit) every stack
+    // page up front, which at 10k+ connection-handler uthreads is hundreds
+    // of MB of RSS for pages most uthreads never reach.
+    t->stack = std::make_unique_for_overwrite<unsigned char[]>(options_.stack_size);
     t->stack_size = options_.stack_size;
 #ifdef SKYLOFT_TSAN
     ExtraOf(t)->tsan_fiber = __tsan_create_fiber(0);
@@ -439,10 +453,19 @@ void Runtime::WorkerLoop(int index) {
 #endif
   worker->handle_valid.store(true, std::memory_order_release);
 
+  IoEngine* engine = io_engine(index);
+
   // `next` carries a directly-resumed uthread past the dequeue (a timer tick
   // the policy declined to turn into a preemption).
   UThread* next = nullptr;
   while (!stopping_.load(std::memory_order_relaxed)) {
+    // Engine-core duty: drain socket readiness between uthread segments so a
+    // NIC wakeup becomes a runnable uthread within one scheduling round. The
+    // resulting Unparks enqueue through THIS worker's runqueue — the
+    // remote-enqueue mailbox path when the handler uthread was stolen.
+    if (engine != nullptr) {
+      engine->Poll();
+    }
     if (next == nullptr) {
       next = FindWork(worker);
     }

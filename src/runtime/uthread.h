@@ -37,6 +37,7 @@
 #include "src/base/metrics.h"
 #include "src/base/trace.h"
 #include "src/runtime/host_sched.h"
+#include "src/runtime/io_engine.h"
 #include "src/sched/sched_item.h"
 
 namespace skyloft {
@@ -73,6 +74,12 @@ struct RuntimeOptions {
   std::int64_t preempt_period_us = 0;
   // Policy selection for the host scheduler (defaults to work stealing).
   HostSchedOptions sched{};
+  // Per-worker I/O engine cores (epoll/io_uring readiness feeding
+  // WaitForReadable/Writable park-unpark wakeups; DESIGN.md section 10).
+  // Off by default so non-network workloads pay nothing — the worker loop
+  // only polls when an engine exists.
+  bool io_engine = false;
+  IoEngineOptions io{};
   // Optional scheduling-event tracer (not owned; must outlive the Runtime).
   // Records assignments, occupancy spans, preemptions, and — from inside the
   // signal handler — preemption-signal delivery/deferral instants.
@@ -133,6 +140,15 @@ class Runtime {
   // driver for the active policy (see HostSched / DESIGN.md section 9).
   bool lock_free_sched() const { return sched_->lock_free(); }
 
+  int workers() const { return options_.workers; }
+
+  // The I/O engine core owned by `worker` (null unless RuntimeOptions::
+  // io_engine). Servers register SO_REUSEPORT listeners here, one per
+  // worker, to shard connections at accept time.
+  IoEngine* io_engine(int worker) const {
+    return engines_.empty() ? nullptr : engines_[static_cast<std::size_t>(worker)].get();
+  }
+
  private:
   friend struct RuntimeWorker;
 
@@ -154,6 +170,7 @@ class Runtime {
   RuntimeOptions options_;
   std::unique_ptr<HostSched> sched_;
   std::vector<std::unique_ptr<RuntimeWorker>> workers_;
+  std::vector<std::unique_ptr<IoEngine>> engines_;  // one per worker when enabled
   std::vector<std::thread> worker_threads_;
   std::atomic<std::int64_t> live_uthreads_{0};
   std::atomic<bool> stopping_{false};
@@ -179,6 +196,10 @@ class Runtime {
   Counter* preemptions_ = nullptr;
   Counter* preempt_deferrals_ = nullptr;
   Counter* external_placements_ = nullptr;
+  // Lanes shared by every engine (one lane per worker); registered under the
+  // "io_engine" prefix only when engines exist.
+  MetricGroup io_metrics_{"io_engine"};
+  IoEngineStats io_stats_{};
 
   SchedTracer* tracer_ = nullptr;  // from RuntimeOptions; not owned
 };
