@@ -321,6 +321,20 @@ void KvServerNet::Stop() {
   while (live_server_uthreads_.load(std::memory_order_acquire) > 0) {
     Runtime::Yield();
   }
+  // All server uthreads are joined, so nothing can race the listener
+  // handles any more — only now are they deregistered. (The loops must not
+  // do it themselves: a readiness event racing stop_ could otherwise retire
+  // a handle while this function concurrently Interrupts it above.)
+  for (auto& listener : listeners_) {
+    if (listener->tcp != nullptr) {
+      listener->engine->Deregister(listener->tcp);
+      listener->tcp = nullptr;
+    }
+    if (listener->udp != nullptr) {
+      listener->engine->Deregister(listener->udp);
+      listener->udp = nullptr;
+    }
+  }
   store_.MergeLatencies();
 }
 
@@ -390,8 +404,8 @@ void KvServerNet::AcceptLoop(Listener* listener) {
       Runtime::Yield();
     }
   }
-  listener->engine->Deregister(listener->tcp);
-  listener->tcp = nullptr;
+  // The listener handle stays registered; Stop() retires it after the join
+  // barrier, where no Interrupt can race the teardown.
   live_server_uthreads_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
@@ -562,8 +576,7 @@ void KvServerNet::UdpLoop(Listener* listener) {
       Runtime::Yield();
     }
   }
-  listener->engine->Deregister(listener->udp);
-  listener->udp = nullptr;
+  // As in AcceptLoop, the listener handle is retired by Stop(), not here.
   live_server_uthreads_.fetch_sub(1, std::memory_order_acq_rel);
 }
 

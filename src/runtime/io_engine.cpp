@@ -26,9 +26,10 @@ namespace {
 // Low bits of a CQE user_data distinguish what completed for a handle
 // (IoHandle is cache-line aligned, so the bits are free).
 constexpr std::uintptr_t kTagMask = 0x7;
-constexpr std::uintptr_t kTagMainPoll = 0;    // multishot POLLIN|HUP|ERR
-constexpr std::uintptr_t kTagRemove = 1;      // POLL_REMOVE completion
-constexpr std::uintptr_t kTagWritePoll = 2;   // oneshot POLLOUT
+constexpr std::uintptr_t kTagMainPoll = 0;     // multishot POLLIN|HUP|ERR
+constexpr std::uintptr_t kTagRemove = 1;       // POLL_REMOVE of the main poll
+constexpr std::uintptr_t kTagWritePoll = 2;    // oneshot POLLOUT
+constexpr std::uintptr_t kTagRemoveWrite = 3;  // POLL_REMOVE of the write poll
 
 void IncLane(ShardedCounter* c, int lane, std::uint64_t n = 1) {
   if (c != nullptr) {
@@ -194,10 +195,11 @@ bool IoEngine::UringArmPoll(IoHandle* handle, unsigned poll_mask, std::uintptr_t
   const unsigned index = tail & s->sq_mask;
   io_uring_sqe* sqe = &s->sqes[index];
   std::memset(sqe, 0, sizeof(*sqe));
-  if (tag == kTagRemove) {
+  if (tag == kTagRemove || tag == kTagRemoveWrite) {
     sqe->opcode = IORING_OP_POLL_REMOVE;
     // addr identifies the poll to cancel by its submission user_data.
-    sqe->addr = reinterpret_cast<std::uintptr_t>(handle) | kTagMainPoll;
+    sqe->addr = reinterpret_cast<std::uintptr_t>(handle) |
+                (tag == kTagRemove ? kTagMainPoll : kTagWritePoll);
   } else {
     sqe->opcode = IORING_OP_POLL_ADD;
     sqe->fd = handle->fd;
@@ -214,9 +216,26 @@ bool IoEngine::UringArmPoll(IoHandle* handle, unsigned poll_mask, std::uintptr_t
   return true;
 }
 
-void IoEngine::UringRemovePoll(IoHandle* handle) {
-  UringArmPoll(handle, 0, kTagRemove);
-  UringSubmit();
+void IoEngine::UringRemovePoll(IoHandle* handle, std::uintptr_t tag) {
+  // Must not fail: a dropped remove means its CQE never arrives and the
+  // handle is never freed. A full SQ drains via the enter() flush inside
+  // UringArmPoll, so the retry terminates.
+  SpinBackoff backoff;
+  while (!UringArmPoll(handle, 0, tag)) {
+    backoff.Pause();
+  }
+}
+
+// Retires one expected CQE (or Deregister's queueing reference). Whoever
+// drops the count to zero after the handle was closed owns the free; until
+// then some poll or remove completion may still reference the handle. Must
+// be the caller's LAST touch of the handle.
+void IoEngine::UringFinishCqe(IoHandle* handle) {
+  if (handle->pending_cqes.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+      handle->closed.load(std::memory_order_acquire)) {
+    UntrackHandle(handle);
+    delete handle;
+  }
 }
 
 void IoEngine::UringSubmit() {
@@ -244,22 +263,48 @@ int IoEngine::UringPoll() {
     const io_uring_cqe* cqe = &s->cqes[head & s->cq_mask];
     auto* handle = reinterpret_cast<IoHandle*>(cqe->user_data & ~kTagMask);
     const std::uintptr_t tag = cqe->user_data & kTagMask;
-    if (tag == kTagRemove) {
-      // The CQ is FIFO: after the remove completion no further CQEs for this
-      // handle's polls can appear, so the handle may be freed now.
-      UntrackHandle(handle);
-      delete handle;
-    } else if (handle->closed.load(std::memory_order_acquire)) {
-      // Stale completion for a deregistered handle; the remove CQE frees it.
-    } else if (cqe->res < 0) {
-      DeliverReady(handle, kIoError);
-      dispatched++;
-    } else {
-      DeliverReady(handle, PollBitsFromRevents(static_cast<unsigned>(cqe->res)));
-      dispatched++;
-      // A terminated multishot (or a oneshot write poll) needs re-arming.
-      if (tag == kTagMainPoll && (cqe->flags & IORING_CQE_F_MORE) == 0) {
-        UringArmPoll(handle, POLLIN | POLLRDHUP, kTagMainPoll);
+    if (tag == kTagRemove || tag == kTagRemoveWrite) {
+      // One CQE per POLL_REMOVE submitted by Deregister.
+      UringFinishCqe(handle);
+    } else if (tag == kTagWritePoll) {
+      // The oneshot POLLOUT is no longer in flight; the next WaitForWritable
+      // may arm a fresh one.
+      handle->write_poll_armed.store(false, std::memory_order_release);
+      if (!handle->closed.load(std::memory_order_acquire)) {
+        DeliverReady(handle, cqe->res < 0
+                                 ? kIoError
+                                 : PollBitsFromRevents(static_cast<unsigned>(cqe->res)));
+        dispatched++;
+      }
+      UringFinishCqe(handle);
+    } else {  // kTagMainPoll
+      // A multishot emits many CQEs; only one without F_MORE ends the series
+      // (spontaneous termination, an error, or cancellation by Deregister's
+      // POLL_REMOVE — the kernel may post that -ECANCELED CQE *after* the
+      // remove's own CQE, hence the counting).
+      bool terminal = (cqe->flags & IORING_CQE_F_MORE) == 0;
+      if (handle->closed.load(std::memory_order_acquire)) {
+        // Stale completion for a deregistered handle; deliver nothing.
+      } else if (cqe->res < 0) {
+        handle->main_poll_armed.store(false, std::memory_order_release);
+        DeliverReady(handle, kIoError);
+        dispatched++;
+      } else {
+        DeliverReady(handle, PollBitsFromRevents(static_cast<unsigned>(cqe->res)));
+        dispatched++;
+        if (terminal) {
+          if (UringArmPoll(handle, POLLIN | POLLRDHUP, kTagMainPoll)) {
+            terminal = false;  // re-armed: the poll's expected-CQE count lives on
+          } else {
+            // Lost read monitoring: latch an error so the waiter wakes and
+            // tears the connection down instead of parking forever.
+            handle->main_poll_armed.store(false, std::memory_order_release);
+            DeliverReady(handle, kIoError);
+          }
+        }
+      }
+      if (terminal) {
+        UringFinishCqe(handle);
       }
     }
     head++;
@@ -278,7 +323,8 @@ bool IoEngine::UringInit(int /*entries*/) { return false; }
 void IoEngine::UringShutdown() {}
 int IoEngine::UringPoll() { return 0; }
 bool IoEngine::UringArmPoll(IoHandle*, unsigned, std::uintptr_t) { return false; }
-void IoEngine::UringRemovePoll(IoHandle*) {}
+void IoEngine::UringRemovePoll(IoHandle*, std::uintptr_t) {}
+void IoEngine::UringFinishCqe(IoHandle*) {}
 void IoEngine::UringSubmit() {}
 
 #endif  // SKYLOFT_IO_URING
@@ -355,6 +401,10 @@ IoHandle* IoEngine::Register(int fd) {
   handle->engine = this;
   if (uring_fd_ >= 0) {
 #ifdef SKYLOFT_IO_URING
+    // Pre-publication: count the main poll's expected terminal CQE before
+    // the kernel can post it.
+    handle->main_poll_armed.store(true, std::memory_order_relaxed);
+    handle->pending_cqes.store(1, std::memory_order_relaxed);
     if (!UringArmPoll(handle, POLLIN | POLLRDHUP, kTagMainPoll)) {
       delete handle;
       return nullptr;
@@ -377,25 +427,45 @@ IoHandle* IoEngine::Register(int fd) {
 
 void IoEngine::Deregister(IoHandle* handle) {
   SKYLOFT_CHECK(handle != nullptr && handle->engine == this);
+  if (uring_fd_ >= 0) {
+    // Take a queueing reference BEFORE publishing closed: once closed is
+    // visible, a concurrent reaper dropping pending_cqes to zero frees the
+    // handle, and this function is still using it below.
+    handle->pending_cqes.fetch_add(1, std::memory_order_acq_rel);
+    const bool was_closed = handle->closed.exchange(true, std::memory_order_acq_rel);
+    SKYLOFT_CHECK(!was_closed) << "double Deregister of fd " << handle->fd;
+    // Cancel every outstanding poll — the multishot main poll and, if armed,
+    // the oneshot write poll. A pending poll holds a file reference, so
+    // closing the fd alone would not complete it and its CQE could fire
+    // after the handle was freed. Each remove yields its own CQE too; count
+    // both before queueing. The fd can be closed right away — POLL_REMOVE
+    // targets by user_data, not fd.
+    if (handle->main_poll_armed.load(std::memory_order_acquire)) {
+      handle->pending_cqes.fetch_add(1, std::memory_order_acq_rel);
+      UringRemovePoll(handle, kTagRemove);
+    }
+    if (handle->write_poll_armed.load(std::memory_order_acquire)) {
+      handle->pending_cqes.fetch_add(1, std::memory_order_acq_rel);
+      UringRemovePoll(handle, kTagRemoveWrite);
+    }
+    UringSubmit();
+    close(handle->fd);
+    IncLane(stats_.retired, worker_);
+    UringFinishCqe(handle);  // drop the queueing reference; may free
+    return;
+  }
   const bool was_closed = handle->closed.exchange(true, std::memory_order_acq_rel);
   SKYLOFT_CHECK(!was_closed) << "double Deregister of fd " << handle->fd;
-  if (uring_fd_ >= 0) {
-    // The remove CQE is the free point (see UringPoll); the fd can be closed
-    // right away — POLL_REMOVE targets by user_data, not fd.
-    UringRemovePoll(handle);
-    close(handle->fd);
-  } else {
-    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, handle->fd, nullptr);
-    close(handle->fd);
-    // Two-phase retire (list -> graveyard -> free) so an event batch fetched
-    // by a concurrent epoll_wait on the home worker can never outlive the
-    // handle it points at.
-    IoHandle* head = retired_head_.load(std::memory_order_relaxed);
-    do {
-      handle->retire_next = head;
-    } while (!retired_head_.compare_exchange_weak(head, handle, std::memory_order_release,
-                                                  std::memory_order_relaxed));
-  }
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, handle->fd, nullptr);
+  close(handle->fd);
+  // Two-phase retire (list -> graveyard -> free) so an event batch fetched
+  // by a concurrent epoll_wait on the home worker can never outlive the
+  // handle it points at.
+  IoHandle* head = retired_head_.load(std::memory_order_relaxed);
+  do {
+    handle->retire_next = head;
+  } while (!retired_head_.compare_exchange_weak(head, handle, std::memory_order_release,
+                                                std::memory_order_relaxed));
   IncLane(stats_.retired, worker_);
 }
 
@@ -473,8 +543,22 @@ int IoEngine::Poll() {
 void IoEngine::RequestWritable(IoHandle* handle) {
   if (uring_fd_ >= 0) {
 #ifdef SKYLOFT_IO_URING
-    UringArmPoll(handle, POLLOUT, kTagWritePoll);
-    UringSubmit();
+    // At most one oneshot POLLOUT in flight per handle, so Deregister knows
+    // exactly which polls remain to cancel; an unreaped previous arm still
+    // delivers the wakeup this caller is about to wait for.
+    if (handle->write_poll_armed.exchange(true, std::memory_order_acq_rel)) {
+      return;
+    }
+    handle->pending_cqes.fetch_add(1, std::memory_order_acq_rel);
+    if (UringArmPoll(handle, POLLOUT, kTagWritePoll)) {
+      UringSubmit();
+    } else {
+      handle->pending_cqes.fetch_sub(1, std::memory_order_acq_rel);
+      handle->write_poll_armed.store(false, std::memory_order_release);
+      // No write monitoring means the waiter would park forever; latch an
+      // error so it wakes and fails the write instead.
+      DeliverReady(handle, kIoError);
+    }
 #endif
   }
   // epoll: EPOLLOUT|EPOLLET is permanently armed; the edge fires when the

@@ -63,6 +63,17 @@ struct alignas(kCacheLineSize) IoHandle {
   std::atomic<UThread*> reader{nullptr};
   std::atomic<UThread*> writer{nullptr};
   std::atomic<bool> closed{false};
+  // io_uring backend only. Which polls are in flight — at most one multishot
+  // main poll and one oneshot POLLOUT (RequestWritable is a no-op while
+  // armed) — so Deregister knows which to cancel; and a count of terminal
+  // CQEs still expected (+1 per armed poll, +1 per submitted POLL_REMOVE,
+  // +1 held by Deregister itself while it queues the cancels). The kernel
+  // does NOT order a cancelled poll's CQE before its POLL_REMOVE's CQE
+  // (task-work can post it later), so the free point is the count reaching
+  // zero after close, not any particular completion.
+  std::atomic<bool> main_poll_armed{false};
+  std::atomic<bool> write_poll_armed{false};
+  std::atomic<int> pending_cqes{0};
   IoHandle* retire_next = nullptr;  // engine retire list linkage
 };
 
@@ -148,7 +159,8 @@ class IoEngine {
   void UringShutdown();
   SKYLOFT_NO_SWITCH int UringPoll();
   SKYLOFT_NO_SWITCH bool UringArmPoll(IoHandle* handle, unsigned poll_mask, std::uintptr_t tag);
-  SKYLOFT_NO_SWITCH void UringRemovePoll(IoHandle* handle);
+  SKYLOFT_NO_SWITCH void UringRemovePoll(IoHandle* handle, std::uintptr_t tag);
+  SKYLOFT_NO_SWITCH void UringFinishCqe(IoHandle* handle);
   SKYLOFT_NO_SWITCH void UringSubmit();
 
   int worker_;

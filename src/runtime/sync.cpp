@@ -30,6 +30,11 @@ SKYLOFT_MAY_SWITCH unsigned WaitForIo(IoHandle* handle, unsigned consume,
       // persistent EPOLLOUT|EPOLLET makes this a no-op.
       handle->engine->RequestWritable(handle);
     }
+    // Full fence so the re-check below cannot be hoisted above the waiter
+    // publish (StoreLoad reordering is legal even on x86, and would let both
+    // sides miss each other). The engine side needs no fence: its fetch_or
+    // and exchange are RMWs, which always observe the latest slot value.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     ready = handle->ready.load(std::memory_order_acquire);
     if (ready & wake_mask) {
       waiter_slot->store(nullptr, std::memory_order_release);

@@ -6,6 +6,8 @@
 //   - peer reset (SO_LINGER 0 -> RST) landing mid-write
 //   - peer hangup delivered while handler uthreads migrate across workers
 //   - Interrupt() waking a parked waiter for shutdown
+//   - Deregister with write interest still outstanding, then a late POLLOUT
+//     (the io_uring stale-oneshot-CQE lifetime regression)
 // Runs under TSan/ASan in CI; every cross-thread handoff here is a real
 // data-race candidate.
 #include <arpa/inet.h>
@@ -361,6 +363,60 @@ TEST(IoEngineTest, InterruptWakesParkedWaiter) {
     AwaitFlag(done);
   });
   EXPECT_NE(observed & kIoError, 0u);
+  close(pair.client);
+}
+
+TEST(IoEngineTest, InterruptedWriterDeregisterThenPeerDrain) {
+  // Regression for the io_uring lifetime bug: a writer parked in
+  // WaitForWritable (oneshot POLLOUT pending in the ring) is woken by
+  // Interrupt — no write CQE is consumed — and deregisters its handle.
+  // io_uring holds a file reference per pending poll, so the close alone
+  // does not complete it; when the peer later drains the socket the POLLOUT
+  // completes, and it must land on a cancelled poll, never a freed handle
+  // (pre-fix this is a heap-use-after-free under ASan on the uring build).
+  Runtime rt(RuntimeOptions{.workers = 1, .io_engine = true});
+  TcpPair pair = MakeTcpPair();
+  const int small = 8 * 1024;
+  setsockopt(pair.server, SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  setsockopt(pair.client, SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+
+  std::atomic<bool> blocked{false};
+  std::atomic<bool> done{false};
+  rt.Run([&] {
+    IoEngine* engine = rt.io_engine(0);
+    IoHandle* handle = engine->Register(pair.server);
+    ASSERT_NE(handle, nullptr);
+    Runtime::Spawn([&, handle] {
+      const std::vector<char> chunk(64 * 1024, 'w');
+      unsigned ready = 0;
+      while ((ready & (kIoError | kIoHup)) == 0) {
+        const ssize_t n = write(handle->fd, chunk.data(), chunk.size());
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          blocked.store(true, std::memory_order_release);
+          ready = WaitForWritable(handle);
+          continue;
+        }
+        if (n < 0) {
+          break;
+        }
+      }
+      engine->Deregister(handle);
+      done.store(true, std::memory_order_release);
+    });
+    AwaitFlag(blocked);
+    Runtime::SleepFor(20'000);  // let the writer park with the poll pending
+    IoEngine::Interrupt(handle);
+    AwaitFlag(done);
+    // Now drain the peer side: the send buffer empties and the kernel
+    // reports writability against whatever interest survived Deregister.
+    const int fl = fcntl(pair.client, F_GETFL, 0);
+    ASSERT_EQ(fcntl(pair.client, F_SETFL, fl | O_NONBLOCK), 0);
+    char buf[4096];
+    while (read(pair.client, buf, sizeof(buf)) > 0) {
+    }
+    // Keep the engine polling long enough to reap any stale completion.
+    Runtime::SleepFor(50'000);
+  });
   close(pair.client);
 }
 
