@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/simcore/simulation.h"
 #include "src/apps/workloads.h"
 
 namespace skyloft {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/simcore/simulation.h"
 #include "src/apps/workloads.h"
 #include "src/policies/work_stealing.h"
 

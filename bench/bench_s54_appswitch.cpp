@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "src/simcore/simulation.h"
 #include "src/libos/percpu_engine.h"
 #include "src/policies/round_robin.h"
 

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/simcore/simulation.h"
 #include "src/kernelsim/kernel_sim.h"
 #include "src/simcore/machine.h"
 #include "src/uintr/uintr_chip.h"

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "src/simcore/simulation.h"
 #include "src/base/histogram.h"
 #include "src/net/nic.h"
 #include "src/simcore/machine.h"

@@ -19,6 +19,23 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed) : state_(seed) {}
 
+  // Derives an independent stream seed from (base seed, stream index) —
+  // per-node RNG splitting for cluster simulations. A plain `seed ^ stream`
+  // is dangerous with splitmix64 (nearby streams start a fixed small offset
+  // apart in the same underlying sequence), so the stream index is mixed
+  // through a full avalanche round first. Stream 0 returns the base seed
+  // unchanged, keeping single-node runs bit-identical to their historical
+  // traces.
+  static std::uint64_t DeriveStream(std::uint64_t seed, std::uint64_t stream) {
+    if (stream == 0) {
+      return seed;
+    }
+    std::uint64_t z = seed + stream * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
   std::uint64_t NextU64() {
     std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;

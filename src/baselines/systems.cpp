@@ -8,17 +8,33 @@ namespace skyloft {
 
 namespace {
 
-// Builds the simulation substrate shared by every system under test.
-SystemSetup MakeBase(const std::string& name, int num_cores) {
-  SystemSetup setup;
-  setup.name = name;
-  setup.sim = std::make_unique<Simulation>();
+// Builds the simulation substrate shared by every system under test, on a
+// SimNode the caller owns (a standalone Simulation or a ClusterSim shard).
+NodeSetup MakeNodeBase(SimNode* sim, const std::string& name, int num_cores) {
+  SKYLOFT_CHECK(sim != nullptr);
+  NodeSetup node;
+  node.name = name;
+  node.sim = sim;
   MachineConfig mcfg;
   mcfg.num_cores = num_cores;
   mcfg.cores_per_socket = 24;
-  setup.machine = std::make_unique<Machine>(setup.sim.get(), mcfg);
-  setup.chip = std::make_unique<UintrChip>(setup.machine.get());
-  setup.kernel = std::make_unique<KernelSim>(setup.machine.get(), setup.chip.get());
+  node.machine = std::make_unique<Machine>(sim, mcfg);
+  node.chip = std::make_unique<UintrChip>(node.machine.get());
+  node.kernel = std::make_unique<KernelSim>(node.machine.get(), node.chip.get());
+  return node;
+}
+
+// Wraps a NodeSetup built on a freshly-owned Simulation into a SystemSetup.
+SystemSetup Adopt(std::unique_ptr<Simulation> sim, NodeSetup node) {
+  SystemSetup setup;
+  setup.name = std::move(node.name);
+  setup.sim = std::move(sim);
+  setup.machine = std::move(node.machine);
+  setup.chip = std::move(node.chip);
+  setup.kernel = std::move(node.kernel);
+  setup.policy = std::move(node.policy);
+  setup.engine = std::move(node.engine);
+  setup.app = node.app;
   return setup;
 }
 
@@ -40,22 +56,23 @@ void ApplyLinuxCosts(EngineConfig& config, const CostModel& costs) {
 
 }  // namespace
 
-SystemSetup MakeSkyloftPerCpu(SkyloftSched sched, int num_cores, DurationNs rr_slice) {
+NodeSetup MakeSkyloftPerCpuNode(SimNode* sim, SkyloftSched sched, int num_cores,
+                                DurationNs rr_slice) {
   const char* names[] = {"skyloft-rr", "skyloft-cfs", "skyloft-eevdf", "skyloft-fifo"};
-  SystemSetup setup = MakeBase(names[static_cast<int>(sched)], num_cores);
+  NodeSetup node = MakeNodeBase(sim, names[static_cast<int>(sched)], num_cores);
 
   switch (sched) {
     case SkyloftSched::kRr:
-      setup.policy = std::make_unique<RoundRobinPolicy>(rr_slice);
+      node.policy = std::make_unique<RoundRobinPolicy>(rr_slice);
       break;
     case SkyloftSched::kCfs:
-      setup.policy = std::make_unique<CfsPolicy>(CfsParams{Micros(12) + 500, Micros(50)});
+      node.policy = std::make_unique<CfsPolicy>(CfsParams{Micros(12) + 500, Micros(50)});
       break;
     case SkyloftSched::kEevdf:
-      setup.policy = std::make_unique<EevdfPolicy>(EevdfParams{Micros(12) + 500});
+      node.policy = std::make_unique<EevdfPolicy>(EevdfParams{Micros(12) + 500});
       break;
     case SkyloftSched::kFifo:
-      setup.policy = std::make_unique<RoundRobinPolicy>(kInfiniteSlice);
+      node.policy = std::make_unique<RoundRobinPolicy>(kInfiniteSlice);
       break;
   }
 
@@ -64,76 +81,88 @@ SystemSetup MakeSkyloftPerCpu(SkyloftSched sched, int num_cores, DurationNs rr_s
   pcfg.base.local_switch_ns = 100;  // user-level switch through the scheduler
   pcfg.timer_hz = 100'000;          // Table 5: TIMER_HZ
   pcfg.tick_path = TickPath::kUserTimer;
-  setup.engine = std::make_unique<PerCpuEngine>(setup.machine.get(), setup.chip.get(),
-                                                setup.kernel.get(), setup.policy.get(), pcfg);
-  setup.app = setup.engine->CreateApp("lc");
-  setup.engine->Start();
-  return setup;
+  node.engine = std::make_unique<PerCpuEngine>(node.machine.get(), node.chip.get(),
+                                               node.kernel.get(), node.policy.get(), pcfg);
+  node.app = node.engine->CreateApp("lc");
+  node.engine->Start();
+  return node;
+}
+
+SystemSetup MakeSkyloftPerCpu(SkyloftSched sched, int num_cores, DurationNs rr_slice) {
+  auto sim = std::make_unique<Simulation>();
+  NodeSetup node = MakeSkyloftPerCpuNode(sim.get(), sched, num_cores, rr_slice);
+  return Adopt(std::move(sim), std::move(node));
 }
 
 SystemSetup MakeLinuxPerCpu(LinuxSched sched, int num_cores) {
   const char* names[] = {"linux-rr", "linux-cfs-default", "linux-cfs-tuned",
                          "linux-eevdf-default", "linux-eevdf-tuned"};
-  SystemSetup setup = MakeBase(names[static_cast<int>(sched)], num_cores);
+  auto sim = std::make_unique<Simulation>();
+  NodeSetup node = MakeNodeBase(sim.get(), names[static_cast<int>(sched)], num_cores);
 
   std::int64_t hz = 250;
   switch (sched) {
     case LinuxSched::kRrDefault:
-      setup.policy = std::make_unique<RoundRobinPolicy>(Millis(100));
+      node.policy = std::make_unique<RoundRobinPolicy>(Millis(100));
       hz = 250;
       break;
     case LinuxSched::kCfsDefault:
-      setup.policy = std::make_unique<CfsPolicy>(CfsParams{Millis(3), Millis(24)});
+      node.policy = std::make_unique<CfsPolicy>(CfsParams{Millis(3), Millis(24)});
       hz = 250;
       break;
     case LinuxSched::kCfsTuned:
-      setup.policy = std::make_unique<CfsPolicy>(CfsParams{Micros(12) + 500, Micros(50)});
+      node.policy = std::make_unique<CfsPolicy>(CfsParams{Micros(12) + 500, Micros(50)});
       hz = 1000;
       break;
     case LinuxSched::kEevdfDefault:
-      setup.policy = std::make_unique<EevdfPolicy>(EevdfParams{Millis(3)});
+      node.policy = std::make_unique<EevdfPolicy>(EevdfParams{Millis(3)});
       hz = 1000;
       break;
     case LinuxSched::kEevdfTuned:
-      setup.policy = std::make_unique<EevdfPolicy>(EevdfParams{Micros(12) + 500});
+      node.policy = std::make_unique<EevdfPolicy>(EevdfParams{Micros(12) + 500});
       hz = 1000;
       break;
   }
 
   PerCpuEngineConfig pcfg;
   pcfg.base.worker_cores = CoreRange(0, num_cores);
-  ApplyLinuxCosts(pcfg.base, setup.machine->costs());
+  ApplyLinuxCosts(pcfg.base, node.machine->costs());
   pcfg.timer_hz = hz;  // Table 5: CONFIG_HZ caps Linux preemption granularity
   pcfg.tick_path = TickPath::kKernelTimer;
   pcfg.kernel_tick_cost_ns = 1500;
   pcfg.preempt_extra_ns = 0;  // switch cost is already in local_switch_ns
-  setup.engine = std::make_unique<PerCpuEngine>(setup.machine.get(), setup.chip.get(),
-                                                setup.kernel.get(), setup.policy.get(), pcfg);
-  setup.app = setup.engine->CreateApp("lc");
-  setup.engine->Start();
-  return setup;
+  node.engine = std::make_unique<PerCpuEngine>(node.machine.get(), node.chip.get(),
+                                               node.kernel.get(), node.policy.get(), pcfg);
+  node.app = node.engine->CreateApp("lc");
+  node.engine->Start();
+  return Adopt(std::move(sim), std::move(node));
 }
 
 namespace {
 
-SystemSetup MakeCentral(const std::string& name, int workers,
-                        CentralizedEngineConfig ccfg) {
+NodeSetup MakeCentralNode(SimNode* sim, const std::string& name, int workers,
+                          CentralizedEngineConfig ccfg) {
   // Core layout: workers on 0..N-1, dispatcher (+ load generator) on core N.
-  SystemSetup setup = MakeBase(name, workers + 1);
-  setup.policy = std::make_unique<ShinjukuPolicy>();
+  NodeSetup node = MakeNodeBase(sim, name, workers + 1);
+  node.policy = std::make_unique<ShinjukuPolicy>();
   ccfg.base.worker_cores = CoreRange(0, workers);
   ccfg.dispatcher_core = workers;
-  setup.engine = std::make_unique<CentralizedEngine>(setup.machine.get(), setup.chip.get(),
-                                                     setup.kernel.get(), setup.policy.get(),
-                                                     ccfg);
-  setup.app = setup.engine->CreateApp("lc");
-  setup.engine->Start();
-  return setup;
+  node.engine = std::make_unique<CentralizedEngine>(node.machine.get(), node.chip.get(),
+                                                    node.kernel.get(), node.policy.get(),
+                                                    ccfg);
+  node.app = node.engine->CreateApp("lc");
+  node.engine->Start();
+  return node;
 }
 
-}  // namespace
+SystemSetup MakeCentral(const std::string& name, int workers,
+                        CentralizedEngineConfig ccfg) {
+  auto sim = std::make_unique<Simulation>();
+  NodeSetup node = MakeCentralNode(sim.get(), name, workers, std::move(ccfg));
+  return Adopt(std::move(sim), std::move(node));
+}
 
-SystemSetup MakeSkyloftShinjuku(int workers, DurationNs quantum, bool core_alloc) {
+CentralizedEngineConfig SkyloftShinjukuConfig(DurationNs quantum, bool core_alloc) {
   CentralizedEngineConfig ccfg;
   ccfg.base.local_switch_ns = 100;
   ccfg.quantum = quantum;
@@ -142,8 +171,19 @@ SystemSetup MakeSkyloftShinjuku(int workers, DurationNs quantum, bool core_alloc
   ccfg.dispatch_occupancy_ns = 50;
   ccfg.core_alloc = core_alloc;
   ccfg.alloc_period = Micros(5);  // Shenango's 5 us allocation granularity
+  return ccfg;
+}
+
+}  // namespace
+
+NodeSetup MakeSkyloftShinjukuNode(SimNode* sim, int workers, DurationNs quantum) {
+  return MakeCentralNode(sim, "skyloft-shinjuku", workers,
+                         SkyloftShinjukuConfig(quantum, /*core_alloc=*/false));
+}
+
+SystemSetup MakeSkyloftShinjuku(int workers, DurationNs quantum, bool core_alloc) {
   return MakeCentral(core_alloc ? "skyloft-shinjuku-shenango" : "skyloft-shinjuku", workers,
-                     ccfg);
+                     SkyloftShinjukuConfig(quantum, core_alloc));
 }
 
 SystemSetup MakeShinjukuOriginal(int workers, DurationNs quantum) {
@@ -185,16 +225,19 @@ SystemSetup MakeLinuxCfsCentralWorkload(int workers) {
   return MakeLinuxPerCpu(LinuxSched::kCfsTuned, workers);
 }
 
-SystemSetup MakeSkyloftWorkStealing(int workers, DurationNs quantum,
-                                    bool utimer_core_emulation) {
+namespace {
+
+NodeSetup MakeWorkStealingNode(SimNode* sim, int workers, DurationNs quantum,
+                               bool utimer_core_emulation) {
   const bool preemptive = quantum != kInfiniteSliceWs;
-  SystemSetup setup = MakeBase(
+  NodeSetup node = MakeNodeBase(
+      sim,
       utimer_core_emulation ? "skyloft-ws-utimer" : (preemptive ? "skyloft-ws-preempt" : "skyloft-ws"),
       workers + (utimer_core_emulation ? 1 : 0));
 
   WorkStealingParams params;
   params.quantum = quantum;
-  setup.policy = std::make_unique<WorkStealingPolicy>(params);
+  node.policy = std::make_unique<WorkStealingPolicy>(params);
 
   PerCpuEngineConfig pcfg;
   pcfg.base.worker_cores = CoreRange(0, workers);
@@ -207,18 +250,32 @@ SystemSetup MakeSkyloftWorkStealing(int workers, DurationNs quantum,
   } else {
     pcfg.tick_path = TickPath::kNone;
   }
-  setup.engine = std::make_unique<PerCpuEngine>(setup.machine.get(), setup.chip.get(),
-                                                setup.kernel.get(), setup.policy.get(), pcfg);
-  setup.app = setup.engine->CreateApp("server");
-  setup.engine->Start();
-  return setup;
+  node.engine = std::make_unique<PerCpuEngine>(node.machine.get(), node.chip.get(),
+                                               node.kernel.get(), node.policy.get(), pcfg);
+  node.app = node.engine->CreateApp("server");
+  node.engine->Start();
+  return node;
+}
+
+}  // namespace
+
+NodeSetup MakeSkyloftWorkStealingNode(SimNode* sim, int workers, DurationNs quantum) {
+  return MakeWorkStealingNode(sim, workers, quantum, /*utimer_core_emulation=*/false);
+}
+
+SystemSetup MakeSkyloftWorkStealing(int workers, DurationNs quantum,
+                                    bool utimer_core_emulation) {
+  auto sim = std::make_unique<Simulation>();
+  NodeSetup node = MakeWorkStealingNode(sim.get(), workers, quantum, utimer_core_emulation);
+  return Adopt(std::move(sim), std::move(node));
 }
 
 SystemSetup MakeShenango(int workers) {
-  SystemSetup setup = MakeBase("shenango", workers);
+  auto sim = std::make_unique<Simulation>();
+  NodeSetup node = MakeNodeBase(sim.get(), "shenango", workers);
   WorkStealingParams params;
   params.quantum = kInfiniteSliceWs;  // no preemption within an application
-  setup.policy = std::make_unique<WorkStealingPolicy>(params);
+  node.policy = std::make_unique<WorkStealingPolicy>(params);
 
   PerCpuEngineConfig pcfg;
   pcfg.base.worker_cores = CoreRange(0, workers);
@@ -229,11 +286,11 @@ SystemSetup MakeShenango(int workers) {
   pcfg.base.idle_park_threshold_ns = Micros(5);
   pcfg.base.idle_unpark_cost_ns = 2000;
   pcfg.tick_path = TickPath::kNone;
-  setup.engine = std::make_unique<PerCpuEngine>(setup.machine.get(), setup.chip.get(),
-                                                setup.kernel.get(), setup.policy.get(), pcfg);
-  setup.app = setup.engine->CreateApp("server");
-  setup.engine->Start();
-  return setup;
+  node.engine = std::make_unique<PerCpuEngine>(node.machine.get(), node.chip.get(),
+                                               node.kernel.get(), node.policy.get(), pcfg);
+  node.app = node.engine->CreateApp("server");
+  node.engine->Start();
+  return Adopt(std::move(sim), std::move(node));
 }
 
 }  // namespace skyloft

@@ -1,0 +1,26 @@
+#include "src/net/node_link.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace skyloft {
+
+NodeLink::NodeLink(ClusterSim* cluster, int src_node, int dst_node, DurationNs latency_ns)
+    : dst_node_(dst_node), latency_ns_(latency_ns) {
+  SKYLOFT_CHECK(cluster != nullptr);
+  SKYLOFT_CHECK(src_node >= 0 && src_node < cluster->num_nodes());
+  SKYLOFT_CHECK(dst_node >= 0 && dst_node < cluster->num_nodes());
+  SKYLOFT_CHECK(src_node != dst_node) << "a node does not link to itself";
+  cluster->RegisterLinkLatency(latency_ns);  // rejects zero latency
+  src_ = cluster->node(src_node);
+}
+
+RemoteEventId NodeLink::Send(SimNode::Callback fn) {
+  sent_++;
+  return src_->SendRemote(dst_node_, latency_ns_, std::move(fn));
+}
+
+bool NodeLink::Cancel(RemoteEventId id) { return src_->CancelRemote(id); }
+
+}  // namespace skyloft

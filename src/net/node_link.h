@@ -1,0 +1,51 @@
+// Inter-node network link: the only way simulated nodes of a ClusterSim talk
+// to each other.
+//
+// A link is unidirectional and carries a fixed one-way latency; constructing
+// it registers that latency with the cluster, whose conservative lookahead is
+// the minimum over all links (see src/simcore/cluster_sim.h). Zero latency is
+// rejected — the lookahead must be positive for shards to run whole time
+// windows in parallel. Make a pair of links for a bidirectional cable (the
+// two directions may have different latencies, e.g. an asymmetric WAN path).
+//
+// Send() queues a callback for execution on the destination shard at
+// Now() + latency; it is delivered at the next epoch barrier in a fixed
+// order, so cluster traces are deterministic at any host-thread count.
+// Cancel() works while the message is still in flight on the link (it has
+// not crossed a barrier); after delivery the destination owns the event and
+// Cancel returns false.
+#ifndef SRC_NET_NODE_LINK_H_
+#define SRC_NET_NODE_LINK_H_
+
+#include "src/simcore/cluster_sim.h"
+
+namespace skyloft {
+
+class NodeLink {
+ public:
+  NodeLink(ClusterSim* cluster, int src_node, int dst_node, DurationNs latency_ns);
+
+  NodeLink(const NodeLink&) = delete;
+  NodeLink& operator=(const NodeLink&) = delete;
+
+  // Runs `fn` on the destination shard at src.Now() + latency().
+  RemoteEventId Send(SimNode::Callback fn);
+
+  // Cancels an in-flight send; false once it crossed an epoch barrier.
+  bool Cancel(RemoteEventId id);
+
+  int src() const { return src_->node_id(); }
+  int dst() const { return dst_node_; }
+  DurationNs latency() const { return latency_ns_; }
+  std::uint64_t sent() const { return sent_; }
+
+ private:
+  SimNode* src_;
+  int dst_node_;
+  DurationNs latency_ns_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_NET_NODE_LINK_H_

@@ -39,7 +39,7 @@ void TcpWire::Transmit(TcpEndpoint* from, const TcpSegment& segment) {
   sim_->ScheduleAfter(delay_ns_, [to, segment] { to->Deliver(segment); });
 }
 
-TcpEndpoint::TcpEndpoint(Simulation* sim, TcpWire* wire, std::string name)
+TcpEndpoint::TcpEndpoint(SimNode* sim, TcpWire* wire, std::string name)
     : sim_(sim), wire_(wire), name_(std::move(name)) {}
 
 void TcpEndpoint::Listen() {

@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "src/base/random.h"
-#include "src/simcore/simulation.h"
+#include "src/simcore/sim_node.h"
 
 namespace skyloft {
 
@@ -54,7 +54,7 @@ class TcpEndpoint;
 // deterministic loss.
 class TcpWire {
  public:
-  TcpWire(Simulation* sim, DurationNs delay_ns, double loss_probability, std::uint64_t seed)
+  TcpWire(SimNode* sim, DurationNs delay_ns, double loss_probability, std::uint64_t seed)
       : sim_(sim), delay_ns_(delay_ns), loss_(loss_probability), rng_(seed) {}
 
   void Attach(TcpEndpoint* a, TcpEndpoint* b) {
@@ -69,7 +69,7 @@ class TcpWire {
   std::uint64_t dropped() const { return dropped_; }
 
  private:
-  Simulation* sim_;
+  SimNode* sim_;
   DurationNs delay_ns_;
   double loss_;
   Rng rng_;
@@ -83,7 +83,7 @@ class TcpEndpoint {
  public:
   using ReceiveCallback = std::function<void(const std::string& data)>;
 
-  TcpEndpoint(Simulation* sim, TcpWire* wire, std::string name);
+  TcpEndpoint(SimNode* sim, TcpWire* wire, std::string name);
 
   // Passive open.
   void Listen();
@@ -116,7 +116,7 @@ class TcpEndpoint {
   void AcceptPayload(const TcpSegment& segment);
   void MaybeFinish();
 
-  Simulation* sim_;
+  SimNode* sim_;
   TcpWire* wire_;
   std::string name_;
   TcpState state_ = TcpState::kClosed;

@@ -1,0 +1,259 @@
+#include "src/simcore/cluster_sim.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace skyloft {
+
+namespace {
+
+inline constexpr TimeNs kNoDeadline = std::numeric_limits<TimeNs>::max();
+
+}  // namespace
+
+ClusterSim::ClusterSim(int num_nodes, Options options) : options_(options) {
+  SKYLOFT_CHECK(num_nodes > 0);
+  SKYLOFT_CHECK(options.num_threads > 0);
+  SKYLOFT_CHECK(options.epoch_ns >= 0);
+  nodes_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; i++) {
+    auto node = std::make_unique<SimNode>();
+    node->node_id_ = i;
+    node->cluster_ = this;
+    nodes_.push_back(std::move(node));
+  }
+  pool_size_ = std::min(options_.num_threads, num_nodes);
+}
+
+ClusterSim::~ClusterSim() {
+  if (!threads_.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& t : threads_) {
+      t.join();
+    }
+  }
+}
+
+SimNode* ClusterSim::node(int index) {
+  SKYLOFT_CHECK(index >= 0 && index < num_nodes());
+  return nodes_[static_cast<std::size_t>(index)].get();
+}
+
+void ClusterSim::RegisterLinkLatency(DurationNs latency_ns) {
+  SKYLOFT_CHECK(!running_) << "links must be registered before the cluster runs";
+  SKYLOFT_CHECK(latency_ns > 0) << "zero-latency link: lookahead must be > 0";
+  if (min_link_latency_ == 0 || latency_ns < min_link_latency_) {
+    min_link_latency_ = latency_ns;
+  }
+}
+
+DurationNs ClusterSim::lookahead() const {
+  if (options_.epoch_ns > 0) {
+    return options_.epoch_ns;
+  }
+  return min_link_latency_ > 0 ? min_link_latency_ : kDefaultEpochNs;
+}
+
+void ClusterSim::Run() { RunLoop(kNoDeadline, /*bounded=*/false); }
+
+void ClusterSim::RunUntil(TimeNs deadline) {
+  SKYLOFT_CHECK(deadline >= floor_) << "cluster deadline in the past";
+  RunLoop(deadline, /*bounded=*/true);
+}
+
+void ClusterSim::RunLoop(TimeNs deadline, bool bounded) {
+  SKYLOFT_CHECK(!running_) << "re-entrant cluster run";
+  running_ = true;
+  external_stop_.store(false, std::memory_order_relaxed);
+  for (auto& n : nodes_) {
+    n->stopped_ = false;
+  }
+  const DurationNs epoch = lookahead();
+  SKYLOFT_CHECK(epoch > 0);
+  if (min_link_latency_ > 0) {
+    SKYLOFT_CHECK(epoch <= min_link_latency_)
+        << "epoch " << epoch << " exceeds the lookahead (min link latency "
+        << min_link_latency_ << ")";
+  }
+
+  for (;;) {
+    TimeNs end = floor_ + epoch;
+    // Idle fast-forward. At the top of an iteration every outbox is empty
+    // except before the very first window (pre-run SendRemote), so when that
+    // holds and the earliest pending event sits beyond the next window, the
+    // intervening epochs are provably empty: no event can fire in them, so
+    // no send, delivery, or stop can happen either. Merge them into one
+    // no-op window whose end stays on the epoch grid and at or below the
+    // earliest event's lower bound — the resulting trace is bit-identical
+    // to stepping every empty epoch, just without the barriers.
+    if (OutboxesEmpty()) {
+      TimeNs next_event = kNoDeliveries;
+      for (auto& n : nodes_) {
+        next_event = std::min(next_event, n->EarliestPendingBound());
+      }
+      if (next_event != kNoDeliveries && next_event > end) {
+        end = floor_ + (next_event - floor_) / epoch * epoch;
+      }
+    }
+    bool final_window = false;
+    if (bounded && end >= deadline) {
+      end = deadline;
+      final_window = true;
+    }
+    RunWindows(end, /*inclusive=*/final_window);
+    epochs_++;
+    floor_ = end;
+    const bool any_stop =
+        external_stop_.load(std::memory_order_relaxed) || AnyShardStopped();
+    TimeNs earliest = DeliverOutboxes();
+    if (any_stop) {
+      break;
+    }
+    if (final_window) {
+      // The final barrier can deliver arrivals landing exactly on the
+      // deadline (send at t == floor - lookahead over a lookahead-latency
+      // link). One extra inclusive window fires them; anything those events
+      // send arrives strictly after the deadline, so one round suffices.
+      if (earliest <= deadline) {
+        RunWindows(deadline, /*inclusive=*/true);
+        DeliverOutboxes();
+      }
+      break;
+    }
+    if (earliest == kNoDeliveries && TotalPendingEvents() == 0) {
+      if (!bounded) {
+        break;  // globally drained
+      }
+      // Drained early: nothing can fire before the deadline, so skip the
+      // empty epochs and run the final (inclusive) window directly — it only
+      // advances every shard's clock to the deadline.
+      RunWindows(deadline, /*inclusive=*/true);
+      epochs_++;
+      floor_ = deadline;
+      break;
+    }
+  }
+  running_ = false;
+}
+
+void ClusterSim::RunWindows(TimeNs end, bool inclusive) {
+  if (pool_size_ <= 1) {
+    for (auto& n : nodes_) {
+      n->RunWindow(end, inclusive);
+    }
+    return;
+  }
+  EnsurePool();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    window_end_ = end;
+    window_inclusive_ = inclusive;
+    done_ = 0;
+    generation_++;
+  }
+  cv_work_.notify_all();
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [this] { return done_ == pool_size_; });
+}
+
+TimeNs ClusterSim::DeliverOutboxes() {
+  TimeNs earliest = kNoDeliveries;
+  // Source node id order, then send order within a source: a fixed total
+  // order so destination sequence numbers (the same-time tie-break) do not
+  // depend on host-thread interleaving.
+  for (auto& src : nodes_) {
+    for (SimNode::OutboxEntry& e : src->outbox_) {
+      if (e.cancelled) {
+        continue;
+      }
+      SKYLOFT_DCHECK(e.when >= nodes_[static_cast<std::size_t>(e.dst)]->Now())
+          << "cross-shard arrival inside the executed window: when=" << e.when
+          << " dst_now=" << nodes_[static_cast<std::size_t>(e.dst)]->Now()
+          << " floor=" << floor_ << " src=" << src->node_id();
+      nodes_[static_cast<std::size_t>(e.dst)]->DeliverRemote(e.when, std::move(e.fn));
+      earliest = std::min(earliest, e.when);
+    }
+    src->outbox_.clear();
+  }
+  return earliest;
+}
+
+bool ClusterSim::OutboxesEmpty() const {
+  for (const auto& n : nodes_) {
+    if (!n->outbox_.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ClusterSim::AnyShardStopped() const {
+  for (const auto& n : nodes_) {
+    if (n->stopped_) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t ClusterSim::TotalEventsExecuted() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) {
+    total += n->EventsExecuted();
+  }
+  return total;
+}
+
+std::size_t ClusterSim::TotalPendingEvents() const {
+  std::size_t total = 0;
+  for (const auto& n : nodes_) {
+    total += n->PendingEvents();
+  }
+  return total;
+}
+
+void ClusterSim::EnsurePool() {
+  if (!threads_.empty()) {
+    return;
+  }
+  threads_.reserve(static_cast<std::size_t>(pool_size_));
+  for (int w = 0; w < pool_size_; w++) {
+    threads_.emplace_back([this, w] { WorkerMain(w); });
+  }
+}
+
+void ClusterSim::WorkerMain(int worker_index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    TimeNs end;
+    bool inclusive;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) {
+        return;
+      }
+      seen = generation_;
+      end = window_end_;
+      inclusive = window_inclusive_;
+    }
+    for (int i = worker_index; i < num_nodes(); i += pool_size_) {
+      nodes_[static_cast<std::size_t>(i)]->RunWindow(end, inclusive);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (++done_ == pool_size_) {
+        cv_done_.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace skyloft

@@ -1,0 +1,141 @@
+// ClusterSim: partitioned parallel discrete-event simulation.
+//
+// Owns one SimNode shard per simulated node and advances them in lockstep
+// under conservative time-window synchronization (a CMB-style null-message-
+// free variant): because every cross-node interaction carries at least the
+// cluster's *lookahead* latency (the minimum latency over all registered
+// NodeLinks), a shard can safely execute the whole window [T, T + lookahead)
+// without observing any other shard — nothing sent during the window can
+// arrive before it ends. Each epoch therefore is:
+//
+//   1. every shard runs its window [T, T + lookahead) — in parallel on host
+//      threads (static shard->thread assignment),
+//   2. barrier,
+//   3. the coordinator drains every shard's outbox single-threadedly in
+//      (source node id, send order) order, inserting arrivals into the
+//      destination wheels, and
+//   4. T += lookahead.
+//
+// Step 3 is what preserves bit-for-bit per-seed determinism at any host
+// thread count: shards never touch each other's state during a window, and
+// delivery order (which assigns destination sequence numbers, the same-time
+// tie-break) is a pure function of the simulation, not of the host
+// scheduler. tests/simcore_determinism_test.cpp asserts 1-thread and
+// N-thread runs produce identical per-node traces.
+//
+// Lookahead must be > 0 (a zero-latency link would force shard-lockstep at
+// event granularity, i.e. no parallelism and no conservative window); links
+// register their latency at construction and ClusterSim rejects zero.
+#ifndef SRC_SIMCORE_CLUSTER_SIM_H_
+#define SRC_SIMCORE_CLUSTER_SIM_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/simcore/sim_node.h"
+
+namespace skyloft {
+
+class ClusterSim {
+ public:
+  struct Options {
+    // Host threads running shard windows. 1 (the default) runs every shard
+    // sequentially on the calling thread — the reference execution that any
+    // parallel run must reproduce bit-for-bit. Clamped to [1, num_nodes].
+    int num_threads = 1;
+
+    // Conservative window length. 0 derives it from the links: the minimum
+    // registered latency (the lookahead), or kDefaultEpochNs for a cluster
+    // with no links (fully independent shards). A non-zero override must not
+    // exceed the minimum link latency.
+    DurationNs epoch_ns = 0;
+  };
+
+  static constexpr DurationNs kDefaultEpochNs = Millis(1);
+
+  explicit ClusterSim(int num_nodes) : ClusterSim(num_nodes, Options()) {}
+  ClusterSim(int num_nodes, Options options);
+  ~ClusterSim();
+
+  ClusterSim(const ClusterSim&) = delete;
+  ClusterSim& operator=(const ClusterSim&) = delete;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  SimNode* node(int index);
+
+  // Registers a cross-node link's latency (called by net NodeLink). The
+  // lookahead is the minimum over all registrations. Rejects zero latency;
+  // must happen before the first Run/RunUntil.
+  void RegisterLinkLatency(DurationNs latency_ns);
+
+  // Effective conservative window length for the next run.
+  DurationNs lookahead() const;
+
+  // Runs epochs until every shard's queue is empty and no cross-shard event
+  // is in flight, or a shard calls Stop(). (Like SimNode::Run, a cluster
+  // with periodic events never drains — use RunUntil.)
+  void Run();
+
+  // Runs epochs until every shard has executed its events with timestamp
+  // <= `deadline`; afterwards every node's Now() == deadline (unless the
+  // cluster was stopped earlier, in which case shards rest at the barrier
+  // where the stop was observed).
+  void RunUntil(TimeNs deadline);
+
+  // Requests a stop from outside the simulation (any thread); takes effect
+  // at the next epoch barrier. From inside the simulation, call
+  // SimNode::Stop() on the shard executing the event instead.
+  void Stop() { external_stop_.store(true, std::memory_order_relaxed); }
+
+  // Cluster time floor: every shard has fully executed [0, Now()).
+  TimeNs Now() const { return floor_; }
+
+  std::uint64_t TotalEventsExecuted() const;
+  std::size_t TotalPendingEvents() const;
+  std::uint64_t EpochsRun() const { return epochs_; }
+
+ private:
+  void RunLoop(TimeNs deadline, bool bounded);
+  // Runs one window on every shard (parallel when the pool is active).
+  void RunWindows(TimeNs end, bool inclusive);
+  // Barrier-time delivery; returns the earliest delivered arrival time, or
+  // kNoDeliveries when every outbox was empty.
+  static constexpr TimeNs kNoDeliveries = INT64_MAX;
+  TimeNs DeliverOutboxes();
+  bool OutboxesEmpty() const;
+  bool AnyShardStopped() const;
+  void EnsurePool();
+  void WorkerMain(int worker_index);
+
+  Options options_;
+  std::vector<std::unique_ptr<SimNode>> nodes_;
+  DurationNs min_link_latency_ = 0;  // 0: no links registered yet
+  TimeNs floor_ = 0;
+  std::uint64_t epochs_ = 0;
+  bool running_ = false;
+  std::atomic<bool> external_stop_{false};
+
+  // Worker pool (spawned lazily on the first parallel run). All shard state
+  // handoff between coordinator and workers goes through mu_, so an epoch's
+  // writes happen-before the barrier-time delivery and the next epoch.
+  int pool_size_ = 1;  // threads actually used, after clamping
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  int done_ = 0;
+  bool shutdown_ = false;
+  TimeNs window_end_ = 0;
+  bool window_inclusive_ = false;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_SIMCORE_CLUSTER_SIM_H_

@@ -3,6 +3,10 @@
 // Mirrors the paper's server: two sockets, 24 cores each, 2.0 GHz. Only the
 // pieces relevant to scheduling are modeled: core ids, NUMA placement (user
 // IPI costs differ across sockets, Table 6), and the shared cost model.
+//
+// A Machine is scoped to one SimNode: standalone single-machine setups hand
+// it their `Simulation`, cluster setups hand it one shard of a ClusterSim —
+// every event the machine's components schedule lands on that node's wheel.
 #ifndef SRC_SIMCORE_MACHINE_H_
 #define SRC_SIMCORE_MACHINE_H_
 
@@ -10,7 +14,7 @@
 
 #include "src/base/logging.h"
 #include "src/simcore/cost_model.h"
-#include "src/simcore/simulation.h"
+#include "src/simcore/sim_node.h"
 
 namespace skyloft {
 
@@ -25,12 +29,12 @@ struct MachineConfig {
 
 class Machine {
  public:
-  Machine(Simulation* sim, MachineConfig config) : sim_(sim), config_(config) {
+  Machine(SimNode* sim, MachineConfig config) : sim_(sim), config_(config) {
     SKYLOFT_CHECK(config.num_cores > 0);
     SKYLOFT_CHECK(config.cores_per_socket > 0);
   }
 
-  Simulation& sim() { return *sim_; }
+  SimNode& sim() { return *sim_; }
   const MachineConfig& config() const { return config_; }
   const CostModel& costs() const { return config_.costs; }
   int num_cores() const { return config_.num_cores; }
@@ -43,7 +47,7 @@ class Machine {
   bool CrossNuma(CoreId a, CoreId b) const { return SocketOf(a) != SocketOf(b); }
 
  private:
-  Simulation* sim_;
+  SimNode* sim_;
   MachineConfig config_;
 };
 

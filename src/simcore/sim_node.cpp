@@ -1,4 +1,4 @@
-#include "src/simcore/simulation.h"
+#include "src/simcore/sim_node.h"
 
 #include <algorithm>
 #include <limits>
@@ -14,7 +14,7 @@ inline constexpr TimeNs kNoLimit = std::numeric_limits<TimeNs>::max();
 
 }  // namespace
 
-Simulation::EventNode* Simulation::Alloc() {
+SimNode::EventNode* SimNode::Alloc() {
   if (free_.empty()) {
     auto chunk = std::make_unique<EventNode[]>(kChunkSize);
     const auto base = static_cast<std::uint32_t>(chunks_.size() * kChunkSize);
@@ -29,7 +29,7 @@ Simulation::EventNode* Simulation::Alloc() {
   return &chunks_[index / kChunkSize][index % kChunkSize];
 }
 
-void Simulation::Free(EventNode* n) {
+void SimNode::Free(EventNode* n) {
   n->fn.Reset();  // release captured resources promptly
   n->gen++;       // invalidate every outstanding id for this slot
   n->level = kUnlinked;
@@ -38,7 +38,7 @@ void Simulation::Free(EventNode* n) {
   free_.push_back(n->self);
 }
 
-Simulation::EventNode* Simulation::NodeFor(EventId id) {
+SimNode::EventNode* SimNode::NodeFor(EventId id) {
   if (id == kInvalidEventId) {
     return nullptr;
   }
@@ -53,7 +53,7 @@ Simulation::EventNode* Simulation::NodeFor(EventId id) {
   return n;
 }
 
-EventId Simulation::ScheduleNode(TimeNs at, DurationNs period, Callback fn) {
+EventId SimNode::ScheduleNode(TimeNs at, DurationNs period, Callback fn) {
   SKYLOFT_CHECK(at >= now_) << "cannot schedule in the past: " << at << " < " << now_;
   EventNode* n = Alloc();
   n->when = at;
@@ -65,16 +65,16 @@ EventId Simulation::ScheduleNode(TimeNs at, DurationNs period, Callback fn) {
   return IdOf(n);
 }
 
-EventId Simulation::ScheduleAt(TimeNs at, Callback fn) {
+EventId SimNode::ScheduleAt(TimeNs at, Callback fn) {
   return ScheduleNode(at, /*period=*/0, std::move(fn));
 }
 
-EventId Simulation::SchedulePeriodic(TimeNs first, DurationNs period, Callback fn) {
+EventId SimNode::SchedulePeriodic(TimeNs first, DurationNs period, Callback fn) {
   SKYLOFT_CHECK(period > 0) << "periodic event needs a positive period";
   return ScheduleNode(first, period, std::move(fn));
 }
 
-void Simulation::InsertPending(EventNode* n) {
+void SimNode::InsertPending(EventNode* n) {
   const std::uint64_t x =
       static_cast<std::uint64_t>(n->when) ^ static_cast<std::uint64_t>(now_);
   int level = 0;
@@ -94,7 +94,7 @@ void Simulation::InsertPending(EventNode* n) {
   occupied_[level] |= 1ull << slot;
 }
 
-void Simulation::WheelRemove(EventNode* n) {
+void SimNode::WheelRemove(EventNode* n) {
   auto& list = wheel_[n->level][n->slot];
   list.Remove(n);
   if (list.Empty()) {
@@ -103,7 +103,7 @@ void Simulation::WheelRemove(EventNode* n) {
   n->level = kUnlinked;
 }
 
-void Simulation::Cascade(int level, int slot) {
+void SimNode::Cascade(int level, int slot) {
   auto& list = wheel_[level][slot];
   occupied_[level] &= ~(1ull << slot);
   // Pop front-to-back and reinsert: each node lands at a strictly lower
@@ -114,7 +114,7 @@ void Simulation::Cascade(int level, int slot) {
   }
 }
 
-void Simulation::HeapPush(EventNode* n) {
+void SimNode::HeapPush(EventNode* n) {
   auto after = [](const EventNode* a, const EventNode* b) {
     if (a->when != b->when) {
       return a->when > b->when;
@@ -125,7 +125,7 @@ void Simulation::HeapPush(EventNode* n) {
   std::push_heap(overflow_.begin(), overflow_.end(), after);
 }
 
-void Simulation::HeapPopTop() {
+void SimNode::HeapPopTop() {
   auto after = [](const EventNode* a, const EventNode* b) {
     if (a->when != b->when) {
       return a->when > b->when;
@@ -136,7 +136,7 @@ void Simulation::HeapPopTop() {
   overflow_.pop_back();
 }
 
-bool Simulation::Cancel(EventId id) {
+bool SimNode::Cancel(EventId id) {
   EventNode* n = NodeFor(id);
   if (n == nullptr || n->dead) {
     return false;
@@ -161,7 +161,38 @@ bool Simulation::Cancel(EventId id) {
   return true;
 }
 
-Simulation::EventNode* Simulation::NextDue(TimeNs limit) {
+RemoteEventId SimNode::SendRemote(int dst_node, DurationNs latency_ns, Callback fn) {
+  SKYLOFT_CHECK(cluster_ != nullptr) << "cross-node send from a standalone node";
+  SKYLOFT_CHECK(dst_node != node_id_) << "cross-node send to self";
+  SKYLOFT_CHECK(latency_ns > 0) << "zero-latency link: lookahead must be > 0";
+  OutboxEntry entry;
+  entry.dst = dst_node;
+  entry.when = now_ + latency_ns;
+  entry.id = next_remote_id_++;
+  entry.fn = std::move(fn);
+  outbox_.push_back(std::move(entry));
+  return outbox_.back().id;
+}
+
+bool SimNode::CancelRemote(RemoteEventId id) {
+  if (id == kInvalidRemoteEventId) {
+    return false;
+  }
+  for (OutboxEntry& e : outbox_) {
+    if (e.id == id && !e.cancelled) {
+      e.cancelled = true;
+      e.fn.Reset();
+      return true;
+    }
+  }
+  return false;  // already delivered (or cancelled): the destination owns it
+}
+
+void SimNode::DeliverRemote(TimeNs when, Callback fn) {
+  ScheduleNode(when, /*period=*/0, std::move(fn));
+}
+
+SimNode::EventNode* SimNode::NextDue(TimeNs limit) {
   for (;;) {
     // Reclaim cancelled events that have drifted to the overflow top.
     while (!overflow_.empty() && overflow_.front()->dead) {
@@ -199,6 +230,9 @@ Simulation::EventNode* Simulation::NextDue(TimeNs limit) {
 
     // No level-0 events in the current window: enter the next occupied
     // window (lowest level first — its events precede all higher levels').
+    // Slots at or below the cursor are excluded: JumpTo keeps the invariant
+    // that every occupied slot lies strictly ahead of the cursor, so the
+    // cursor's own window was already cascaded when the clock entered it.
     bool cascaded = false;
     for (int level = 1; level < kWheelLevels; level++) {
       const int cl = static_cast<int>(
@@ -237,7 +271,26 @@ Simulation::EventNode* Simulation::NextDue(TimeNs limit) {
   }
 }
 
-void Simulation::FireNode(EventNode* n) {
+void SimNode::JumpTo(TimeNs t) {
+  // `t` may land mid-window at any wheel level (NextDue only proved nothing
+  // fires *before* it). Events later in the same window would then sit in
+  // the cursor's own slot, which the NextDue scans never look at — they rely
+  // on every occupied slot being strictly ahead of the cursor. Re-establish
+  // that invariant by cascading the landing window at every level, top-down
+  // (a level-3 cascade may populate the level-2 cursor slot, and so on);
+  // everything re-inserts at or ahead of the new cursor because no pending
+  // event precedes `t`.
+  now_ = t;
+  for (int level = kWheelLevels - 1; level >= 1; level--) {
+    const int cl = static_cast<int>(
+        (static_cast<std::uint64_t>(now_) >> (kSlotBits * level)) & (kSlots - 1));
+    if ((occupied_[level] >> cl) & 1u) {
+      Cascade(level, cl);
+    }
+  }
+}
+
+void SimNode::FireNode(EventNode* n) {
   executed_++;
   pending_--;
   n->in_flight = true;
@@ -259,7 +312,8 @@ void Simulation::FireNode(EventNode* n) {
   }
 }
 
-void Simulation::Run() {
+void SimNode::Run() {
+  SKYLOFT_CHECK(cluster_ == nullptr) << "cluster members are driven by ClusterSim::Run";
   stopped_ = false;
   while (!stopped_) {
     EventNode* n = NextDue(kNoLimit);
@@ -270,7 +324,8 @@ void Simulation::Run() {
   }
 }
 
-void Simulation::RunUntil(TimeNs deadline) {
+void SimNode::RunUntil(TimeNs deadline) {
+  SKYLOFT_CHECK(cluster_ == nullptr) << "cluster members are driven by ClusterSim::RunUntil";
   stopped_ = false;
   while (!stopped_) {
     EventNode* n = NextDue(deadline);
@@ -280,17 +335,55 @@ void Simulation::RunUntil(TimeNs deadline) {
     FireNode(n);
   }
   if (!stopped_ && now_ < deadline) {
-    now_ = deadline;
+    JumpTo(deadline);
   }
 }
 
-bool Simulation::Step() {
+bool SimNode::Step() {
+  SKYLOFT_CHECK(cluster_ == nullptr) << "cluster members are driven by ClusterSim";
   EventNode* n = NextDue(kNoLimit);
   if (n == nullptr) {
     return false;
   }
   FireNode(n);
   return true;
+}
+
+TimeNs SimNode::EarliestPendingBound() const {
+  TimeNs best = std::numeric_limits<TimeNs>::max();
+  if (!overflow_.empty()) {
+    best = overflow_.front()->when;
+  }
+  for (int level = 0; level < kWheelLevels; level++) {
+    if (occupied_[level] == 0) {
+      continue;
+    }
+    // Every occupied slot is ahead of the cursor and shares now_'s bits above
+    // this level's group, so the earliest occupied slot's bucket start is a
+    // valid lower bound for the whole level (exact at level 0).
+    const int slot = __builtin_ctzll(occupied_[level]);
+    const int shift = kSlotBits * level;
+    const std::uint64_t above = ~((std::uint64_t{1} << (shift + kSlotBits)) - 1);
+    const std::uint64_t bound = (static_cast<std::uint64_t>(now_) & above) |
+                                (static_cast<std::uint64_t>(slot) << shift);
+    best = std::min(best, static_cast<TimeNs>(bound));
+  }
+  return best;
+}
+
+void SimNode::RunWindow(TimeNs end, bool inclusive) {
+  SKYLOFT_DCHECK(end >= now_);
+  const TimeNs limit = inclusive ? end : end - 1;
+  while (!stopped_) {
+    EventNode* n = NextDue(limit);
+    if (n == nullptr) {
+      break;
+    }
+    FireNode(n);
+  }
+  if (!stopped_ && now_ < end) {
+    JumpTo(end);  // safe: NextDue proved nothing is pending before `end`
+  }
 }
 
 }  // namespace skyloft

@@ -1,0 +1,246 @@
+// SimNode: one shard of the deterministic discrete-event simulation.
+//
+// Every hardware and software component of a simulated machine (LAPIC
+// timers, user-interrupt delivery, kernel scheduling ticks, network arrivals,
+// task completions) is an event on this node's totally-ordered queue. Ties
+// are broken by schedule order, so a given seed always produces the same
+// trace — a property the test suite asserts directly (and cross-checks
+// against a reference heap implementation, see tests/reference_simulation.h).
+//
+// A SimNode is either *standalone* — the classic single-machine case, driven
+// through Run()/RunUntil()/Step(), spelled `Simulation` by consumers — or one
+// of N shards owned by a ClusterSim (src/simcore/cluster_sim.h). In a cluster
+// each shard owns its own wheel, overflow heap, and slab, runs its events on
+// a host thread, and talks to other shards only through cross-node sends
+// (NodeLink in src/net) that carry at least the cluster's lookahead latency.
+//
+// The queue is a hybrid of two structures chosen for the workload's shape
+// (millions of short-horizon timer events per simulated second):
+//
+//   - A 4-level hierarchical timing wheel (Varghese & Lauck) covering the
+//     next 2^24 ns (~16.7 ms). Events land at the level of their most
+//     significant differing bit-group relative to the clock, so every slot
+//     list is strictly "ahead" of the cursor and no lap counting is needed.
+//     Per-level occupancy bitmaps let the clock jump straight to the next
+//     non-empty slot instead of ticking through empty ones. Insert, cancel,
+//     and pop are O(1); cascading on window entry is amortized O(1).
+//
+//   - An overflow min-heap (ordered by (deadline, sequence)) for events
+//     beyond the wheel horizon. The two structures are merged at pop time,
+//     comparing (when, seq) lexicographically, so ordering is exactly that
+//     of a single queue.
+//
+// Event nodes are slab-allocated and intrusive: scheduling reuses freed
+// nodes, cancellation unlinks in O(1), and EventIds carry a generation tag so
+// a stale id (already fired/cancelled) is rejected without any hash-set
+// bookkeeping. Callbacks are stored in an InplaceFunction, so the
+// schedule/fire path performs no heap allocation for ordinary closures.
+// Periodic events (SchedulePeriodic) re-arm their own node in place with a
+// fresh sequence number before the callback runs — equivalent in event order
+// to re-scheduling from the callback, without constructing a new closure.
+#ifndef SRC_SIMCORE_SIM_NODE_H_
+#define SRC_SIMCORE_SIM_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/inplace_function.h"
+#include "src/base/intrusive_list.h"
+#include "src/base/time.h"
+
+namespace skyloft {
+
+class ClusterSim;
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+// Handle for a cross-node event while it is still in flight on the link
+// (i.e. not yet delivered into the destination shard at an epoch barrier).
+using RemoteEventId = std::uint64_t;
+inline constexpr RemoteEventId kInvalidRemoteEventId = 0;
+
+class SimNode {
+ public:
+  using Callback = InplaceFunction;
+
+  SimNode() = default;
+  SimNode(const SimNode&) = delete;
+  SimNode& operator=(const SimNode&) = delete;
+
+  // Shard index within a ClusterSim; 0 for a standalone node.
+  int node_id() const { return node_id_; }
+
+  // Current simulated time.
+  TimeNs Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (>= Now()). Returns an id
+  // usable with Cancel().
+  EventId ScheduleAt(TimeNs at, Callback fn);
+
+  // Schedules `fn` to run `delay` ns from now.
+  EventId ScheduleAfter(DurationNs delay, Callback fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Schedules `fn` to run at `first`, then every `period` ns after that,
+  // reusing one event node (no per-fire allocation or closure construction).
+  // The returned id stays valid across fires; Cancel() stops the series.
+  // Each fire is ordered as if the next occurrence had been re-scheduled at
+  // the top of the callback (fresh sequence number).
+  EventId SchedulePeriodic(TimeNs first, DurationNs period, Callback fn);
+
+  // Cancels a pending event. Cancelling an already-fired or already-cancelled
+  // event is a no-op that returns false. Returns true if the event was
+  // pending.
+  bool Cancel(EventId id);
+
+  // ---- Cross-shard sends (cluster members only) ----
+  //
+  // Queues `fn` for execution on shard `dst_node` at Now() + latency_ns.
+  // The event travels through this node's outbox and is delivered into the
+  // destination shard's wheel at the next epoch barrier — single-threaded,
+  // in (source node id, send order) order — so per-seed determinism is
+  // independent of how shards are interleaved across host threads. Arrivals
+  // tie-breaking against local events at the same timestamp order after any
+  // event the destination had already scheduled. Use a net NodeLink rather
+  // than calling this directly: the link pins the latency that the cluster's
+  // lookahead was derived from.
+  RemoteEventId SendRemote(int dst_node, DurationNs latency_ns, Callback fn);
+
+  // Cancels a cross-shard send. Only the sending node may cancel, and only
+  // while the event is still in flight on the link (it has not crossed an
+  // epoch barrier yet); afterwards the event belongs to the destination
+  // shard and Cancel... returns false.
+  bool CancelRemote(RemoteEventId id);
+
+  // Number of cross-shard events queued but not yet delivered.
+  std::size_t OutboxSize() const { return outbox_.size(); }
+
+  // ---- Standalone drivers (forbidden on cluster members, which are
+  // advanced in lockstep by ClusterSim::Run/RunUntil) ----
+
+  // Runs events until the queue is empty or Stop() is called.
+  void Run();
+
+  // Runs events with timestamp <= `deadline`; afterwards Now() == deadline
+  // (unless Stop() was called earlier).
+  void RunUntil(TimeNs deadline);
+
+  // Runs exactly one event if available. Returns false when the queue is empty.
+  bool Step();
+
+  // Makes Run()/RunUntil() return after the current event completes. On a
+  // cluster member this also halts the whole cluster: the coordinator
+  // observes the flag at the next epoch barrier and stops every shard there
+  // (other shards always finish their current window, so the trace up to the
+  // stop is identical at any host-thread count).
+  void Stop() { stopped_ = true; }
+
+  std::size_t PendingEvents() const { return pending_; }
+
+  // Total number of events executed so far (for determinism checks).
+  std::uint64_t EventsExecuted() const { return executed_; }
+
+ private:
+  friend class ClusterSim;
+
+  static constexpr int kSlotBits = 6;
+  static constexpr int kSlots = 1 << kSlotBits;  // 64
+  static constexpr int kWheelLevels = 4;         // horizon: 2^24 ns
+  static constexpr int kWheelBits = kSlotBits * kWheelLevels;
+  // Node location sentinels (EventNode::level).
+  static constexpr std::int8_t kUnlinked = -1;      // popped / being fired
+  static constexpr std::int8_t kOverflow = kWheelLevels;  // in overflow_
+
+  struct EventNode : ListNode {
+    TimeNs when = 0;
+    std::uint64_t seq = 0;    // schedule order; same-time tie-break
+    DurationNs period = 0;    // > 0 for periodic events
+    std::uint32_t gen = 1;    // bumped on free; half of the EventId
+    std::uint32_t self = 0;   // own slab index
+    std::int8_t level = kUnlinked;
+    std::uint8_t slot = 0;
+    bool dead = false;        // fired or cancelled; awaiting reclamation
+    bool in_flight = false;   // callback currently executing
+    Callback fn;
+  };
+
+  // One cross-shard event waiting for the next epoch barrier.
+  struct OutboxEntry {
+    int dst = 0;
+    TimeNs when = 0;         // arrival time (send time + link latency)
+    RemoteEventId id = kInvalidRemoteEventId;
+    bool cancelled = false;
+    Callback fn;
+  };
+
+  static EventId IdOf(const EventNode* n) {
+    return (static_cast<EventId>(n->gen) << 32) | (n->self + 1);
+  }
+
+  EventNode* Alloc();
+  void Free(EventNode* n);
+  // Resolves an id to its live node, or nullptr if stale/invalid.
+  EventNode* NodeFor(EventId id);
+  EventId ScheduleNode(TimeNs at, DurationNs period, Callback fn);
+  // Places a node into the wheel or the overflow heap relative to now_.
+  void InsertPending(EventNode* n);
+  // Unlinks a wheel-resident node, clearing the occupancy bit if needed.
+  void WheelRemove(EventNode* n);
+  // Redistributes a higher-level slot into lower levels after the clock
+  // enters its window.
+  void Cascade(int level, int slot);
+  // Advances now_ (cascading as needed) to the next event with
+  // when <= limit and pops it, or returns nullptr leaving now_ <= limit.
+  EventNode* NextDue(TimeNs limit);
+  // Jumps the clock to `t` (caller proved no event fires before it) and
+  // cascades any occupied cursor-slot windows the landing point sits inside,
+  // keeping every occupied slot strictly ahead of the cursor.
+  void JumpTo(TimeNs t);
+  void FireNode(EventNode* n);
+  void HeapPush(EventNode* n);
+  void HeapPopTop();
+
+  // ---- ClusterSim-only surface ----
+  //
+  // Runs one conservative time window. Fires events with when < `end`
+  // (when <= `end` if `inclusive`, used for the final window of a
+  // RunUntil), honoring Stop() without resetting it, then advances the
+  // clock to `end`. Called from the shard's host thread for the epoch.
+  void RunWindow(TimeNs end, bool inclusive);
+  // Inserts a cross-shard arrival (barrier-time, coordinator thread only).
+  void DeliverRemote(TimeNs when, Callback fn);
+  // Non-mutating lower bound on the earliest pending event's timestamp
+  // (INT64_MAX when the queue is empty). Exact for level-0 and overflow
+  // events; for higher wheel levels it is the start of the earliest occupied
+  // slot's bucket — always <= the true time, which is what the coordinator's
+  // idle fast-forward needs (it may only skip windows no event can fall in).
+  TimeNs EarliestPendingBound() const;
+
+  int node_id_ = 0;
+  ClusterSim* cluster_ = nullptr;  // set by ClusterSim on its members
+
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t pending_ = 0;
+  bool stopped_ = false;
+
+  IntrusiveList<EventNode> wheel_[kWheelLevels][kSlots];
+  std::uint64_t occupied_[kWheelLevels] = {};
+  std::vector<EventNode*> overflow_;  // min-heap by (when, seq)
+
+  RemoteEventId next_remote_id_ = 1;
+  std::vector<OutboxEntry> outbox_;
+
+  // Slab: chunked so node addresses are stable across growth.
+  static constexpr std::size_t kChunkSize = 256;
+  std::vector<std::unique_ptr<EventNode[]>> chunks_;
+  std::vector<std::uint32_t> free_;
+};
+
+}  // namespace skyloft
+
+#endif  // SRC_SIMCORE_SIM_NODE_H_

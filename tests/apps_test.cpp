@@ -2,6 +2,7 @@
 // the real KV store.
 #include <gtest/gtest.h>
 
+#include "src/simcore/simulation.h"
 #include "src/apps/batch_app.h"
 #include "src/apps/kvstore.h"
 #include "src/apps/schbench.h"

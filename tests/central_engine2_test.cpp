@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "src/simcore/simulation.h"
 #include "src/libos/central_engine.h"
 #include "src/policies/shinjuku.h"
 

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/simcore/simulation.h"
 #include "src/libos/percpu_engine.h"
 #include "src/net/nic.h"
 #include "src/policies/round_robin.h"

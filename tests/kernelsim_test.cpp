@@ -5,6 +5,7 @@
 
 #include "src/kernelsim/kernel_sim.h"
 #include "src/simcore/machine.h"
+#include "src/simcore/simulation.h"
 #include "src/uintr/uintr_chip.h"
 
 namespace skyloft {

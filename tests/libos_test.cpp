@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "src/simcore/simulation.h"
 #include "src/libos/central_engine.h"
 #include "src/libos/percpu_engine.h"
 #include "src/policies/round_robin.h"

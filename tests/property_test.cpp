@@ -5,6 +5,7 @@
 #include <memory>
 #include <tuple>
 
+#include "src/simcore/simulation.h"
 #include "src/libos/percpu_engine.h"
 #include "src/policies/cfs.h"
 #include "src/policies/eevdf.h"

@@ -2,6 +2,7 @@
 // real KvStore, plus an end-to-end request stream over the TCP model.
 #include <gtest/gtest.h>
 
+#include "src/simcore/simulation.h"
 #include "src/apps/memcached_protocol.h"
 #include "src/net/tcp.h"
 

@@ -15,6 +15,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/simcore/simulation.h"
 #include "src/base/logging.h"
 #include "src/base/time.h"
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/simcore/simulation.h"
 #include "src/libos/central_engine.h"
 #include "src/libos/percpu_engine.h"
 #include "src/policies/standard.h"

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "src/simcore/simulation.h"
 #include "src/net/tcp.h"
 
 namespace skyloft {

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "src/simcore/simulation.h"
 #include "src/base/trace.h"
 #include "src/libos/percpu_engine.h"
 #include "src/policies/round_robin.h"

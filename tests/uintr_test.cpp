@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/simcore/machine.h"
+#include "src/simcore/simulation.h"
 #include "src/uintr/uintr_chip.h"
 
 namespace skyloft {
