@@ -118,6 +118,11 @@ void KvStripedStore::SpinUnlock(std::atomic_flag& flag) {
   flag.clear(std::memory_order_release);
 }
 
+void KvStripedStore::LockStripe(Stripe& s) { SpinLock(s.spin); }
+void KvStripedStore::UnlockStripe(Stripe& s) { SpinUnlock(s.spin); }
+void KvStripedStore::LockLane(LatencyLane& l) { SpinLock(l.spin); }
+void KvStripedStore::UnlockLane(LatencyLane& l) { SpinUnlock(l.spin); }
+
 KvStripedStore::Stripe& KvStripedStore::StripeOf(const std::string& key) {
   return *stripes_[KeyHash(key) & (stripes_.size() - 1)];
 }
@@ -141,9 +146,9 @@ std::string KvStripedStore::Serve(const std::string& request, std::uint64_t lane
     // holding the stripe would leave every other worker spinning on it for a
     // full scheduling round.
     Runtime::PreemptGuard guard;
-    SpinLock(stripe.spin);
+    LockStripe(stripe);
     auto value = stripe.store.Get(key);
-    SpinUnlock(stripe.spin);
+    UnlockStripe(stripe);
     reply = value ? "VALUE " + *value : "NOT_FOUND";
   } else if (op == "SET" && sp1 != std::string::npos) {
     const auto sp2 = request.find(' ', sp1 + 1);
@@ -152,9 +157,9 @@ std::string KvStripedStore::Serve(const std::string& request, std::uint64_t lane
       const std::string key = request.substr(sp1 + 1, sp2 - sp1 - 1);
       Stripe& stripe = StripeOf(key);
       Runtime::PreemptGuard guard;
-      SpinLock(stripe.spin);
+      LockStripe(stripe);
       stripe.store.Set(key, request.substr(sp2 + 1));
-      SpinUnlock(stripe.spin);
+      UnlockStripe(stripe);
       reply = "STORED";
     }
   } else if (op == "SCAN" && sp1 != std::string::npos) {
@@ -182,11 +187,11 @@ std::string KvStripedStore::Serve(const std::string& request, std::uint64_t lane
         // most one stripe's GET/SET traffic at a time.
         for (auto& stripe_ptr : stripes_) {
           Runtime::PreemptGuard guard;
-          SpinLock(stripe_ptr->spin);
+          LockStripe(*stripe_ptr);
           for (const auto& [k, v] : stripe_ptr->store.Scan(start, limit)) {
             reply += k + "=" + v + ";";
           }
-          SpinUnlock(stripe_ptr->spin);
+          UnlockStripe(*stripe_ptr);
         }
         if (reply.empty()) {
           reply = "EMPTY";
@@ -202,9 +207,9 @@ std::string KvStripedStore::Serve(const std::string& request, std::uint64_t lane
   LatencyLane& lat = *lanes_[lane & (lanes_.size() - 1)];
   {
     Runtime::PreemptGuard guard;
-    SpinLock(lat.spin);
+    LockLane(lat);
     lat.hist[static_cast<int>(kind)].Record(t1 - t0);
-    SpinUnlock(lat.spin);
+    UnlockLane(lat);
   }
   return reply;
 }
@@ -309,14 +314,11 @@ void KvServerNet::Stop() {
   // interrupted after its teardown began.
   {
     Runtime::PreemptGuard guard;
-    SpinBackoff backoff;
-    while (conns_spin_.test_and_set(std::memory_order_acquire)) {
-      backoff.Pause();
-    }
+    LockConns();
     for (IoHandle* handle : conns_) {
       IoEngine::Interrupt(handle);
     }
-    conns_spin_.clear(std::memory_order_release);
+    UnlockConns();
   }
   while (live_server_uthreads_.load(std::memory_order_acquire) > 0) {
     Runtime::Yield();
@@ -338,22 +340,25 @@ void KvServerNet::Stop() {
   store_.MergeLatencies();
 }
 
-void KvServerNet::TrackConn(IoHandle* handle) {
-  Runtime::PreemptGuard guard;
+void KvServerNet::LockConns() {
   SpinBackoff backoff;
   while (conns_spin_.test_and_set(std::memory_order_acquire)) {
     backoff.Pause();
   }
+}
+
+void KvServerNet::UnlockConns() { conns_spin_.clear(std::memory_order_release); }
+
+void KvServerNet::TrackConn(IoHandle* handle) {
+  Runtime::PreemptGuard guard;
+  LockConns();
   conns_.push_back(handle);
-  conns_spin_.clear(std::memory_order_release);
+  UnlockConns();
 }
 
 bool KvServerNet::UntrackConn(IoHandle* handle) {
   Runtime::PreemptGuard guard;
-  SpinBackoff backoff;
-  while (conns_spin_.test_and_set(std::memory_order_acquire)) {
-    backoff.Pause();
-  }
+  LockConns();
   bool found = false;
   for (std::size_t i = 0; i < conns_.size(); i++) {
     if (conns_[i] == handle) {
@@ -363,7 +368,7 @@ bool KvServerNet::UntrackConn(IoHandle* handle) {
       break;
     }
   }
-  conns_spin_.clear(std::memory_order_release);
+  UnlockConns();
   return found;
 }
 

@@ -93,6 +93,14 @@ class KvStripedStore {
   SKYLOFT_NO_SWITCH static void SpinLock(std::atomic_flag& flag);
   SKYLOFT_NO_SWITCH static void SpinUnlock(std::atomic_flag& flag);
 
+  // Annotated wrappers over the raw flag spin: stripe and lane locks are
+  // distinct lock classes, so skylint's order graph can tell nesting of a
+  // data stripe inside a latency lane apart from stripe-vs-stripe.
+  SKYLOFT_NO_SWITCH SKYLOFT_ACQUIRES(kv_stripe) static void LockStripe(Stripe& s);
+  SKYLOFT_NO_SWITCH SKYLOFT_RELEASES(kv_stripe) static void UnlockStripe(Stripe& s);
+  SKYLOFT_NO_SWITCH SKYLOFT_ACQUIRES(kv_lane) static void LockLane(LatencyLane& l);
+  SKYLOFT_NO_SWITCH SKYLOFT_RELEASES(kv_lane) static void UnlockLane(LatencyLane& l);
+
   std::vector<std::unique_ptr<Stripe>> stripes_;
   std::vector<std::unique_ptr<LatencyLane>> lanes_;
   LatencyHistogram merged_[4];
@@ -160,7 +168,10 @@ class KvServerNet {
 
   // Live TCP connection registry, for Stop() to interrupt parked handlers.
   // Interrupt happens under the same spinlock as untrack, so a handle is
-  // never interrupted after its handler began deregistration.
+  // never interrupted after its handler began deregistration. Lock class
+  // `conns_registry`; hold windows must stay switch-free (skylint R5).
+  SKYLOFT_NO_SWITCH SKYLOFT_ACQUIRES(conns_registry) void LockConns();
+  SKYLOFT_NO_SWITCH SKYLOFT_RELEASES(conns_registry) void UnlockConns();
   std::atomic_flag conns_spin_ = ATOMIC_FLAG_INIT;
   std::vector<IoHandle*> conns_;
 

@@ -32,10 +32,40 @@
 //                        call (noinline + compiler barrier). Results must
 //                        not be cached across a may-switch call (rule
 //                        tls-across-switch).
+//
+// ---- Lock-discipline annotations (skylint v2) ----
+//
+// `l` is a *lock class* — a short stable identifier naming one lock role
+// (e.g. wait_spin, io_handles, uthread_mutex), not a C++ expression. The
+// analyzer computes per-function held-lock summaries from these and from
+// std::lock_guard/unique_lock/scoped_lock declarations, then enforces:
+//
+//   SKYLOFT_ACQUIRES(l)  The function returns with lock class `l` held
+//                        (lock functions, RAII guard constructors). Seeds
+//                        the held-set for rules lock-held-across-switch
+//                        and lock-order-cycle.
+//   SKYLOFT_RELEASES(l)  The function releases lock class `l` before
+//                        returning (unlock functions, guard destructors).
+//   SKYLOFT_REQUIRES(l)  The caller must already hold `l` at every call
+//                        (rule lock-requires-unheld). A REQUIRES callee may
+//                        context-switch while `l` is held without tripping
+//                        lock-held-across-switch — the condvar-wait pattern,
+//                        which releases `l` itself before parking.
+//   SKYLOFT_BLOCKING     The function may block the calling *pthread* in
+//                        the kernel (not just park the uthread). Calling it
+//                        from worker/scheduler context stalls every uthread
+//                        on that worker (rule blocking-call-on-worker).
+//
+// Note: try-lock functions are deliberately NOT annotated — a conditional
+// acquire has no unconditional post-state the linear analysis could model.
 #define SKYLOFT_MAY_SWITCH
 #define SKYLOFT_NO_SWITCH
 #define SKYLOFT_SIGNAL_SAFE
 #define SKYLOFT_RETURNS_TLS
+#define SKYLOFT_ACQUIRES(l)
+#define SKYLOFT_RELEASES(l)
+#define SKYLOFT_REQUIRES(l)
+#define SKYLOFT_BLOCKING
 
 namespace skyloft {
 

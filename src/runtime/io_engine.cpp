@@ -173,12 +173,18 @@ void IoEngine::UringShutdown() {
   uring_ = nullptr;
 }
 
-bool IoEngine::UringArmPoll(IoHandle* handle, unsigned poll_mask, std::uintptr_t tag) {
-  UringState* s = uring_;
+void IoEngine::SqLock(UringState* s) {
   SpinBackoff backoff;
   while (s->sqe_spin.test_and_set(std::memory_order_acquire)) {
     backoff.Pause();
   }
+}
+
+void IoEngine::SqUnlock(UringState* s) { s->sqe_spin.clear(std::memory_order_release); }
+
+bool IoEngine::UringArmPoll(IoHandle* handle, unsigned poll_mask, std::uintptr_t tag) {
+  UringState* s = uring_;
+  SqLock(s);
   const unsigned head = __atomic_load_n(s->sq_head, __ATOMIC_ACQUIRE);
   unsigned tail = *s->sq_tail;
   if (tail - head >= s->params.sq_entries) {
@@ -187,7 +193,7 @@ bool IoEngine::UringArmPoll(IoHandle* handle, unsigned poll_mask, std::uintptr_t
     SysIoUringEnter(uring_fd_, s->to_submit, 0, 0);
     s->to_submit = 0;
     if (*s->sq_tail - __atomic_load_n(s->sq_head, __ATOMIC_ACQUIRE) >= s->params.sq_entries) {
-      s->sqe_spin.clear(std::memory_order_release);
+      SqUnlock(s);
       return false;
     }
     tail = *s->sq_tail;
@@ -212,7 +218,7 @@ bool IoEngine::UringArmPoll(IoHandle* handle, unsigned poll_mask, std::uintptr_t
   s->sq_array[index] = index;
   __atomic_store_n(s->sq_tail, tail + 1, __ATOMIC_RELEASE);
   s->to_submit++;
-  s->sqe_spin.clear(std::memory_order_release);
+  SqUnlock(s);
   return true;
 }
 
@@ -240,13 +246,10 @@ void IoEngine::UringFinishCqe(IoHandle* handle) {
 
 void IoEngine::UringSubmit() {
   UringState* s = uring_;
-  SpinBackoff backoff;
-  while (s->sqe_spin.test_and_set(std::memory_order_acquire)) {
-    backoff.Pause();
-  }
+  SqLock(s);
   const unsigned n = s->to_submit;
   s->to_submit = 0;
-  s->sqe_spin.clear(std::memory_order_release);
+  SqUnlock(s);
   if (n > 0) {
     SysIoUringEnter(uring_fd_, n, 0, 0);
   }
@@ -367,20 +370,23 @@ IoEngine::~IoEngine() {
   }
 }
 
-void IoEngine::TrackHandle(IoHandle* handle) {
+void IoEngine::LockHandles() {
   SpinBackoff backoff;
   while (handles_spin_.test_and_set(std::memory_order_acquire)) {
     backoff.Pause();
   }
+}
+
+void IoEngine::UnlockHandles() { handles_spin_.clear(std::memory_order_release); }
+
+void IoEngine::TrackHandle(IoHandle* handle) {
+  LockHandles();
   handles_.push_back(handle);
-  handles_spin_.clear(std::memory_order_release);
+  UnlockHandles();
 }
 
 void IoEngine::UntrackHandle(IoHandle* handle) {
-  SpinBackoff backoff;
-  while (handles_spin_.test_and_set(std::memory_order_acquire)) {
-    backoff.Pause();
-  }
+  LockHandles();
   for (std::size_t i = 0; i < handles_.size(); i++) {
     if (handles_[i] == handle) {
       handles_[i] = handles_.back();
@@ -388,7 +394,7 @@ void IoEngine::UntrackHandle(IoHandle* handle) {
       break;
     }
   }
-  handles_spin_.clear(std::memory_order_release);
+  UnlockHandles();
 }
 
 IoHandle* IoEngine::Register(int fd) {
@@ -507,6 +513,9 @@ void IoEngine::DeliverReady(IoHandle* handle, unsigned bits) {
 int IoEngine::EpollPoll() {
   FreeRetired();
   auto* events = reinterpret_cast<epoll_event*>(event_buf_.data());
+  // This epoll_wait only drains already-pending events: the scheduler loop
+  // calls it between uthread switches precisely because it cannot block.
+  // skylint:allow(blocking-call-on-worker) -- timeout 0 never sleeps
   const int n = epoll_wait(epoll_fd_, events, options_.max_events, 0);
   if (n <= 0) {
     return 0;

@@ -151,6 +151,17 @@ class IoEngine {
   SKYLOFT_NO_SWITCH void TrackHandle(IoHandle* handle);
   SKYLOFT_NO_SWITCH void UntrackHandle(IoHandle* handle);
 
+  // Live-handle table spinlock (lock class `io_handles`): annotated so
+  // skylint tracks hold windows across the registration/teardown paths.
+  SKYLOFT_NO_SWITCH SKYLOFT_ACQUIRES(io_handles) void LockHandles();
+  SKYLOFT_NO_SWITCH SKYLOFT_RELEASES(io_handles) void UnlockHandles();
+
+  // io_uring submission-queue spinlock (lock class `uring_sq`); guards the
+  // SQ tail/to_submit producer state shared by every worker that arms or
+  // cancels a poll on this engine.
+  SKYLOFT_NO_SWITCH SKYLOFT_ACQUIRES(uring_sq) static void SqLock(UringState* s);
+  SKYLOFT_NO_SWITCH SKYLOFT_RELEASES(uring_sq) static void SqUnlock(UringState* s);
+
   // epoll backend.
   SKYLOFT_NO_SWITCH int EpollPoll();
 

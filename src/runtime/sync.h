@@ -40,9 +40,11 @@ class UthreadMutex {
   UthreadMutex(const UthreadMutex&) = delete;
   UthreadMutex& operator=(const UthreadMutex&) = delete;
 
-  SKYLOFT_MAY_SWITCH void Lock();
+  SKYLOFT_MAY_SWITCH SKYLOFT_ACQUIRES(uthread_mutex) void Lock();
+  // TryLock is deliberately not SKYLOFT_ACQUIRES: a conditional acquire has
+  // no unconditional post-state skylint's linear lock walk could model.
   SKYLOFT_NO_SWITCH bool TryLock();
-  SKYLOFT_NO_SWITCH void Unlock();
+  SKYLOFT_NO_SWITCH SKYLOFT_RELEASES(uthread_mutex) void Unlock();
 
  private:
   struct Waiter : ListNode {
@@ -52,12 +54,14 @@ class UthreadMutex {
   std::atomic<bool> locked_{false};
   // Fast-path gate: Unlock skips the waiter list entirely when zero.
   std::atomic<int> waiter_count_{0};
-  // Short spinlock guarding the waiter list; never held across a park.
+  // Short spinlock guarding the waiter list; never held across a park
+  // (lock class `wait_spin`, shared with UthreadCondVar — same role, and
+  // rule lock-held-across-switch enforces the never-parked invariant).
   std::atomic_flag wait_spin_ = ATOMIC_FLAG_INIT;
   IntrusiveList<Waiter> waiters_;
 
-  SKYLOFT_NO_SWITCH void SpinAcquire();
-  SKYLOFT_NO_SWITCH void SpinRelease();
+  SKYLOFT_NO_SWITCH SKYLOFT_ACQUIRES(wait_spin) void SpinAcquire();
+  SKYLOFT_NO_SWITCH SKYLOFT_RELEASES(wait_spin) void SpinRelease();
 };
 
 class UthreadCondVar {
@@ -67,7 +71,11 @@ class UthreadCondVar {
   UthreadCondVar& operator=(const UthreadCondVar&) = delete;
 
   // Atomically releases `mutex` and blocks; reacquires before returning.
-  SKYLOFT_MAY_SWITCH void Wait(UthreadMutex* mutex);
+  // SKYLOFT_REQUIRES makes the contract checkable both ways: callers must
+  // hold the mutex (rule lock-requires-unheld), and holding it across this
+  // call is exempt from lock-held-across-switch — Wait itself releases it
+  // before parking.
+  SKYLOFT_MAY_SWITCH SKYLOFT_REQUIRES(uthread_mutex) void Wait(UthreadMutex* mutex);
 
   // Wakes one / all waiters.
   SKYLOFT_NO_SWITCH void Signal();
@@ -81,8 +89,8 @@ class UthreadCondVar {
   std::atomic_flag wait_spin_ = ATOMIC_FLAG_INIT;
   IntrusiveList<Waiter> waiters_;
 
-  SKYLOFT_NO_SWITCH void SpinAcquire();
-  SKYLOFT_NO_SWITCH void SpinRelease();
+  SKYLOFT_NO_SWITCH SKYLOFT_ACQUIRES(wait_spin) void SpinAcquire();
+  SKYLOFT_NO_SWITCH SKYLOFT_RELEASES(wait_spin) void SpinRelease();
 };
 
 // Counting semaphore built on the mutex + condvar primitives.
@@ -180,11 +188,16 @@ class UthreadChannel {
   bool closed_ = false;
 };
 
-// RAII lock guard.
+// RAII lock guard. The SKYLOFT_ACQUIRES on the constructor lets skylint
+// treat `UthreadMutexGuard g(&mu);` declarations as scope-bound acquires,
+// like std::lock_guard.
 class UthreadMutexGuard {
  public:
-  explicit UthreadMutexGuard(UthreadMutex* mutex) : mutex_(mutex) { mutex_->Lock(); }
-  ~UthreadMutexGuard() { mutex_->Unlock(); }
+  SKYLOFT_ACQUIRES(uthread_mutex) explicit UthreadMutexGuard(UthreadMutex* mutex)
+      : mutex_(mutex) {
+    mutex_->Lock();
+  }
+  SKYLOFT_RELEASES(uthread_mutex) ~UthreadMutexGuard() { mutex_->Unlock(); }
   UthreadMutexGuard(const UthreadMutexGuard&) = delete;
   UthreadMutexGuard& operator=(const UthreadMutexGuard&) = delete;
 

@@ -400,12 +400,14 @@ void Runtime::Run(std::function<void()> main_fn) {
       for (UThread* t : due) {
         Unpark(t);
       }
+      // skylint:allow(blocking-call-on-worker) -- timer lambda runs on its own dedicated std::thread, not a runtime worker; sleeping is its job
       std::this_thread::sleep_for(tick);
     }
   });
 
   // Wait for every user thread to finish.
   while (live_uthreads_.load(std::memory_order_acquire) > 0) {
+    // skylint:allow(blocking-call-on-worker) -- Run() executes on the caller's launch thread (not a worker), parked while the worker pthreads run
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
   stopping_.store(true);

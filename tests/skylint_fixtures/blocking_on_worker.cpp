@@ -1,0 +1,37 @@
+// Lock-discipline fixture (bad variant): blocking calls reachable from
+// WorkerLoop (skylint R7, blocking-call-on-worker). A thread-blocking call on
+// a worker stalls the pthread and with it every uthread scheduled there —
+// the exact failure the runtime's park/unpark path exists to avoid.
+//
+// Three shapes:
+//   - a raw fd syscall (read) with no WaitForReadable/WaitForWritable park
+//     loop in the same body, so on a blocking fd it blocks the worker;
+//   - a helper honestly annotated SKYLOFT_BLOCKING, called from worker code;
+//   - an unconditionally blocking call (usleep) on the dispatch path.
+#define SKYLOFT_BLOCKING
+
+struct Conn {
+  int fd;
+};
+
+long read(int fd, void* buf, unsigned long count);
+int usleep(unsigned int usec);
+
+SKYLOFT_BLOCKING void WaitForConfigReload();
+
+void ServeRequest(Conn* conn) {
+  char buf[64];
+  read(conn->fd, buf, 64);  // expect(blocking-call-on-worker): fd call 'read'
+}
+
+void MaybeReloadConfig() {
+  WaitForConfigReload();  // expect(blocking-call-on-worker): SKYLOFT_BLOCKING
+}
+
+void WorkerLoop(Conn* conn) {
+  for (;;) {
+    usleep(50);  // expect(blocking-call-on-worker): blocking call 'usleep'
+    MaybeReloadConfig();
+    ServeRequest(conn);
+  }
+}

@@ -1,0 +1,43 @@
+// Lock-discipline fixture (fixed variant): the worker path parks through the
+// runtime's sanctioned primitives instead of blocking the pthread. skylint
+// reports nothing here.
+//
+//   - the fd read sits behind a WaitForReadable park loop in the same body
+//     (the engine's edge-triggered contract: park, then drain until EAGAIN);
+//   - config reload moved off the worker (nothing calls the SKYLOFT_BLOCKING
+//     helper from worker context);
+//   - the dispatch loop yields through the scheduler instead of usleep;
+//   - `conn->read()` is a member call, not the read(2) syscall, and is
+//     correctly left alone.
+#define SKYLOFT_BLOCKING
+
+struct Conn {
+  int fd;
+  long read();
+};
+
+long read(int fd, void* buf, unsigned long count);
+
+void WaitForReadable(Conn* conn);
+void YieldUthread();
+
+SKYLOFT_BLOCKING void WaitForConfigReload();
+
+void ServeRequest(Conn* conn) {
+  char buf[64];
+  WaitForReadable(conn);
+  read(conn->fd, buf, 64);
+  conn->read();
+}
+
+void WorkerLoop(Conn* conn) {
+  for (;;) {
+    YieldUthread();
+    ServeRequest(conn);
+  }
+}
+
+// Runs on a dedicated control thread, never on a worker.
+void ControlThreadMain() {
+  WaitForConfigReload();
+}

@@ -1,0 +1,40 @@
+// Lock-discipline fixture (bad variant): a lock class is held across a call
+// into the may-switch closure. If the callee parks this uthread, the lock
+// stays held while other uthreads run on the worker — any of them spinning on
+// the same lock deadlocks the worker (skylint R5, lock-held-across-switch).
+//
+// Modeled on the PR 6 incident class: an io_handles-style registry spinlock
+// held across a park-capable wait.
+#define SKYLOFT_MAY_SWITCH
+#define SKYLOFT_ACQUIRES(l)
+#define SKYLOFT_RELEASES(l)
+
+SKYLOFT_ACQUIRES(table_lock) void LockTable();
+SKYLOFT_RELEASES(table_lock) void UnlockTable();
+SKYLOFT_MAY_SWITCH void ParkUntilChanged();
+
+int LookupSlot(int key);
+
+int Lookup(int key) {
+  LockTable();
+  ParkUntilChanged();  // expect(lock-held-across-switch): lock class 'table_lock'
+  const int slot = LookupSlot(key);
+  UnlockTable();
+  return slot;
+}
+
+// The std::lock_guard path: no annotation needed — the guarded expression's
+// last identifier, qualified by the enclosing class, names the lock class.
+#include <mutex>
+
+struct Registry {
+  std::mutex mu;
+  int revision = 0;
+  void Publish();
+};
+
+void Registry::Publish() {
+  std::lock_guard<std::mutex> g(mu);
+  ParkUntilChanged();  // expect(lock-held-across-switch): lock class 'Registry::mu'
+  ++revision;
+}

@@ -1,0 +1,56 @@
+// Lock-discipline fixture (fixed variant): the two sanctioned shapes for
+// waiting near a lock. skylint reports nothing here.
+//
+//   1. Drop the lock before the may-switch call and reacquire after — the
+//      hold window stays switch-free.
+//   2. Condvar pattern: the wait primitive itself is annotated
+//      SKYLOFT_REQUIRES on the held lock, declaring that it releases the
+//      lock around the park and reacquires before returning; a caller
+//      holding that lock at the call is exempt from R5.
+#define SKYLOFT_MAY_SWITCH
+#define SKYLOFT_ACQUIRES(l)
+#define SKYLOFT_RELEASES(l)
+#define SKYLOFT_REQUIRES(l)
+
+SKYLOFT_ACQUIRES(table_lock) void LockTable();
+SKYLOFT_RELEASES(table_lock) void UnlockTable();
+SKYLOFT_MAY_SWITCH void ParkUntilChanged();
+SKYLOFT_MAY_SWITCH SKYLOFT_REQUIRES(table_lock) void WaitTableChanged();
+
+int LookupSlot(int key);
+
+// Shape 1: wait outside the hold window.
+int Lookup(int key) {
+  ParkUntilChanged();
+  LockTable();
+  const int slot = LookupSlot(key);
+  UnlockTable();
+  return slot;
+}
+
+// Shape 2: condvar-style wait that manages the lock itself.
+int LookupWhenChanged(int key) {
+  LockTable();
+  WaitTableChanged();
+  const int slot = LookupSlot(key);
+  UnlockTable();
+  return slot;
+}
+
+// Shape 3: RAII guard scoped to exclude the wait — the guard's block closes
+// before the may-switch call, so the hold window stays switch-free.
+#include <mutex>
+
+struct Registry {
+  std::mutex mu;
+  int revision = 0;
+  void Publish();
+};
+
+void Registry::Publish() {
+  {
+    std::lock_guard<std::mutex> g(mu);
+    ++revision;
+  }
+  ParkUntilChanged();
+}

@@ -1,0 +1,31 @@
+// Lock-discipline fixture (bad variant): two lock classes acquired in
+// opposite orders on two paths. Two uthreads interleaving TransferAB and
+// TransferBA each hold one lock and spin on the other — classic AB/BA
+// deadlock (skylint R6, lock-order-cycle). The single diagnostic carries the
+// first witness site of BOTH edges, so the report names each acquisition
+// order, not just the one it happened to land on.
+#define SKYLOFT_ACQUIRES(l)
+#define SKYLOFT_RELEASES(l)
+
+SKYLOFT_ACQUIRES(alpha_lock) void LockAlpha();
+SKYLOFT_RELEASES(alpha_lock) void UnlockAlpha();
+SKYLOFT_ACQUIRES(beta_lock) void LockBeta();
+SKYLOFT_RELEASES(beta_lock) void UnlockBeta();
+
+void MoveEntry(int from, int to);
+
+void TransferAB(int from, int to) {
+  LockAlpha();
+  LockBeta();  // expect(lock-order-cycle): acquiring in opposite orders can deadlock
+  MoveEntry(from, to);
+  UnlockBeta();
+  UnlockAlpha();
+}
+
+void TransferBA(int from, int to) {
+  LockBeta();
+  LockAlpha();
+  MoveEntry(to, from);
+  UnlockAlpha();
+  UnlockBeta();
+}

@@ -1,0 +1,29 @@
+// Lock-discipline fixture (fixed variant): both transfer directions take the
+// locks in the same global order (alpha before beta), so the
+// acquired-while-holding graph has one edge and no cycle. skylint reports
+// nothing here.
+#define SKYLOFT_ACQUIRES(l)
+#define SKYLOFT_RELEASES(l)
+
+SKYLOFT_ACQUIRES(alpha_lock) void LockAlpha();
+SKYLOFT_RELEASES(alpha_lock) void UnlockAlpha();
+SKYLOFT_ACQUIRES(beta_lock) void LockBeta();
+SKYLOFT_RELEASES(beta_lock) void UnlockBeta();
+
+void MoveEntry(int from, int to);
+
+void TransferAB(int from, int to) {
+  LockAlpha();
+  LockBeta();
+  MoveEntry(from, to);
+  UnlockBeta();
+  UnlockAlpha();
+}
+
+void TransferBA(int from, int to) {
+  LockAlpha();
+  LockBeta();
+  MoveEntry(to, from);
+  UnlockBeta();
+  UnlockAlpha();
+}

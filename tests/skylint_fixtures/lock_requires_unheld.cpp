@@ -1,0 +1,16 @@
+// Lock-discipline fixture (bad variant): a function annotated
+// SKYLOFT_REQUIRES(queue_lock) — it touches the queue with no internal
+// locking, by contract — is called without the lock visibly held (skylint
+// R8, lock-requires-unheld). The race is silent data corruption, not a
+// crash, which is why the contract is worth machine-checking.
+#define SKYLOFT_ACQUIRES(l)
+#define SKYLOFT_RELEASES(l)
+#define SKYLOFT_REQUIRES(l)
+
+SKYLOFT_ACQUIRES(queue_lock) void LockQueue();
+SKYLOFT_RELEASES(queue_lock) void UnlockQueue();
+SKYLOFT_REQUIRES(queue_lock) void PushLocked(int value);
+
+void Produce(int value) {
+  PushLocked(value);  // expect(lock-requires-unheld): requires lock class 'queue_lock'
+}

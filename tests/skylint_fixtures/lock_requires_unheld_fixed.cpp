@@ -1,0 +1,24 @@
+// Lock-discipline fixture (fixed variant): the *Locked callee runs inside
+// the lock's hold window — directly, or transitively through a helper whose
+// derived summary shows it enters with the lock held (its own
+// SKYLOFT_REQUIRES). skylint reports nothing here.
+#define SKYLOFT_ACQUIRES(l)
+#define SKYLOFT_RELEASES(l)
+#define SKYLOFT_REQUIRES(l)
+
+SKYLOFT_ACQUIRES(queue_lock) void LockQueue();
+SKYLOFT_RELEASES(queue_lock) void UnlockQueue();
+SKYLOFT_REQUIRES(queue_lock) void PushLocked(int value);
+
+void Produce(int value) {
+  LockQueue();
+  PushLocked(value);
+  UnlockQueue();
+}
+
+// The requirement propagates: a REQUIRES wrapper may call the REQUIRES
+// callee without reacquiring.
+SKYLOFT_REQUIRES(queue_lock) void PushTwoLocked(int a, int b) {
+  PushLocked(a);
+  PushLocked(b);
+}

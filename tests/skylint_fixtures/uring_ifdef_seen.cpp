@@ -1,0 +1,20 @@
+// Config-coverage fixture: skylint's lexer skips preprocessor directive
+// *lines* but lexes the code in BOTH branches of an #ifdef, so a violation
+// inside `#ifdef SKYLOFT_IO_URING` is found even when analyzing the epoll
+// configuration's compile_commands.json. This is what makes the epoll/uring
+// CI matrix a double-check rather than the only line of defense.
+#define SKYLOFT_MAY_SWITCH
+#define SKYLOFT_ACQUIRES(l)
+#define SKYLOFT_RELEASES(l)
+
+SKYLOFT_ACQUIRES(sq_lock) void SqLock();
+SKYLOFT_RELEASES(sq_lock) void SqUnlock();
+SKYLOFT_MAY_SWITCH void ParkUntilCqe();
+
+#ifdef SKYLOFT_IO_URING
+void SubmitAndWait() {
+  SqLock();
+  ParkUntilCqe();  // expect(lock-held-across-switch): held across call to 'ParkUntilCqe'
+  SqUnlock();
+}
+#endif

@@ -135,6 +135,23 @@ TEST(SkylintCorpus, Pr2RegressionsPresent) {
   }
 }
 
+// The lock-discipline rules (skylint v2) must keep their bad AND fixed
+// exemplars in the corpus — one pair per rule — plus the #ifdef coverage
+// fixture proving io_uring-only code is analyzed in the epoll config too.
+TEST(SkylintCorpus, LockDisciplinePairsPresent) {
+  const std::set<std::string> names = [] {
+    std::set<std::string> s;
+    for (const std::string& n : FixtureNames()) s.insert(n);
+    return s;
+  }();
+  for (const char* base : {"lock_held_across_switch", "lock_order_cycle", "blocking_on_worker",
+                           "lock_requires_unheld"}) {
+    EXPECT_TRUE(names.count(std::string(base) + ".cpp")) << base;
+    EXPECT_TRUE(names.count(std::string(base) + "_fixed.cpp")) << base;
+  }
+  EXPECT_TRUE(names.count("uring_ifdef_seen.cpp"));
+}
+
 // The bad fixtures must also fail at the CLI contract level: nonzero exit is
 // what gates CI. Exercised via the library (exit code mirrors !diags.empty()).
 TEST(SkylintCorpus, BadVariantsHaveFindings) {

@@ -1,4 +1,4 @@
-// The four scheduling-discipline rules.
+// The scheduling- and lock-discipline rules.
 //
 // R1 tls-across-switch   A TLS-derived address must not be live across a
 //                        call into the may-context-switch set: after the
@@ -17,15 +17,47 @@
 //                        reach a switch primitive (shard locks held across
 //                        a context switch deadlock the worker).
 //
+// Lock-discipline rules (skylint v2). Per-function lock summaries — the set
+// of lock classes a call net-acquires/releases — are seeded by
+// SKYLOFT_ACQUIRES/RELEASES annotations and derived for unannotated bodies
+// by a bounded interprocedural fixpoint; std::lock_guard/unique_lock/
+// scoped_lock declarations and annotated RAII guard constructors are modeled
+// as scope-bound acquires.
+//
+// R5 lock-held-across-switch  A lock class is held at a call into the
+//                        may-switch closure: the uthread can park holding a
+//                        spinlock, stalling every spinner until it is
+//                        rescheduled (the PR 6 tail-amplifier shape).
+//                        Callees that SKYLOFT_REQUIRES the held lock are
+//                        exempt — the condvar-wait pattern releases it
+//                        itself before parking.
+// R6 lock-order-cycle    The static acquired-while-holding graph over all
+//                        lock classes has a cycle; each edge's first witness
+//                        site is reported with the cycle.
+// R7 blocking-call-on-worker  A raw blocking syscall (nanosleep/poll/
+//                        futex-wait shapes), or a SKYLOFT_BLOCKING helper,
+//                        is reachable from WorkerLoop/engine poll paths. A
+//                        blocked worker pthread stalls every uthread it
+//                        hosts. fd reads/writes are sanctioned when the
+//                        same body parks through WaitForReadable/
+//                        WaitForWritable (the drain-until-EAGAIN pattern on
+//                        O_NONBLOCK sockets).
+// R8 lock-requires-unheld  A SKYLOFT_REQUIRES(l) function is called at a
+//                        site where `l` is not visibly held.
+//
 // The may-switch and signal-safe sets are fixpoints over a name-resolved
 // call graph seeded by the annotations in src/base/compiler.h. Name-based
 // resolution over-approximates (every function with a matching unqualified
-// name is a candidate callee); suppressions exist for the residue.
+// name is a candidate callee); suppressions exist for the residue. The lock
+// walk is linear per body (no branch sensitivity): an early-return arm that
+// releases a lock under-approximates the fall-through path, which the
+// fixture corpus and suppressions cover.
 #include "tools/skylint/analysis.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <deque>
+#include <functional>
 #include <map>
 
 namespace skylint {
@@ -39,9 +71,47 @@ const std::set<std::string>& CallKeywords() {
       "throw",  "new",     "delete",  "co_await",     "co_return",  "co_yield",
       "assert", "defined", "not",     "and",          "or",
       "SKYLOFT_MAY_SWITCH", "SKYLOFT_NO_SWITCH", "SKYLOFT_SIGNAL_SAFE",
-      "SKYLOFT_RETURNS_TLS",
+      "SKYLOFT_RETURNS_TLS", "SKYLOFT_BLOCKING", "SKYLOFT_ACQUIRES",
+      "SKYLOFT_RELEASES", "SKYLOFT_REQUIRES",
   };
   return kw;
+}
+
+// RAII lock holders from <mutex>/<shared_mutex>: `std::lock_guard<M> g(mu);`
+// acquires at the declaration and releases at the enclosing scope's end.
+const std::set<std::string>& GuardTemplates() {
+  static const std::set<std::string> g = {"lock_guard", "unique_lock", "scoped_lock",
+                                          "shared_lock"};
+  return g;
+}
+
+// Syscalls/library calls that block the calling pthread unconditionally.
+// A worker that enters one of these stalls every uthread it hosts; the
+// runtime's sanctioned waits (WaitForReadable/WaitForWritable, Park,
+// SleepFor) park the uthread instead.
+const std::set<std::string>& UnconditionalBlocking() {
+  static const std::set<std::string> deny = {
+      "nanosleep", "clock_nanosleep", "usleep",      "sleep",       "sleep_for",
+      "sleep_until", "poll",          "ppoll",       "select",      "pselect",
+      "epoll_wait", "epoll_pwait",    "sigwait",     "sigwaitinfo", "sigtimedwait",
+      "pause",      "pthread_join",   "pthread_cond_wait", "pthread_cond_timedwait",
+      "waitpid",    "wait4",          "system",      "flock",       "fsync",
+      "fdatasync",  "msync",
+  };
+  return deny;
+}
+
+// fd I/O that blocks only on a blocking-mode fd. Sanctioned when the same
+// body parks through WaitForReadable/WaitForWritable — the engine contract
+// puts every registered fd in O_NONBLOCK and the call sits in a
+// drain-until-EAGAIN loop around the park.
+const std::set<std::string>& FdBlocking() {
+  static const std::set<std::string> deny = {
+      "read",  "pread",  "readv",  "recv",  "recvfrom", "recvmsg", "write",
+      "pwrite", "writev", "send",  "sendto", "sendmsg",  "accept",  "accept4",
+      "connect",
+  };
+  return deny;
 }
 
 // Names that are never async-signal-safe: allocation, stdio, locking, and
@@ -63,13 +133,20 @@ const std::set<std::string>& SignalDenylist() {
   return deny;
 }
 
-const std::set<std::string>& KnownRules() {
-  static const std::set<std::string> rules = {
-      "tls-across-switch", "preempt-balance", "signal-unsafe-call", "switch-in-noswitch"};
-  return rules;
+bool HasAnyAnnotation(const Annotations& a) {
+  return a.may_switch || a.no_switch || a.signal_safe || a.returns_tls || a.blocking ||
+         !a.acquires.empty() || !a.releases.empty() || !a.requires_held.empty();
 }
 
 }  // namespace
+
+const std::set<std::string>& KnownRules() {
+  static const std::set<std::string> rules = {
+      "tls-across-switch",      "preempt-balance",  "signal-unsafe-call",
+      "switch-in-noswitch",     "lock-held-across-switch", "lock-order-cycle",
+      "blocking-call-on-worker", "lock-requires-unheld"};
+  return rules;
+}
 
 void Analyzer::AddFile(FileTokens file) { files_.push_back(std::move(file)); }
 
@@ -93,8 +170,7 @@ void Analyzer::ExtractAll() {
     const bool keep = defined.count(fn.qualified) == 0 && kept_decls.insert(fn.qualified).second;
     if (keep) {
       functions_.push_back(std::move(fn));
-    } else if (fn.ann.may_switch || fn.ann.no_switch || fn.ann.signal_safe ||
-               fn.ann.returns_tls) {
+    } else if (HasAnyAnnotation(fn.ann)) {
       // Annotation on a dropped declaration still applies (merged next).
       functions_.push_back(std::move(fn));
       functions_.back().has_body = false;
@@ -131,16 +207,16 @@ void Analyzer::MergeAnnotations() {
 }
 
 void Analyzer::BuildCallGraph() {
-  std::map<std::string, std::vector<int>> by_name;
+  by_name_.clear();
   for (std::size_t i = 0; i < functions_.size(); i++) {
-    by_name[functions_[i].simple].push_back(static_cast<int>(i));
+    by_name_[functions_[i].simple].push_back(static_cast<int>(i));
   }
   callees_.assign(functions_.size(), {});
   for (std::size_t i = 0; i < functions_.size(); i++) {
     std::set<int> targets;
     for (const CallSite& cs : functions_[i].calls) {
-      auto it = by_name.find(cs.name);
-      if (it == by_name.end()) continue;
+      auto it = by_name_.find(cs.name);
+      if (it == by_name_.end()) continue;
       for (int t : it->second) {
         if (t != static_cast<int>(i)) targets.insert(t);
       }
@@ -192,6 +268,423 @@ void Analyzer::ComputeSignalClosure() {
         signal_safe_[static_cast<std::size_t>(c)] = true;
         signal_parent_[static_cast<std::size_t>(c)] = cur;
         work.push_back(c);
+      }
+    }
+  }
+}
+
+void Analyzer::ComputeWorkerClosure() {
+  // Everything a runtime worker's scheduler loop or any uthread body can
+  // reach: forward-reachable from WorkerLoop and from the may-switch set
+  // (may-switch code by definition executes on a worker; the engine poll
+  // paths hang off WorkerLoop itself).
+  on_worker_.assign(functions_.size(), false);
+  worker_parent_.assign(functions_.size(), -1);
+  std::deque<int> work;
+  for (std::size_t i = 0; i < functions_.size(); i++) {
+    if (functions_[i].simple == "WorkerLoop" || may_switch_[i]) {
+      on_worker_[i] = true;
+      work.push_back(static_cast<int>(i));
+    }
+  }
+  while (!work.empty()) {
+    const int cur = work.front();
+    work.pop_front();
+    for (int c : callees_[static_cast<std::size_t>(cur)]) {
+      if (!on_worker_[static_cast<std::size_t>(c)]) {
+        on_worker_[static_cast<std::size_t>(c)] = true;
+        worker_parent_[static_cast<std::size_t>(c)] = cur;
+        work.push_back(c);
+      }
+    }
+  }
+}
+
+std::string Analyzer::WorkerPath(int fn) const {
+  std::string via = functions_[static_cast<std::size_t>(fn)].simple;
+  for (int p = worker_parent_[static_cast<std::size_t>(fn)]; p >= 0;
+       p = worker_parent_[static_cast<std::size_t>(p)]) {
+    via = functions_[static_cast<std::size_t>(p)].simple + " -> " + via;
+  }
+  return via;
+}
+
+std::string Analyzer::GuardLockName(int fn, const std::string& last_ident) const {
+  // Qualify a lock_guard argument's terminal identifier by the enclosing
+  // class so `mu_` in MetricGroup and ClusterSim stays two lock classes.
+  // Namespace components carry no instance identity and are stripped.
+  static const std::set<std::string> ns = {"skyloft", "std", "detail", "internal", "<anon>"};
+  const std::string& q = functions_[static_cast<std::size_t>(fn)].qualified;
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t at; (at = q.find("::", start)) != std::string::npos; start = at + 2) {
+    parts.push_back(q.substr(start, at - start));
+  }
+  // The function name itself (after the last ::) is intentionally excluded.
+  std::string scope;
+  for (const std::string& p : parts) {
+    if (ns.count(p) != 0) continue;
+    if (!scope.empty()) scope += "::";
+    scope += p;
+  }
+  return scope.empty() ? last_ident : scope + "::" + last_ident;
+}
+
+Analyzer::LockSummary Analyzer::WalkLocks(int fn_index, bool report) {
+  const Function& fn = functions_[static_cast<std::size_t>(fn_index)];
+  LockSummary net;
+  if (!fn.has_body) return net;
+  const auto& toks = files_[static_cast<std::size_t>(fn.file)].tokens;
+  auto text = [&](int p) -> const std::string& { return toks[static_cast<std::size_t>(p)].text; };
+  auto line_of = [&](int p) { return toks[static_cast<std::size_t>(p)].line; };
+  auto is_ident = [&](int p) {
+    return p < fn.body_end && toks[static_cast<std::size_t>(p)].kind == Tok::kIdent;
+  };
+
+  const std::set<std::string>& entry = fn.ann.requires_held;
+  std::map<std::string, int> held;   // lock class -> acquire line
+  std::set<std::string> released;    // net releases of locks acquired elsewhere
+  std::set<std::string> ever_held;   // held at any point of this walk
+  for (const std::string& l : entry) {
+    held[l] = fn.line;
+    ever_held.insert(l);
+  }
+
+  // Locks owned by an RAII guard in each open scope; scope 0 is the body.
+  std::vector<std::vector<std::string>> scopes(1);
+
+  std::map<int, const CallSite*> call_at;
+  for (const CallSite& cs : fn.calls) call_at[cs.pos] = &cs;
+
+  auto acquire = [&](const std::string& l, int line, bool scoped) {
+    if (report) {
+      for (const auto& h : held) {
+        if (h.first == l) continue;
+        auto key = std::make_pair(h.first, l);
+        if (lock_edges_.find(key) == lock_edges_.end()) {
+          lock_edges_[key] = LockEdge{fn.file, line};
+        }
+      }
+    }
+    if (released.count(l) != 0) {
+      released.erase(l);  // reacquired what this body released: net zero
+    }
+    if (held.find(l) == held.end()) held[l] = line;
+    ever_held.insert(l);
+    if (scoped) scopes.back().push_back(l);
+  };
+  auto release = [&](const std::string& l) {
+    // A release of a lock this body never held releases the *caller's* lock
+    // (an unlock helper). A second release on another control-flow path of a
+    // lock already acquired-and-released here is linear-walk residue, not a
+    // caller-visible effect.
+    if (held.erase(l) == 0 && ever_held.count(l) == 0) released.insert(l);
+  };
+
+  // Just past the matching closer of a <...> group opening at p.
+  auto skip_angles = [&](int p) {
+    int depth = 0;
+    for (; p < fn.body_end; p++) {
+      if (text(p) == "<") depth++;
+      if (text(p) == ">" && --depth == 0) return p + 1;
+      if (text(p) == ";") break;  // bail on a stray comparison
+    }
+    return p;
+  };
+
+  int p = fn.body_begin;
+  while (p < fn.body_end) {
+    const std::string& s = text(p);
+    if (s == "{") {
+      scopes.emplace_back();
+      p++;
+      continue;
+    }
+    if (s == "}") {
+      for (const std::string& l : scopes.back()) held.erase(l);
+      if (scopes.size() > 1) scopes.pop_back();
+      p++;
+      continue;
+    }
+    // `std::lock_guard<std::mutex> g(expr);` — scope-bound acquire of the
+    // lock class named by expr's last identifier, class-qualified.
+    if (is_ident(p) && GuardTemplates().count(s) != 0 && p + 1 < fn.body_end &&
+        text(p + 1) == "<") {
+      int q = skip_angles(p + 1);
+      if (is_ident(q) && q + 1 < fn.body_end && text(q + 1) == "(") {
+        const int open_line = line_of(q);
+        int depth = 0;
+        std::string last;
+        std::vector<std::string> args;  // scoped_lock(a, b) takes several
+        int r = q + 1;
+        for (; r < fn.body_end; r++) {
+          if (text(r) == "(") {
+            if (++depth == 1) continue;
+          }
+          if (text(r) == ")" && --depth == 0) break;
+          if (depth == 1 && text(r) == ",") {
+            if (!last.empty()) args.push_back(last);
+            last.clear();
+            continue;
+          }
+          if (toks[static_cast<std::size_t>(r)].kind == Tok::kIdent) last = text(r);
+        }
+        if (!last.empty()) args.push_back(last);
+        for (const std::string& a : args) {
+          acquire(GuardLockName(fn_index, a), open_line, /*scoped=*/true);
+        }
+        p = r + 1;
+        continue;
+      }
+      p = q;
+      continue;
+    }
+    // `GuardType g(expr);` where GuardType's constructor is annotated
+    // SKYLOFT_ACQUIRES — e.g. UthreadMutexGuard.
+    if (is_ident(p) && is_ident(p + 1) && p + 2 < fn.body_end && text(p + 2) == "(" &&
+        call_at.find(p) == call_at.end()) {
+      std::set<std::string> ctor_acquires;
+      auto it = by_name_.find(s);
+      if (it != by_name_.end()) {
+        for (int c : it->second) {
+          const Function& g = functions_[static_cast<std::size_t>(c)];
+          if (g.simple == s && !g.ann.acquires.empty()) {
+            ctor_acquires.insert(g.ann.acquires.begin(), g.ann.acquires.end());
+          }
+        }
+      }
+      if (!ctor_acquires.empty()) {
+        for (const std::string& l : ctor_acquires) {
+          acquire(l, line_of(p), /*scoped=*/true);
+        }
+        p += 2;
+        continue;
+      }
+    }
+    // Ordinary call site: apply the callee's summary (union over name
+    // candidates) and run the call-sensitive rules.
+    auto cit = call_at.find(p);
+    if (cit != call_at.end()) {
+      const CallSite& cs = *cit->second;
+      std::set<std::string> uacq, urel, req_union;
+      std::set<std::string> req_intersect;
+      bool first_candidate = true;
+      auto it = by_name_.find(cs.name);
+      if (it != by_name_.end()) {
+        for (int c : it->second) {
+          const Function& g = functions_[static_cast<std::size_t>(c)];
+          const LockSummary& sum = summaries_[static_cast<std::size_t>(c)];
+          uacq.insert(sum.acquires.begin(), sum.acquires.end());
+          urel.insert(sum.releases.begin(), sum.releases.end());
+          req_union.insert(g.ann.requires_held.begin(), g.ann.requires_held.end());
+          if (first_candidate) {
+            req_intersect = g.ann.requires_held;
+            first_candidate = false;
+          } else {
+            std::set<std::string> keep;
+            for (const std::string& l : req_intersect) {
+              if (g.ann.requires_held.count(l) != 0) keep.insert(l);
+            }
+            req_intersect = std::move(keep);
+          }
+        }
+      }
+      if (report) {
+        // R8: every candidate demands these locks (intersection, so a name
+        // collision with an unannotated function disables the check rather
+        // than spraying false positives).
+        for (const std::string& l : req_intersect) {
+          if (held.find(l) == held.end()) {
+            Report(fn_index, cs.line, "lock-requires-unheld",
+                   "'" + cs.name + "' requires lock class '" + l +
+                       "' (SKYLOFT_REQUIRES), which is not held here");
+          }
+        }
+        // R5: held across a may-switch call. Callees that REQUIRE or
+        // RELEASE the lock handle it themselves (condvar wait / unlock).
+        if (!held.empty() && CallMaySwitch(cs)) {
+          for (const auto& h : held) {
+            if (req_union.count(h.first) != 0 || urel.count(h.first) != 0) continue;
+            Report(fn_index, cs.line, "lock-held-across-switch",
+                   "lock class '" + h.first + "' (acquired line " + std::to_string(h.second) +
+                       ") is held across call to '" + cs.name +
+                       "', which may context-switch — a parked uthread would hold it "
+                       "across the switch");
+          }
+        }
+      }
+      for (const std::string& l : uacq) acquire(l, cs.line, /*scoped=*/false);
+      for (const std::string& l : urel) release(l);
+      p++;
+      continue;
+    }
+    p++;
+  }
+
+  // Remaining RAII guards release at function exit.
+  for (const auto& scope : scopes) {
+    for (const std::string& l : scope) held.erase(l);
+  }
+  for (const auto& h : held) {
+    if (entry.count(h.first) == 0) net.acquires.insert(h.first);
+  }
+  for (const std::string& l : entry) {
+    if (held.find(l) == held.end()) net.releases.insert(l);
+  }
+  net.releases.insert(released.begin(), released.end());
+  return net;
+}
+
+void Analyzer::ComputeLockSummaries() {
+  summaries_.assign(functions_.size(), LockSummary{});
+  // Annotated functions are authoritative (their bodies implement the lock
+  // with raw atomics the walk cannot see); unannotated bodies derive their
+  // summary from callees, iterated to a bounded fixpoint.
+  for (std::size_t i = 0; i < functions_.size(); i++) {
+    if (functions_[i].ann.HasLockAnnotation()) {
+      summaries_[i].acquires = functions_[i].ann.acquires;
+      summaries_[i].releases = functions_[i].ann.releases;
+    }
+  }
+  for (int round = 0; round < 10; round++) {
+    bool changed = false;
+    for (std::size_t i = 0; i < functions_.size(); i++) {
+      if (functions_[i].ann.HasLockAnnotation() || !functions_[i].has_body) continue;
+      LockSummary s = WalkLocks(static_cast<int>(i), /*report=*/false);
+      if (!(s == summaries_[i])) {
+        summaries_[i] = std::move(s);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+}
+
+// ---- R5 lock-held-across-switch / R8 lock-requires-unheld ------------------
+
+void Analyzer::CheckLockDiscipline() {
+  lock_edges_.clear();
+  for (std::size_t i = 0; i < functions_.size(); i++) {
+    if (functions_[i].has_body) WalkLocks(static_cast<int>(i), /*report=*/true);
+  }
+}
+
+// ---- R6 lock-order-cycle ---------------------------------------------------
+
+void Analyzer::CheckLockOrderCycles() {
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& e : lock_edges_) adj[e.first.first].push_back(e.first.second);
+  for (auto& a : adj) std::sort(a.second.begin(), a.second.end());
+
+  std::set<std::string> reported;
+  // Each cycle is found once, rotated so its lexicographically smallest lock
+  // comes first: DFS from every start node, visiting only nodes >= start.
+  for (const auto& a : adj) {
+    const std::string& start = a.first;
+    std::vector<std::string> path{start};
+    std::set<std::string> on_path{start};
+    std::function<void(const std::string&)> dfs = [&](const std::string& cur) {
+      if (path.size() > 8) return;
+      auto it = adj.find(cur);
+      if (it == adj.end()) return;
+      for (const std::string& next : it->second) {
+        if (next == start && path.size() >= 2) {
+          std::string key;
+          for (const std::string& n : path) key += n + "|";
+          if (!reported.insert(key).second) continue;
+          // Message carries every edge's first witness site — for a two-lock
+          // cycle that is both acquisition orders.
+          std::string msg = "lock-order cycle: " + start;
+          for (std::size_t k = 0; k < path.size(); k++) {
+            const std::string& from = path[k];
+            const std::string& to = k + 1 < path.size() ? path[k + 1] : start;
+            const LockEdge& w = lock_edges_.at(std::make_pair(from, to));
+            msg += " -> " + to + " (" + files_[static_cast<std::size_t>(w.file)].path + ":" +
+                   std::to_string(w.line) + ")";
+          }
+          msg += "; acquiring in opposite orders can deadlock";
+          const LockEdge& first = lock_edges_.at(std::make_pair(start, path.size() > 1 ? path[1] : start));
+          diags_.push_back(Diagnostic{files_[static_cast<std::size_t>(first.file)].path,
+                                      first.line, "lock-order-cycle", msg});
+          continue;
+        }
+        if (next <= start || on_path.count(next) != 0) continue;
+        path.push_back(next);
+        on_path.insert(next);
+        dfs(next);
+        on_path.erase(next);
+        path.pop_back();
+      }
+    };
+    dfs(start);
+  }
+}
+
+// ---- R7 blocking-call-on-worker --------------------------------------------
+
+void Analyzer::CheckBlockingOnWorker() {
+  for (std::size_t i = 0; i < functions_.size(); i++) {
+    const Function& fn = functions_[i];
+    if (!on_worker_[i] || !fn.has_body) continue;
+    // A function that declares itself SKYLOFT_BLOCKING is reported at its
+    // call sites, not for its own internals.
+    if (fn.ann.blocking) continue;
+    const auto& toks = files_[static_cast<std::size_t>(fn.file)].tokens;
+
+    bool sanctioned_io = false;
+    for (const CallSite& cs : fn.calls) {
+      if (cs.name == "WaitForReadable" || cs.name == "WaitForWritable") {
+        sanctioned_io = true;
+        break;
+      }
+    }
+
+    for (const CallSite& cs : fn.calls) {
+      // `x.read()` / `p->poll()` are member calls, never the raw syscall;
+      // the denylists only name free functions. (SKYLOFT_BLOCKING-annotated
+      // methods are still caught below via their annotation.)
+      const bool member_call =
+          cs.pos > fn.body_begin &&
+          (toks[static_cast<std::size_t>(cs.pos - 1)].text == "." ||
+           toks[static_cast<std::size_t>(cs.pos - 1)].text == "->");
+      bool uncond = !member_call && UnconditionalBlocking().count(cs.name) != 0;
+      // futex-wait shape: syscall(SYS_futex, ..., FUTEX_WAIT, ...).
+      if (!uncond && cs.name == "syscall") {
+        for (int p = cs.pos + 2; p < cs.pos + 10 && p < fn.body_end; p++) {
+          const std::string& t = toks[static_cast<std::size_t>(p)].text;
+          if (t.find("futex") != std::string::npos || t.find("FUTEX") != std::string::npos) {
+            uncond = true;
+            break;
+          }
+        }
+      }
+      if (uncond) {
+        Report(static_cast<int>(i), cs.line, "blocking-call-on-worker",
+               "blocking call '" + cs.name + "' on a worker/scheduler path (reached via " +
+                   WorkerPath(static_cast<int>(i)) +
+                   "); it stalls every uthread on the worker — park through the runtime "
+                   "primitives instead");
+        continue;
+      }
+      bool callee_blocking = false;
+      auto it = by_name_.find(cs.name);
+      if (it != by_name_.end()) {
+        for (int c : it->second) {
+          if (functions_[static_cast<std::size_t>(c)].ann.blocking) callee_blocking = true;
+        }
+      }
+      if (callee_blocking) {
+        Report(static_cast<int>(i), cs.line, "blocking-call-on-worker",
+               "'" + cs.name + "' is annotated SKYLOFT_BLOCKING and is called on a "
+                   "worker/scheduler path (reached via " + WorkerPath(static_cast<int>(i)) + ")");
+        continue;
+      }
+      if (!member_call && FdBlocking().count(cs.name) != 0 && !sanctioned_io) {
+        Report(static_cast<int>(i), cs.line, "blocking-call-on-worker",
+               "fd call '" + cs.name + "' on a worker path with no WaitForReadable/"
+                   "WaitForWritable park loop in the same body (reached via " +
+                   WorkerPath(static_cast<int>(i)) +
+                   "); on a blocking fd this stalls the worker pthread");
       }
     }
   }
@@ -532,10 +1025,15 @@ std::vector<Diagnostic> Analyzer::Run() {
   BuildCallGraph();
   ComputeMaySwitch();
   ComputeSignalClosure();
+  ComputeWorkerClosure();
+  ComputeLockSummaries();
   CheckTlsAcrossSwitch();
   CheckPreemptBalance();
   CheckSignalUnsafeCalls();
   CheckNoSwitchReach();
+  CheckLockDiscipline();
+  CheckLockOrderCycles();
+  CheckBlockingOnWorker();
   ApplySuppressions();
   std::sort(diags_.begin(), diags_.end());
   diags_.erase(std::unique(diags_.begin(), diags_.end()), diags_.end());
@@ -546,16 +1044,39 @@ void Analyzer::Dump() const {
   std::printf("== functions (%zu) ==\n", functions_.size());
   for (std::size_t i = 0; i < functions_.size(); i++) {
     const Function& fn = functions_[i];
-    std::printf("%s%s%s%s%s %s  [%s:%d]%s calls=%zu\n",
+    std::printf("%s%s%s%s%s%s%s %s  [%s:%d]%s calls=%zu\n",
                 may_switch_.empty() ? "" : (may_switch_[i] ? "S" : "-"),
                 signal_safe_.empty() ? "" : (signal_safe_[i] ? "H" : "-"),
+                on_worker_.empty() ? "" : (on_worker_[i] ? "W" : "-"),
                 fn.ann.no_switch ? "N" : "-", fn.ann.returns_tls ? "T" : "-",
+                fn.ann.blocking ? "B" : "-",
                 fn.has_body ? "D" : "d", fn.qualified.c_str(),
                 files_[static_cast<std::size_t>(fn.file)].path.c_str(), fn.line,
                 fn.ann.may_switch ? " [MAY_SWITCH]" : "", fn.calls.size());
   }
   std::printf("== tls variables ==\n");
   for (const std::string& v : tls_variables_) std::printf("  %s\n", v.c_str());
+  std::printf("== lock summaries (nonempty) ==\n");
+  for (std::size_t i = 0; i < functions_.size() && i < summaries_.size(); i++) {
+    const LockSummary& s = summaries_[i];
+    const auto& req = functions_[i].ann.requires_held;
+    if (s.acquires.empty() && s.releases.empty() && req.empty()) continue;
+    std::string line = "  " + functions_[i].qualified;
+    auto join = [](const std::set<std::string>& set) {
+      std::string out;
+      for (const std::string& l : set) out += (out.empty() ? "" : ",") + l;
+      return out;
+    };
+    if (!s.acquires.empty()) line += " acquires{" + join(s.acquires) + "}";
+    if (!s.releases.empty()) line += " releases{" + join(s.releases) + "}";
+    if (!req.empty()) line += " requires{" + join(req) + "}";
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf("== lock-order graph (acquired-while-holding) ==\n");
+  for (const auto& e : lock_edges_) {
+    std::printf("  %s -> %s  [%s:%d]\n", e.first.first.c_str(), e.first.second.c_str(),
+                files_[static_cast<std::size_t>(e.second.file)].path.c_str(), e.second.line);
+  }
 }
 
 }  // namespace skylint

@@ -1,6 +1,8 @@
 #ifndef TOOLS_SKYLINT_ANALYSIS_H_
 #define TOOLS_SKYLINT_ANALYSIS_H_
 
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -9,8 +11,12 @@
 
 namespace skylint {
 
+// The closed set of rule names, shared by suppression validation and the
+// CLI's --rule filter (both reject names outside it).
+const std::set<std::string>& KnownRules();
+
 // Whole-program analyzer: merges per-file parses, builds the name-resolved
-// call graph, runs the fixpoints and the four rules, applies suppressions.
+// call graph, runs the fixpoints and the rules, applies suppressions.
 class Analyzer {
  public:
   // Takes ownership of the lexed files.
@@ -19,35 +25,78 @@ class Analyzer {
   // Runs everything; returns the post-suppression diagnostics, sorted.
   std::vector<Diagnostic> Run();
 
-  // Debugging aid (--dump): prints functions, annotations and the computed
-  // may-switch / signal-safe sets to stdout.
+  // Debugging aid (--dump): prints functions, annotations, the computed
+  // may-switch / signal-safe / worker-closure sets, the per-function lock
+  // summaries and the acquired-while-holding lock graph to stdout.
   void Dump() const;
 
  private:
+  // Net lock effect of calling a function: the lock classes it returns
+  // holding minus those it releases. Seeded from SKYLOFT_ACQUIRES/RELEASES
+  // annotations; derived for unannotated bodies by the summary fixpoint.
+  struct LockSummary {
+    std::set<std::string> acquires;
+    std::set<std::string> releases;
+    bool operator==(const LockSummary& o) const {
+      return acquires == o.acquires && releases == o.releases;
+    }
+  };
+
+  // One acquired-while-holding observation: `held` was held when `acquired`
+  // was taken at file/line.
+  struct LockEdge {
+    int file = -1;
+    int line = 0;
+  };
+
   void ExtractAll();
   void MergeAnnotations();
   void BuildCallGraph();
   void ComputeMaySwitch();
   void ComputeSignalClosure();
+  void ComputeWorkerClosure();
+  void ComputeLockSummaries();
   void CheckTlsAcrossSwitch();    // R1
   void CheckPreemptBalance();     // R2
   void CheckSignalUnsafeCalls();  // R3
   void CheckNoSwitchReach();      // R4
+  void CheckLockDiscipline();     // R5 lock-held-across-switch,
+                                  // R8 lock-requires-unheld, and the
+                                  // lock-order edge collection
+  void CheckLockOrderCycles();    // R6 lock-order-cycle
+  void CheckBlockingOnWorker();   // R7 blocking-call-on-worker
   void ApplySuppressions();
+
+  // Simulates one function body's lock state: a linear token walk with a
+  // block-scope stack for RAII guards. When `report` is set, emits the R5/R8
+  // diagnostics and records lock-order edges; otherwise only computes the
+  // summary. Returns the net summary (exit-held relative to entry-held).
+  LockSummary WalkLocks(int fn, bool report);
 
   bool FunctionMaySwitch(int fn) const { return may_switch_[static_cast<std::size_t>(fn)]; }
   // True when a call site may resolve to a context-switching function.
   bool CallMaySwitch(const CallSite& cs) const;
   std::string SwitchPath(int from) const;  // "A -> B -> C" into the switch set
+  std::string WorkerPath(int fn) const;    // root -> ... -> fn for R7 messages
+  // Lock-class name for a lock_guard-style constructor argument: the last
+  // identifier of the lock expression, qualified by the enclosing class of
+  // `fn` so `mu_` in two classes stays two lock classes.
+  std::string GuardLockName(int fn, const std::string& last_ident) const;
   void Report(int fn, int line, const std::string& rule, const std::string& msg);
 
   std::vector<FileTokens> files_;
   std::vector<Function> functions_;            // merged program-wide list
   std::set<std::string> tls_variables_;
+  std::map<std::string, std::vector<int>> by_name_;  // simple name -> indices
   std::vector<std::vector<int>> callees_;      // function index -> callee indices
   std::vector<bool> may_switch_;
   std::vector<bool> signal_safe_;              // in the signal-handler closure
   std::vector<int> signal_parent_;             // BFS parent for path messages
+  std::vector<bool> on_worker_;                // in the worker/scheduler closure
+  std::vector<int> worker_parent_;             // BFS parent for path messages
+  std::vector<LockSummary> summaries_;
+  // (held, acquired) -> first witness site.
+  std::map<std::pair<std::string, std::string>, LockEdge> lock_edges_;
   std::vector<Diagnostic> diags_;
 };
 

@@ -1,15 +1,21 @@
-// skylint — Skyloft's in-tree scheduling-discipline checker.
+// skylint — Skyloft's in-tree scheduling- and lock-discipline checker.
 //
 // Usage:
-//   skylint [--root DIR] [--compile-commands FILE] [--dump] [files...]
+//   skylint [--root DIR] [--compile-commands FILE] [--dump]
+//           [--rule NAME]... [files...]
 //
 // With explicit files, only those are analyzed (the fixture-test mode).
 // Otherwise the file set comes from the compilation database when given,
-// falling back to a glob of <root>/src. Exit status is nonzero when any
-// diagnostic survives suppression. See tools/skylint/README.md.
+// falling back to a glob of <root>/src. `--rule` (repeatable, `--rule=x`
+// also accepted) restricts the printed findings — and the exit status — to
+// the named rules, for fast fixture iteration. Diagnostics are always
+// emitted in stable (file, line, rule, message) order so CI diffs are
+// deterministic. Exit status is nonzero when any diagnostic survives
+// suppression and the filter. See tools/skylint/README.md.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -35,6 +41,7 @@ int main(int argc, char** argv) {
   std::string root = ".";
   std::string compile_commands;
   bool dump = false;
+  std::set<std::string> rule_filter;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; i++) {
@@ -45,14 +52,29 @@ int main(int argc, char** argv) {
       compile_commands = argv[++i];
     } else if (arg == "--dump") {
       dump = true;
+    } else if (arg == "--rule" && i + 1 < argc) {
+      rule_filter.insert(argv[++i]);
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      rule_filter.insert(arg.substr(7));
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: skylint [--root DIR] [--compile-commands FILE] [--dump] [files...]\n");
+      std::printf(
+          "usage: skylint [--root DIR] [--compile-commands FILE] [--dump] "
+          "[--rule NAME]... [files...]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "skylint: unknown option '%s'\n", arg.c_str());
       return 2;
     } else {
       files.push_back(arg);
+    }
+  }
+
+  // Reject unknown rule names up front: a typo'd --rule would otherwise
+  // filter every finding away and green-light CI.
+  for (const std::string& r : rule_filter) {
+    if (skylint::KnownRules().count(r) == 0) {
+      std::fprintf(stderr, "skylint: unknown rule '%s'\n", r.c_str());
+      return 2;
     }
   }
 
@@ -78,7 +100,14 @@ int main(int argc, char** argv) {
     analyzer.AddFile(skylint::Lex(f, text));
   }
 
-  const std::vector<skylint::Diagnostic> diags = analyzer.Run();
+  std::vector<skylint::Diagnostic> diags = analyzer.Run();
+  if (!rule_filter.empty()) {
+    std::vector<skylint::Diagnostic> kept;
+    for (auto& d : diags) {
+      if (rule_filter.count(d.rule) != 0) kept.push_back(std::move(d));
+    }
+    diags = std::move(kept);
+  }
   if (dump) analyzer.Dump();
   for (const auto& d : diags) {
     std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line, d.rule.c_str(), d.message.c_str());

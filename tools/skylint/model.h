@@ -18,12 +18,25 @@ struct Annotations {
   bool no_switch = false;    // SKYLOFT_NO_SWITCH
   bool signal_safe = false;  // SKYLOFT_SIGNAL_SAFE
   bool returns_tls = false;  // SKYLOFT_RETURNS_TLS
+  bool blocking = false;     // SKYLOFT_BLOCKING
+
+  // Lock classes from SKYLOFT_ACQUIRES/RELEASES/REQUIRES(l). The argument
+  // is a lock-class identifier, taken verbatim.
+  std::set<std::string> acquires;
+  std::set<std::string> releases;
+  std::set<std::string> requires_held;
+
+  bool HasLockAnnotation() const { return !acquires.empty() || !releases.empty(); }
 
   void Merge(const Annotations& o) {
     may_switch |= o.may_switch;
     no_switch |= o.no_switch;
     signal_safe |= o.signal_safe;
     returns_tls |= o.returns_tls;
+    blocking |= o.blocking;
+    acquires.insert(o.acquires.begin(), o.acquires.end());
+    releases.insert(o.releases.begin(), o.releases.end());
+    requires_held.insert(o.requires_held.begin(), o.requires_held.end());
   }
 };
 

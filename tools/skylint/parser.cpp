@@ -28,7 +28,13 @@ bool IsKeyword(const std::string& s) {
 
 bool IsAnnotation(const std::string& s) {
   return s == "SKYLOFT_MAY_SWITCH" || s == "SKYLOFT_NO_SWITCH" || s == "SKYLOFT_SIGNAL_SAFE" ||
-         s == "SKYLOFT_RETURNS_TLS";
+         s == "SKYLOFT_RETURNS_TLS" || s == "SKYLOFT_BLOCKING" || s == "SKYLOFT_ACQUIRES" ||
+         s == "SKYLOFT_RELEASES" || s == "SKYLOFT_REQUIRES";
+}
+
+// The annotations that take a lock-class argument list: SKYLOFT_ACQUIRES(l).
+bool IsLockAnnotation(const std::string& s) {
+  return s == "SKYLOFT_ACQUIRES" || s == "SKYLOFT_RELEASES" || s == "SKYLOFT_REQUIRES";
 }
 
 struct Scope {
@@ -123,6 +129,12 @@ class Parser {
     // GCC attribute syntax: `__attribute__((noinline)) T Name(...)`. Skip the
     // attribute so Name, not __attribute__, is taken as the declarator.
     if ((t.text == "__attribute__" || t.text == "__declspec") && Is(i + 1, "(")) {
+      return SkipBalanced(i + 1, '(', ')');
+    }
+    // Function-like annotation macros (SKYLOFT_ACQUIRES(l) etc.) would
+    // otherwise look like a declarator name followed by its parameter list;
+    // skip the argument group so the *next* identifier is tried instead.
+    if (t.kind == Tok::kIdent && IsLockAnnotation(t.text) && Is(i + 1, "(")) {
       return SkipBalanced(i + 1, '(', ')');
     }
     if (t.kind == Tok::kIdent && Is(i + 1, "(") && !IsKeyword(t.text) && t.text != "operator") {
@@ -298,7 +310,8 @@ class Parser {
   }
 
   // Annotation macros between the previous statement boundary and the start
-  // of the declarator name chain.
+  // of the declarator name chain. Lock-class arguments are read forward from
+  // the macro name: SKYLOFT_ACQUIRES(a, b) adds {a, b}.
   Annotations CollectAnnotations(std::size_t name_start) {
     Annotations ann;
     std::size_t k = name_start;
@@ -311,6 +324,15 @@ class Parser {
       if (s == "SKYLOFT_NO_SWITCH") ann.no_switch = true;
       if (s == "SKYLOFT_SIGNAL_SAFE") ann.signal_safe = true;
       if (s == "SKYLOFT_RETURNS_TLS") ann.returns_tls = true;
+      if (s == "SKYLOFT_BLOCKING") ann.blocking = true;
+      if (IsLockAnnotation(s) && Is(k + 1, "(")) {
+        std::set<std::string>* into = s == "SKYLOFT_ACQUIRES"   ? &ann.acquires
+                                      : s == "SKYLOFT_RELEASES" ? &ann.releases
+                                                                : &ann.requires_held;
+        for (std::size_t a = k + 2; !AtEof(a) && !Is(a, ")") && a < k + 16; a++) {
+          if (T(a).kind == Tok::kIdent) into->insert(T(a).text);
+        }
+      }
     }
     return ann;
   }
