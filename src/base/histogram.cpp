@@ -29,6 +29,15 @@ std::int64_t LatencyHistogram::BucketUpperBound(int index) {
   return (static_cast<std::int64_t>(sub) + 1) << range;
 }
 
+std::int64_t LatencyHistogram::BucketLowerBound(int index) {
+  const int range = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  if (range == 0) {
+    return sub;
+  }
+  return static_cast<std::int64_t>(sub) << range;
+}
+
 void LatencyHistogram::Record(std::int64_t value) {
   if (value < 0) {
     value = 0;
@@ -100,6 +109,62 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
   }
   count_ += other.count_;
   sum_ += other.sum_;
+}
+
+LatencyHistogram LatencyHistogram::DeltaSince(const LatencyHistogram& baseline) const {
+  SKYLOFT_CHECK(buckets_.size() == baseline.buckets_.size());
+  LatencyHistogram delta;
+  // `prefix` tracks whether `baseline` is a strict prefix of this histogram
+  // (no Reset() between the snapshots); only then do cumulative extremes and
+  // the cumulative sum bound the window.
+  bool prefix = count_ >= baseline.count_ && sum_ >= baseline.sum_;
+  int first = -1;
+  int last = -1;
+  for (std::size_t i = 0; i < buckets_.size(); i++) {
+    const std::uint64_t cur = buckets_[i];
+    const std::uint64_t base = baseline.buckets_[i];
+    if (cur < base) {
+      // A Reset() ran between the snapshots; saturate at zero rather than
+      // wrapping. The window under-reports once and the caller's next
+      // baseline copy self-corrects.
+      prefix = false;
+      continue;
+    }
+    const std::uint64_t d = cur - base;
+    if (d == 0) {
+      continue;
+    }
+    delta.buckets_[i] = d;
+    delta.count_ += d;
+    if (first < 0) {
+      first = static_cast<int>(i);
+    }
+    last = static_cast<int>(i);
+  }
+  if (delta.count_ == 0) {
+    // Empty window: a defined empty histogram (Percentile() -> kEmptySentinel,
+    // Mean() -> 0). No division or bucket scan happens on this path.
+    return delta;
+  }
+  delta.min_ = BucketLowerBound(first);
+  delta.max_ = BucketUpperBound(last);
+  if (prefix) {
+    // Every window sample is also a cumulative sample, so the cumulative
+    // extremes bracket the window's.
+    delta.min_ = std::max(delta.min_, Min());
+    delta.max_ = std::min(delta.max_, Max());
+    delta.sum_ = sum_ - baseline.sum_;
+  } else {
+    for (std::size_t i = 0; i < delta.buckets_.size(); i++) {
+      if (delta.buckets_[i] == 0) {
+        continue;
+      }
+      const std::int64_t rep =
+          std::clamp(BucketUpperBound(static_cast<int>(i)), delta.min_, delta.max_);
+      delta.sum_ += static_cast<double>(delta.buckets_[i]) * static_cast<double>(rep);
+    }
+  }
+  return delta;
 }
 
 }  // namespace skyloft

@@ -22,11 +22,17 @@ class LatencyHistogram {
   // Records one sample. Negative samples are clamped to zero.
   void Record(std::int64_t value);
 
-  // Value at quantile q in [0, 1]; returns 0 when empty. The returned value
-  // is the upper bound of the bucket containing the quantile (within 1/64
-  // above the true sample), clamped to the tracked [min, max]; q = 0 returns
-  // Min() exactly and q = 1 returns Max() exactly.
+  // Value at quantile q in [0, 1]; returns kEmptySentinel (0) when empty —
+  // never divides or scans in that case. The returned value is the upper
+  // bound of the bucket containing the quantile (within 1/64 above the true
+  // sample), clamped to the tracked [min, max]; q = 0 returns Min() exactly
+  // and q = 1 returns Max() exactly.
   std::int64_t Percentile(double q) const;
+
+  // Defined result of Percentile()/Min()/Max() on an empty histogram (or an
+  // empty interval window). Callers that must distinguish "no samples" from
+  // "a zero-valued sample" check Count() == 0, not the sentinel.
+  static constexpr std::int64_t kEmptySentinel = 0;
 
   std::int64_t Min() const { return count_ == 0 ? 0 : min_; }
   std::int64_t Max() const { return count_ == 0 ? 0 : max_; }
@@ -38,6 +44,23 @@ class LatencyHistogram {
   // Merges another histogram into this one.
   void Merge(const LatencyHistogram& other);
 
+  // Interval snapshot: the samples recorded here since `baseline` (an earlier
+  // copy of this histogram) as a standalone histogram. Cumulative histograms
+  // are useless for feedback control — a window that misbehaved for 100 ms is
+  // invisible behind hours of good samples — so controllers keep a baseline
+  // copy and diff against it each poll.
+  //
+  // Computed by bucket-wise *saturating* subtraction: a Reset() between the
+  // two snapshots yields a short (never negative) window instead of garbage,
+  // and the next poll's fresh baseline self-corrects. Window min/max are
+  // reconstructed from the outermost occupied delta buckets (exact below 128,
+  // within one bucket otherwise), tightened by the cumulative extremes when no
+  // Reset() intervened; the sum (hence Mean) is exact in that same case and
+  // bucket-approximated otherwise. An empty window is a valid empty
+  // histogram: Count() == 0 and Percentile() returns kEmptySentinel — callers
+  // polling faster than samples arrive must check Count() before trusting it.
+  LatencyHistogram DeltaSince(const LatencyHistogram& baseline) const;
+
  private:
   static constexpr int kSubBucketBits = 7;  // 128 sub-buckets: <=1/64 relative error
   static constexpr int kSubBuckets = 1 << kSubBucketBits;
@@ -45,6 +68,7 @@ class LatencyHistogram {
 
   static int BucketIndex(std::int64_t value);
   static std::int64_t BucketUpperBound(int index);
+  static std::int64_t BucketLowerBound(int index);
 
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;

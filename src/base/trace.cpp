@@ -27,6 +27,8 @@ const char* TraceEventName(TraceEventType type) {
       return "preempt_signal";
     case TraceEventType::kDeferred:
       return "preempt_deferred";
+    case TraceEventType::kQuantumSet:
+      return "quantum_set";
   }
   return "?";
 }
@@ -66,6 +68,18 @@ const char* TraceEventToJson(const TraceEvent& event, char* buf, std::size_t len
   // Chrome-trace timestamps are microseconds; emit 3 decimals to keep ns
   // resolution so sub-µs scheduling events stay distinct.
   const double ts_us = static_cast<double>(event.when) / 1000.0;
+  if (event.type == TraceEventType::kQuantumSet) {
+    // Counter event: Perfetto plots args values as a counter track keyed on
+    // (pid, name), so quantum-vs-time is directly visible in the UI. The
+    // task_id field carries the new quantum in ns (0 = preemption disabled).
+    const double quantum_us = static_cast<double>(event.task_id) / 1000.0;
+    std::snprintf(buf, len,
+                  "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,"
+                  "\"pid\":%d,\"tid\":%d,\"args\":{\"quantum_us\":%.3f}}",
+                  TraceEventName(event.type), ts_us, event.app_id, event.worker,
+                  quantum_us);
+    return buf;
+  }
   if (event.dur >= 0) {
     const double dur_us = static_cast<double>(event.dur) / 1000.0;
     std::snprintf(buf, len,

@@ -38,6 +38,9 @@ enum class TraceEventType : std::uint8_t {
   kFaultStall,  // core stalled on a fault, start..resolution (span)
   kSignal,      // host preemption signal accepted at a safe point (instant)
   kDeferred,    // host preemption signal deferred at an unsafe PC (instant)
+  kQuantumSet,  // preemption quantum retuned; task_id carries the new quantum
+                // in ns. Rendered as a Perfetto counter event ("ph":"C") so
+                // quantum-vs-time plots as a counter track per worker.
 };
 
 const char* TraceEventName(TraceEventType type);

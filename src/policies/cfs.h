@@ -26,7 +26,8 @@ struct CfsParams {
 
 class CfsPolicy : public SchedPolicy {
  public:
-  explicit CfsPolicy(CfsParams params) : params_(params) {}
+  explicit CfsPolicy(CfsParams params)
+      : params_(params), quantum_(params.min_granularity, INT64_MAX) {}
 
   SKYLOFT_NO_SWITCH void SchedInit(EngineView* view) override;
   SKYLOFT_NO_SWITCH void TaskInit(SchedItem* task) override;
@@ -36,6 +37,17 @@ class CfsPolicy : public SchedPolicy {
   SKYLOFT_NO_SWITCH void SchedBalance(int worker) override;
   SKYLOFT_NO_SWITCH std::size_t QueuedTasks() const override { return queued_; }
   const char* Name() const override { return "skyloft-cfs"; }
+
+  // An explicit SetQuantum pins the slice for that worker, bypassing the
+  // sched_latency / nr_runnable formula (the controller wants a direct knob,
+  // not one diluted by queue depth); before any SetQuantum the quantum
+  // reported is the min_granularity floor and the formula governs.
+  SKYLOFT_NO_SWITCH void SetQuantum(DurationNs quantum_ns, int worker) override {
+    quantum_.Set(quantum_ns, worker);
+  }
+  SKYLOFT_NO_SWITCH DurationNs QuantumFor(int worker) const override {
+    return quantum_.For(worker);
+  }
 
  private:
   struct CfsData {
@@ -53,9 +65,10 @@ class CfsPolicy : public SchedPolicy {
   };
 
   Runqueue& rq(int worker) { return queues_[static_cast<std::size_t>(worker)]; }
-  DurationNs SliceFor(const Runqueue& queue) const;
+  DurationNs SliceFor(int worker, const Runqueue& queue) const;
 
   CfsParams params_;
+  QuantumTable quantum_;
   std::vector<Runqueue> queues_;
   std::size_t queued_ = 0;
   int next_queue_ = 0;

@@ -26,7 +26,13 @@ struct EevdfParams {
 
 class EevdfPolicy : public SchedPolicy {
  public:
-  explicit EevdfPolicy(EevdfParams params) : params_(params) {}
+  // "Infinite" slice sentinel: huge at scheduling timescales (~13 days) but
+  // small enough that vruntime + slice can never overflow a signed 64-bit
+  // deadline (vruntime grows with accumulated CPU time).
+  static constexpr DurationNs kInfiniteSliceEevdf = DurationNs{1} << 50;
+
+  explicit EevdfPolicy(EevdfParams params)
+      : params_(params), slice_(params.base_slice, kInfiniteSliceEevdf) {}
 
   SKYLOFT_NO_SWITCH void SchedInit(EngineView* view) override;
   SKYLOFT_NO_SWITCH void TaskInit(SchedItem* task) override;
@@ -39,6 +45,15 @@ class EevdfPolicy : public SchedPolicy {
 
   // Exposed for invariant tests: the lag of `task` relative to its queue.
   DurationNs LagOf(SchedItem* task, int worker) const;
+
+  // Live base-slice control: affects future deadlines (join, slice refresh,
+  // migration); deadlines already granted are honored at their old length.
+  SKYLOFT_NO_SWITCH void SetQuantum(DurationNs quantum_ns, int worker) override {
+    slice_.Set(quantum_ns, worker);
+  }
+  SKYLOFT_NO_SWITCH DurationNs QuantumFor(int worker) const override {
+    return slice_.For(worker);
+  }
 
  private:
   struct EevdfData {
@@ -54,6 +69,7 @@ class EevdfPolicy : public SchedPolicy {
   Runqueue& rq(int worker) { return queues_[static_cast<std::size_t>(worker)]; }
 
   EevdfParams params_;
+  QuantumTable slice_;
   std::vector<Runqueue> queues_;
   std::size_t queued_ = 0;
   int next_queue_ = 0;

@@ -34,12 +34,13 @@ SchedItem* RoundRobinPolicy::TaskDequeue(int worker) {
 }
 
 bool RoundRobinPolicy::SchedTimerTick(int worker, SchedItem* current, DurationNs ran_ns) {
-  if (current == nullptr || time_slice_ == kInfiniteSlice) {
+  const DurationNs slice = time_slice_.For(worker);
+  if (current == nullptr || slice == kInfiniteSlice) {
     return false;
   }
   RrData* data = current->PolicyData<RrData>();
   data->slice_used += ran_ns;
-  if (data->slice_used < time_slice_) {
+  if (data->slice_used < slice) {
     return false;
   }
   // Only round-robin when someone is actually waiting on this queue.

@@ -34,12 +34,13 @@ SchedItem* WorkStealingPolicy::TaskDequeue(int worker) {
 }
 
 bool WorkStealingPolicy::SchedTimerTick(int worker, SchedItem* current, DurationNs ran_ns) {
-  if (current == nullptr || params_.quantum == kInfiniteSliceWs) {
+  const DurationNs quantum = quantum_.For(worker);
+  if (current == nullptr || quantum == kInfiniteSliceWs) {
     return false;
   }
   WsData* data = current->PolicyData<WsData>();
   data->ran += ran_ns;
-  if (data->ran < params_.quantum) {
+  if (data->ran < quantum) {
     return false;
   }
   // Preempt only when runnable work is waiting somewhere: preempting onto an

@@ -31,7 +31,9 @@ inline constexpr DurationNs kInfiniteSliceWs = INT64_MAX;
 class WorkStealingPolicy : public SchedPolicy {
  public:
   explicit WorkStealingPolicy(WorkStealingParams params)
-      : params_(params), rng_(params.steal_seed) {}
+      : params_(params),
+        rng_(params.steal_seed),
+        quantum_(params.quantum, kInfiniteSliceWs) {}
 
   SKYLOFT_NO_SWITCH void SchedInit(EngineView* view) override;
   SKYLOFT_NO_SWITCH void TaskInit(SchedItem* task) override;
@@ -47,7 +49,17 @@ class WorkStealingPolicy : public SchedPolicy {
   // above (the sim engines still drive them).
   SKYLOFT_NO_SWITCH bool SupportsLockFree() const override { return true; }
   SKYLOFT_NO_SWITCH DurationNs LockFreeQuantumNs() const override {
-    return params_.quantum == kInfiniteSliceWs ? 0 : params_.quantum;
+    const DurationNs q = quantum_.For(kAllWorkers);
+    return q == kInfiniteSliceWs ? 0 : q;
+  }
+
+  // Live quantum control (sim engines and the shard-mutex host driver; under
+  // the lock-free driver HostSched holds the authoritative per-worker copy).
+  SKYLOFT_NO_SWITCH void SetQuantum(DurationNs quantum_ns, int worker) override {
+    quantum_.Set(quantum_ns, worker);
+  }
+  SKYLOFT_NO_SWITCH DurationNs QuantumFor(int worker) const override {
+    return quantum_.For(worker);
   }
 
   std::uint64_t steals() const { return steals_; }
@@ -59,6 +71,7 @@ class WorkStealingPolicy : public SchedPolicy {
 
   WorkStealingParams params_;
   Rng rng_;
+  QuantumTable quantum_;
   std::vector<IntrusiveList<SchedItem>> queues_;
   std::size_t queued_ = 0;
   std::uint64_t steals_ = 0;

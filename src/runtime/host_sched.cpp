@@ -1,5 +1,6 @@
 #include "src/runtime/host_sched.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "src/base/logging.h"
@@ -28,10 +29,24 @@ std::unique_ptr<SchedPolicy> MakeHostPolicy(RuntimePolicy policy, std::int64_t t
     case RuntimePolicy::kRoundRobin:
       return std::make_unique<RoundRobinPolicy>(
           time_slice_us > 0 ? Micros(time_slice_us) : Micros(12) + 500);
-    case RuntimePolicy::kCfs:
-      return std::make_unique<CfsPolicy>(CfsParams{});
-    case RuntimePolicy::kEevdf:
-      return std::make_unique<EevdfPolicy>(EevdfParams{});
+    case RuntimePolicy::kCfs: {
+      CfsParams params;
+      if (time_slice_us > 0) {
+        // The override sets the slice floor; widen sched_latency when the
+        // requested granularity would otherwise exceed it, so the dynamic
+        // slice actually lengthens instead of saturating at the old latency.
+        params.min_granularity = Micros(time_slice_us);
+        params.sched_latency = std::max(params.sched_latency, 4 * params.min_granularity);
+      }
+      return std::make_unique<CfsPolicy>(params);
+    }
+    case RuntimePolicy::kEevdf: {
+      EevdfParams params;
+      if (time_slice_us > 0) {
+        params.base_slice = Micros(time_slice_us);
+      }
+      return std::make_unique<EevdfPolicy>(params);
+    }
     case RuntimePolicy::kWorkStealing:
       break;
   }
@@ -81,10 +96,15 @@ struct HostSched::Shard : EngineView {
 // the deque's top. Cache-line aligned so neighbor workers' queues never
 // share a line.
 struct alignas(kCacheLineSize) HostSched::LfWorker {
-  explicit LfWorker(std::uint64_t seed) : rng(seed) {}
+  explicit LfWorker(std::uint64_t seed, DurationNs quantum_ns) : rng(seed), quantum(quantum_ns) {}
   WsDeque<SchedItem> deque;
   MpscQueue<SchedItem> mailbox;
   Rng rng;  // victim-probe start, owner-only
+  // Preemption quantum the lock-free Tick path enforces for this worker;
+  // 0 disables tick preemption. Written by SetQuantum (any thread), reread
+  // relaxed on every tick — a tick racing an update sees either quantum,
+  // both of which were valid moments ago.
+  std::atomic<DurationNs> quantum;
 };
 
 HostSched::HostSched(int workers, const HostSchedOptions& options)
@@ -110,11 +130,11 @@ HostSched::HostSched(int workers, const HostSchedOptions& options)
     lock_free_ = true;
     lf_policy_ = selected;
     lf_owned_ = std::move(owned);
-    lf_quantum_ = selected->LockFreeQuantumNs();
+    const DurationNs quantum = selected->LockFreeQuantumNs();
     lf_.reserve(static_cast<std::size_t>(workers_));
     for (int w = 0; w < workers_; w++) {
       lf_.push_back(std::make_unique<LfWorker>(
-          0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(w + 1) + 1));
+          0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(w + 1) + 1, quantum));
     }
     return;
   }
@@ -426,15 +446,18 @@ bool HostSched::Tick(int worker, SchedItem* current, DurationNs ran_ns) {
     // work is waiting somewhere (own queues first — O(1) — then a relaxed
     // scan of the other workers' queues, matching the mutex work-stealing
     // policy's queued_ > 0 test).
-    if (current == nullptr || lf_quantum_ == 0) {
+    const LfWorker& me = *lf_[static_cast<std::size_t>(worker)];
+    // Reread per tick, not latched at driver selection: the quantum
+    // controller retunes it live.
+    const DurationNs quantum = me.quantum.load(std::memory_order_relaxed);
+    if (current == nullptr || quantum == 0) {
       return false;
     }
     LfRunData* data = current->PolicyData<LfRunData>();
     data->ran += ran_ns;
-    if (data->ran < lf_quantum_) {
+    if (data->ran < quantum) {
       return false;
     }
-    const LfWorker& me = *lf_[static_cast<std::size_t>(worker)];
     if (me.deque.SizeApprox() > 0 || !me.mailbox.EmptyApprox()) {
       return true;
     }
@@ -520,6 +543,48 @@ std::size_t HostSched::Queued() const {
     total += shard->policy->QueuedTasks();
   }
   return total;
+}
+
+void HostSched::SetQuantum(DurationNs quantum_ns, int worker) {
+  if (lock_free_) {
+    // Normalize to the lock-free driver's convention: 0 disables tick
+    // preemption (both "<= 0" and the policies' INT64_MAX-style infinite
+    // sentinel mean "never preempt on a tick").
+    DurationNs q = quantum_ns;
+    if (q <= 0 || q == INT64_MAX) {
+      q = 0;
+    }
+    if (worker >= 0 && worker < workers_) {
+      lf_[static_cast<std::size_t>(worker)]->quantum.store(q, std::memory_order_relaxed);
+    } else {
+      for (int w = 0; w < workers_; w++) {
+        lf_[static_cast<std::size_t>(w)]->quantum.store(q, std::memory_order_relaxed);
+      }
+    }
+    return;
+  }
+  if (worker >= 0 && worker < workers_) {
+    Shard* shard = ShardOf(worker);
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->policy->SetQuantum(quantum_ns, worker - shard->base);
+    return;
+  }
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->policy->SetQuantum(quantum_ns, SchedPolicy::kAllWorkers);
+  }
+}
+
+DurationNs HostSched::QuantumFor(int worker) const {
+  if (worker < 0 || worker >= workers_) {
+    worker = 0;
+  }
+  if (lock_free_) {
+    return lf_[static_cast<std::size_t>(worker)]->quantum.load(std::memory_order_relaxed);
+  }
+  Shard* shard = ShardOf(worker);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  return shard->policy->QuantumFor(worker - shard->base);
 }
 
 const char* HostSched::PolicyName() const {

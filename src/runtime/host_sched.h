@@ -106,6 +106,16 @@ class HostSched {
   // sched_timer_tick for `worker`; true => preempt `current`.
   SKYLOFT_NO_SWITCH bool Tick(int worker, SchedItem* current, DurationNs ran_ns);
 
+  // Live quantum control (the adaptive controller's fast knob). Callable from
+  // any thread: the lock-free driver stores per-worker atomics that Tick
+  // rereads every invocation; the shard-mutex driver forwards to the policy
+  // under the owning shard's lock. `worker` < 0 targets all workers;
+  // `quantum_ns` <= 0 (or INT64_MAX) disables tick preemption.
+  SKYLOFT_NO_SWITCH void SetQuantum(DurationNs quantum_ns, int worker);
+  // The quantum in force for `worker` (lock-free driver: 0 == disabled;
+  // shard-mutex driver: the policy's own reporting convention).
+  SKYLOFT_NO_SWITCH DurationNs QuantumFor(int worker) const;
+
   // Placement target for submissions that originate off-runtime (external
   // Unpark, Run()'s main thread): first idle worker (one bitmap word scan),
   // else the worker with the (approximately) shortest queue.
@@ -149,7 +159,8 @@ class HostSched {
   std::vector<std::unique_ptr<LfWorker>> lf_;
   SchedPolicy* lf_policy_ = nullptr;  // name + quantum only; Table 2 unused
   std::unique_ptr<SchedPolicy> lf_owned_;
-  DurationNs lf_quantum_ = 0;  // 0 = no tick preemption
+  // The per-worker lock-free quantum lives in LfWorker::quantum (atomic,
+  // reread on every Tick) so SetQuantum takes effect mid-run.
 
   // Worker state the policies read through EngineView and ExternalTarget
   // reads for placement. approx_len_ tracks per-worker enqueue/dequeue

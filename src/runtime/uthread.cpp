@@ -13,6 +13,7 @@
 
 #include "src/base/logging.h"
 #include "src/runtime/context.h"
+#include "src/runtime/quantum_controller.h"
 
 // ThreadSanitizer cannot follow hand-rolled stack switches on its own: every
 // uthread stack is announced as a TSan "fiber" and each skyloft_ctx_switch
@@ -254,6 +255,8 @@ UThreadExtra* ExtraOf(UThread* t) { return reinterpret_cast<UThreadExtra*>(t + 1
 Runtime::Runtime(RuntimeOptions options) : options_(options) {
   SKYLOFT_CHECK(options_.workers >= 1);
   SKYLOFT_CHECK(options_.stack_size >= 4096);
+  preempt_period_us_.store(options_.preempt_period_us > 0 ? options_.preempt_period_us : 0,
+                           std::memory_order_relaxed);
   sched_ = std::make_unique<HostSched>(options_.workers, options_.sched);
   preemptions_ = metrics_.AddCounter("preemptions");
   preempt_deferrals_ = metrics_.AddCounter("preempt_deferrals");
@@ -375,11 +378,20 @@ void Runtime::Run(std::function<void()> main_fn) {
   // the preemption signal to every worker each period — the host stand-in
   // for per-core user timer interrupts. The signal only enters the
   // scheduler; the policy's sched_timer_tick decides whether to preempt.
+  //
+  // The loop tracks an ABSOLUTE deadline, not a relative sleep: the signal
+  // fan-out plus sleeper wakeups cost a variable amount per round, and a
+  // relative sleep_for would add that cost to every period — the delivered
+  // tick rate used to drift well below the configured one. The period is
+  // reread each round so SetPreemptPeriodUs retunes the running timer.
   std::thread timer_thread([this] {
-    const auto tick = std::chrono::microseconds(
-        options_.preempt_period_us > 0 ? options_.preempt_period_us : 100);
+    auto next = std::chrono::steady_clock::now();
+    auto next_controller_poll = next;
     while (!stopping_.load(std::memory_order_relaxed)) {
-      if (options_.preempt_period_us > 0) {
+      const std::int64_t period_us = preempt_period_us_.load(std::memory_order_relaxed);
+      // The handler is only installed when the runtime started with
+      // preemption on; a live period of 0 pauses delivery.
+      if (options_.preempt_period_us > 0 && period_us > 0) {
         for (auto& worker : workers_) {
           if (worker->handle_valid.load(std::memory_order_acquire)) {
             pthread_kill(worker->pthread_handle, kPreemptSignal);
@@ -400,8 +412,24 @@ void Runtime::Run(std::function<void()> main_fn) {
       for (UThread* t : due) {
         Unpark(t);
       }
+      // Slow-path quantum-controller poll: runs on this housekeeping thread
+      // (never a worker, never a signal handler), so allocation is fine.
+      if (options_.quantum_controller != nullptr && now >= next_controller_poll) {
+        options_.quantum_controller->Poll(MonotonicNs());
+        next_controller_poll =
+            now + std::chrono::microseconds(
+                      options_.quantum_poll_us > 0 ? options_.quantum_poll_us : 5000);
+      }
+      next += std::chrono::microseconds(period_us > 0 ? period_us : 100);
+      const auto after = std::chrono::steady_clock::now();
+      if (next <= after) {
+        // Overran the period (heavy fan-out round, scheduler hiccup, or the
+        // period was just shortened): re-base to now rather than burst-firing
+        // a catch-up train of signals.
+        next = after + std::chrono::microseconds(period_us > 0 ? period_us : 100);
+      }
       // skylint:allow(blocking-call-on-worker) -- timer lambda runs on its own dedicated std::thread, not a runtime worker; sleeping is its job
-      std::this_thread::sleep_for(tick);
+      std::this_thread::sleep_until(next);
     }
   });
 

@@ -84,6 +84,12 @@ struct RuntimeOptions {
   // Records assignments, occupancy spans, preemptions, and — from inside the
   // signal handler — preemption-signal delivery/deferral instants.
   SchedTracer* tracer = nullptr;
+  // Optional adaptive quantum controller (not owned; must outlive Run()).
+  // Polled from the housekeeping/timer thread every quantum_poll_us — a slow
+  // path off the workers. The caller builds its hooks (typically
+  // Runtime::SetQuantum + Runtime::SetPreemptPeriodUs) before Run().
+  class QuantumController* quantum_controller = nullptr;
+  std::int64_t quantum_poll_us = 5000;
 };
 
 class Runtime {
@@ -125,6 +131,28 @@ class Runtime {
    private:
     std::atomic<int>* counter_ = nullptr;
   };
+
+  // ---- Live preemption tuning (any thread; the quantum controller's knobs) ----
+
+  // Forwards to HostSched::SetQuantum: per-worker (or all-worker) preemption
+  // quantum, effective from the next tick that consults it.
+  SKYLOFT_NO_SWITCH void SetQuantum(DurationNs quantum_ns,
+                                    int worker = SchedPolicy::kAllWorkers) {
+    sched_->SetQuantum(quantum_ns, worker);
+  }
+  SKYLOFT_NO_SWITCH DurationNs QuantumFor(int worker) const {
+    return sched_->QuantumFor(worker);
+  }
+
+  // Retunes the preemption-timer period. Only meaningful when the runtime was
+  // constructed with preempt_period_us > 0 (the signal handler is installed
+  // once, at Run()); <= 0 pauses signal delivery until set positive again.
+  void SetPreemptPeriodUs(std::int64_t period_us) {
+    preempt_period_us_.store(period_us > 0 ? period_us : 0, std::memory_order_relaxed);
+  }
+  std::int64_t preempt_period_us() const {
+    return preempt_period_us_.load(std::memory_order_relaxed);
+  }
 
   std::uint64_t preemptions() const { return preemptions_->Value(); }
   // Timer signals that landed while the interrupted PC was outside the main
@@ -168,6 +196,9 @@ class Runtime {
   SKYLOFT_SIGNAL_SAFE static void PreemptSignalHandler(int signo, siginfo_t* info, void* uctx);
 
   RuntimeOptions options_;
+  // Live preemption-timer period; seeded from options_.preempt_period_us and
+  // retuned by SetPreemptPeriodUs while the timer thread runs.
+  std::atomic<std::int64_t> preempt_period_us_{0};
   std::unique_ptr<HostSched> sched_;
   std::vector<std::unique_ptr<RuntimeWorker>> workers_;
   std::vector<std::unique_ptr<IoEngine>> engines_;  // one per worker when enabled

@@ -16,6 +16,7 @@
 #define SRC_SCHED_POLICY_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "src/base/compiler.h"
 #include "src/base/time.h"
@@ -91,6 +92,25 @@ class SchedPolicy {
   // tick preemption. Only consulted when SupportsLockFree() is true.
   SKYLOFT_NO_SWITCH virtual DurationNs LockFreeQuantumNs() const { return 0; }
 
+  // ---- Dynamic quantum control ----
+  //
+  // Worker argument meaning "every worker" for SetQuantum/QuantumFor.
+  static constexpr int kAllWorkers = -1;
+
+  // Updates the policy's preemption quantum (time slice / granularity) for
+  // `worker`, or for all workers when kAllWorkers. Drivers call this under
+  // the same serialization as the Table 2 methods (shard lock on the host,
+  // event loop in the sim), so implementations may use plain fields; the
+  // change takes effect from the next tick/enqueue that consults it —
+  // in-flight slices are not re-evaluated retroactively. `quantum_ns` <= 0
+  // means "infinite" (disable tick preemption). The default ignores the
+  // request, for policies with no quantum notion (e.g. FIFO).
+  SKYLOFT_NO_SWITCH virtual void SetQuantum(DurationNs quantum_ns, int worker) {}
+
+  // The quantum currently in force for `worker` (same units/sentinel rules as
+  // SetQuantum); 0 when the policy has no quantum notion.
+  SKYLOFT_NO_SWITCH virtual DurationNs QuantumFor(int worker) const { return 0; }
+
   // Number of runnable tasks currently queued (all queues). Used by engines
   // for work-conservation checks and by core allocators for congestion.
   SKYLOFT_NO_SWITCH virtual std::size_t QueuedTasks() const = 0;
@@ -99,6 +119,61 @@ class SchedPolicy {
 
  protected:
   EngineView* view_ = nullptr;
+};
+
+// Per-worker quantum table backing the built-in policies' SetQuantum /
+// QuantumFor implementations: a global value plus sparse per-worker
+// overrides, normalized so requests <= 0 become the policy's "infinite"
+// sentinel. Grows on demand so it works even when SchedInit was never called
+// (the host's lock-free driver bypasses it). Callers serialize access the
+// same way they serialize the Table 2 methods.
+class QuantumTable {
+ public:
+  QuantumTable(DurationNs global, DurationNs infinite)
+      : infinite_(infinite), global_(Normalize(global)) {}
+
+  SKYLOFT_NO_SWITCH void Set(DurationNs quantum_ns, int worker) {
+    const DurationNs q = Normalize(quantum_ns);
+    if (worker < 0) {
+      global_ = q;
+      global_explicit_ = true;
+      overrides_.clear();
+      return;
+    }
+    if (static_cast<std::size_t>(worker) >= overrides_.size()) {
+      overrides_.resize(static_cast<std::size_t>(worker) + 1, kUnset);
+    }
+    overrides_[static_cast<std::size_t>(worker)] = q;
+  }
+
+  SKYLOFT_NO_SWITCH DurationNs For(int worker) const {
+    if (worker >= 0 && static_cast<std::size_t>(worker) < overrides_.size() &&
+        overrides_[static_cast<std::size_t>(worker)] != kUnset) {
+      return overrides_[static_cast<std::size_t>(worker)];
+    }
+    return global_;
+  }
+
+  // True when SetQuantum has explicitly pinned a value for `worker` (either
+  // per-worker or globally). Policies whose default slice is computed (CFS's
+  // sched_latency / nr_runnable) bypass the formula only in that case.
+  SKYLOFT_NO_SWITCH bool IsExplicit(int worker) const {
+    if (worker >= 0 && static_cast<std::size_t>(worker) < overrides_.size() &&
+        overrides_[static_cast<std::size_t>(worker)] != kUnset) {
+      return true;
+    }
+    return global_explicit_;
+  }
+
+ private:
+  static constexpr DurationNs kUnset = -1;
+
+  DurationNs Normalize(DurationNs q) const { return q <= 0 ? infinite_ : q; }
+
+  DurationNs infinite_;
+  DurationNs global_;
+  bool global_explicit_ = false;
+  std::vector<DurationNs> overrides_;
 };
 
 }  // namespace skyloft

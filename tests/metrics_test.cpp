@@ -307,5 +307,83 @@ TEST(EngineStatsMergeTest, MergeMatchesConcatenatedSamplesReference) {
                    5000.0 * 1e9 / static_cast<double>(kSecond - Micros(10)));
 }
 
+// ---- Interval snapshots (LatencyHistogram::DeltaSince, ISSUE 9) ----
+//
+// The quantum controller polls faster than samples arrive at low load, so
+// empty windows and Reset()s mid-flight must produce defined results, and a
+// non-empty window must look like a fresh histogram of just the new samples.
+
+TEST(IntervalSnapshotTest, EmptyHistogramAndEmptyWindowAreDefined) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), LatencyHistogram::kEmptySentinel);
+  EXPECT_EQ(h.Percentile(0.999), LatencyHistogram::kEmptySentinel);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+
+  h.Record(42);
+  // Baseline == current: a window with no new samples, even though the
+  // cumulative histogram is non-empty.
+  const LatencyHistogram window = h.DeltaSince(h);
+  EXPECT_EQ(window.Count(), 0u);
+  EXPECT_EQ(window.Percentile(0.99), LatencyHistogram::kEmptySentinel);
+  EXPECT_EQ(window.Min(), 0);
+  EXPECT_EQ(window.Max(), 0);
+  EXPECT_DOUBLE_EQ(window.Mean(), 0.0);
+}
+
+TEST(IntervalSnapshotTest, WindowMatchesFreshHistogramOfNewSamples) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 20; trial++) {
+    LatencyHistogram h;
+    const int pre = static_cast<int>(rng.NextBelow(2000));
+    for (int i = 0; i < pre; i++) {
+      h.Record(static_cast<std::int64_t>(1 + rng.NextBelow(10'000'000)));
+    }
+    const LatencyHistogram baseline = h;
+    LatencyHistogram reference;
+    const int fresh = static_cast<int>(1 + rng.NextBelow(3000));
+    for (int i = 0; i < fresh; i++) {
+      const auto v = static_cast<std::int64_t>(1 + rng.NextBelow(10'000'000));
+      h.Record(v);
+      reference.Record(v);
+    }
+    const LatencyHistogram window = h.DeltaSince(baseline);
+    ASSERT_EQ(window.Count(), reference.Count()) << "trial " << trial;
+    // Bucket counts in the delta are exact, so bucket-bound percentiles
+    // agree with a fresh histogram except at the edges, where the window's
+    // min/max are reconstructed from bucket bounds (within one bucket,
+    // <= 1/64 relative) rather than tracked exactly.
+    for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+      const double a = static_cast<double>(window.Percentile(q));
+      const double b = static_cast<double>(reference.Percentile(q));
+      EXPECT_NEAR(a, b, 0.03 * b + 1.0) << "trial " << trial << " q=" << q;
+    }
+  }
+}
+
+TEST(IntervalSnapshotTest, ResetBetweenSnapshotsSaturatesToShortWindow) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; i++) {
+    h.Record(1000 + i);
+  }
+  const LatencyHistogram baseline = h;
+  h.Reset();
+  for (int i = 0; i < 5; i++) {
+    h.Record(500);
+  }
+  // Bucket-wise saturating subtraction: the window can undercount (new
+  // samples landing in buckets the baseline already occupied vanish) but
+  // must never underflow into a huge bogus count or a negative value.
+  const LatencyHistogram window = h.DeltaSince(baseline);
+  EXPECT_LE(window.Count(), 5u);
+  EXPECT_GE(window.Min(), 0);
+  EXPECT_GE(window.Max(), window.Min());
+  // Reconstructed from bucket bounds (a Reset intervened, so the exact
+  // cumulative extremes cannot tighten it): within 1/64 above the true max.
+  EXPECT_LE(window.Percentile(0.99), h.Max() + h.Max() / 64 + 1);
+}
+
 }  // namespace
 }  // namespace skyloft

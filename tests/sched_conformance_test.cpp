@@ -13,6 +13,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -357,6 +359,135 @@ TEST(HostDriverSelectionTest, ForceLockedPinsMutexDriverAndStillConforms) {
   for (int i = 0; i < kThreads; i++) {
     EXPECT_EQ(slots[i].load(), 2) << "uthread " << i << " lost or run twice";
   }
+}
+
+// ---- Quantum plumbing (ISSUE 9) ----
+
+// Regression: HostSchedOptions::time_slice_us was silently dropped for CFS
+// and EEVDF — MakeHostPolicy built CfsParams{}/EevdfParams{} and ignored the
+// override, despite the host_sched.h contract. Every built-in policy that
+// has a slice must report the override through QuantumFor. (FIFO is exempt:
+// it is RR with an infinite slice by definition.)
+TEST(HostQuantumPlumbingTest, TimeSliceOverrideReachesEveryBuiltinPolicy) {
+  for (RuntimePolicy p : {RuntimePolicy::kRoundRobin, RuntimePolicy::kCfs,
+                          RuntimePolicy::kEevdf, RuntimePolicy::kWorkStealing}) {
+    RuntimeOptions opts{.workers = 1};
+    opts.sched.policy = p;
+    opts.sched.time_slice_us = 300;
+    Runtime rt(opts);
+    EXPECT_EQ(rt.QuantumFor(0), Micros(300))
+        << "policy " << rt.policy_name() << " dropped the time_slice_us override";
+  }
+}
+
+// SetQuantum mid-run must take effect on the live driver — the lock-free
+// path rereads the per-worker atomic quantum on every Tick (it used to latch
+// it once at driver selection) — without spurious preemptions while the
+// quantum is long and without dropped ones once it is short. Runs under the
+// TSan CI job: the controller thread writes the quantum while workers and
+// the signal path read it.
+void MidRunSetQuantumTakesEffect(bool force_locked) {
+  SchedTracer tracer(1 << 16);
+  RuntimeOptions opts{.workers = 1, .preempt_period_us = 500};
+  opts.sched.force_locked = force_locked;        // ws policy on both drivers
+  opts.sched.time_slice_us = 1'000'000;          // phase A: 1 s quantum
+  opts.tracer = &tracer;
+  Runtime rt(opts);
+  const auto spin_for = [](std::int64_t us) {
+    const auto until = std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+    volatile std::uint64_t x = 0;
+    while (std::chrono::steady_clock::now() < until) {
+      x = x + 1;
+    }
+  };
+  std::uint64_t phase_a_preemptions = 0;
+  bool released_by_other = false;
+  rt.Run([&] {
+    // Phase A: two bounded spinners keep the queue non-empty while ticks
+    // fire; nothing runs close to the 1 s quantum, so any preemption here
+    // is spurious.
+    UThread* a = Runtime::Spawn([&] { spin_for(10'000); });
+    UThread* b = Runtime::Spawn([&] { spin_for(10'000); });
+    Runtime::Join(a);
+    Runtime::Join(b);
+    phase_a_preemptions = rt.preemptions();
+
+    // Phase B: tighten mid-run. The hog can only finish if the new 500 us
+    // quantum actually preempts it so the releaser gets the worker.
+    rt.SetQuantum(Micros(500), SchedPolicy::kAllWorkers);
+    std::atomic<bool> release{false};
+    UThread* hog = Runtime::Spawn([&] {
+      const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+      volatile std::uint64_t x = 0;
+      while (!release.load(std::memory_order_relaxed)) {
+        x = x + 1;
+        if (std::chrono::steady_clock::now() >= give_up) {
+          return;  // preemption never came; fail below instead of hanging
+        }
+      }
+      released_by_other = true;
+    });
+    UThread* other = Runtime::Spawn([&] { release.store(true); });
+    Runtime::Join(hog);
+    Runtime::Join(other);
+  });
+  EXPECT_EQ(phase_a_preemptions, 0u) << "spurious preemption under a 1 s quantum";
+  EXPECT_TRUE(released_by_other) << "SetQuantum(500us) mid-run never preempted the hog";
+  EXPECT_GT(rt.preemptions(), 0u);
+  // The timer genuinely ran during phase A (signals were delivered or
+  // deferred), so the zero-preemption count means "honored the quantum",
+  // not "timer never fired".
+  EXPECT_GT(tracer.CountOf(TraceEventType::kSignal) +
+                tracer.CountOf(TraceEventType::kDeferred),
+            0u);
+}
+
+TEST(HostQuantumPlumbingTest, SetQuantumMidRunLockFreeDriver) {
+  MidRunSetQuantumTakesEffect(/*force_locked=*/false);
+}
+
+TEST(HostQuantumPlumbingTest, SetQuantumMidRunShardMutexDriver) {
+  MidRunSetQuantumTakesEffect(/*force_locked=*/true);
+}
+
+// Pin for the ISSUE 9 run-charging audit: LfRunData::ran is charged exactly
+// once per dispatched span and reset on dequeue; a deferred preemption
+// signal does not re-charge the span it already billed and double-fire next
+// period. Observable contract: tasks that always yield well inside the
+// quantum are never preempted, however much total CPU they accumulate — if
+// charge leaked across spans (or a deferral re-billed one), the quantum
+// would trip despite every span being ~100x shorter than it.
+TEST(HostQuantumPlumbingTest, RunChargingResetsPerDispatchedSpan) {
+  RuntimeOptions opts{.workers = 1, .preempt_period_us = 500};
+  opts.sched.time_slice_us = 20'000;  // 20 ms quantum
+  Runtime rt(opts);
+  const auto burst = [] {
+    const auto until = std::chrono::steady_clock::now() + std::chrono::microseconds(200);
+    volatile std::uint64_t x = 0;
+    while (std::chrono::steady_clock::now() < until) {
+      x = x + 1;
+    }
+  };
+  rt.Run([&] {
+    // Two cooperative tasks interleave, keeping the queue non-empty so the
+    // ws policy WOULD preempt if a span ever read as >= 20 ms. Each task
+    // accumulates ~40 ms total CPU in ~200 us slices.
+    std::vector<UThread*> tasks;
+    for (int t = 0; t < 2; t++) {
+      tasks.push_back(Runtime::Spawn([&burst] {
+        for (int i = 0; i < 200; i++) {
+          burst();
+          Runtime::Yield();
+        }
+      }));
+    }
+    for (UThread* t : tasks) {
+      Runtime::Join(t);
+    }
+  });
+  EXPECT_EQ(rt.preemptions(), 0u)
+      << "a span was charged more than its own run time (cross-span leak or "
+         "deferral double-charge)";
 }
 
 TEST(HostPolicySemanticsTest, ExternalSubmissionsArePlaced) {
