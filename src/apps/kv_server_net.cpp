@@ -85,7 +85,18 @@ struct OutFrame {
   std::string payload;
 };
 
-constexpr std::size_t kMaxFlushIovs = 32;  // 16 frames per writev
+constexpr std::size_t kMaxFlushIovs = 32;  // iovec budget per writev
+// Frames at or below this size are memcpy'd into a per-flush coalescing
+// buffer instead of spending two iovec entries each: typical KV replies
+// ("VALUE profile-123", "STORED") are tens of bytes, so a burst of pipelined
+// responses leaves in one writev instead of ceil(n/16) — keeping the
+// readiness baseline's syscalls/request honest next to the completion path.
+constexpr std::size_t kCoalesceFrameMax = 512;
+constexpr std::size_t kCoalesceBufMax = 16 * 1024;
+
+// Completion-path send backpressure: above this many queued-but-unsent bytes
+// the handler parks until the engine's async send queue drains.
+constexpr std::size_t kSendHighWater = 256 * 1024;
 
 }  // namespace
 
@@ -272,7 +283,9 @@ void KvServerNet::Start() {
       if (tcp_port_ == 0) {
         tcp_port_ = BoundPort(fd);  // first bind fixes the group's port
       }
-      listener->tcp = engine->Register(fd);
+      // kListener arms multishot accept on a completion-capable engine and
+      // degrades to readiness (POLL_ADD / epoll) everywhere else.
+      listener->tcp = engine->Register(fd, IoRegisterMode::kListener);
       SKYLOFT_CHECK(listener->tcp != nullptr);
     }
     if (options_.udp) {
@@ -281,7 +294,7 @@ void KvServerNet::Start() {
       if (udp_port_ == 0) {
         udp_port_ = BoundPort(fd);
       }
-      listener->udp = engine->Register(fd);
+      listener->udp = engine->Register(fd, IoRegisterMode::kDatagram);
       SKYLOFT_CHECK(listener->udp != nullptr);
     }
     listeners_.push_back(std::move(listener));
@@ -373,6 +386,9 @@ bool KvServerNet::UntrackConn(IoHandle* handle) {
 }
 
 void KvServerNet::AcceptLoop(Listener* listener) {
+  // Path choice is per handle, fixed at Register() time: a completion-mode
+  // listener queues fds from multishot-accept CQEs; readiness keeps accept4.
+  const bool use_completion = listener->tcp->cs != nullptr;
   while (!stop_.load(std::memory_order_acquire)) {
     const unsigned ready = WaitForReadable(listener->tcp);
     if (stop_.load(std::memory_order_acquire) || (ready & kIoError) != 0) {
@@ -380,17 +396,26 @@ void KvServerNet::AcceptLoop(Listener* listener) {
     }
     int accepted = 0;
     while (accepted < options_.accept_batch) {
-      const int fd = accept4(listener->tcp->fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-      if (fd < 0) {
-        if (errno == EINTR) {
-          continue;
+      int fd;
+      if (use_completion) {
+        fd = listener->engine->TakeAccepted(listener->tcp);
+        if (fd < 0) {
+          break;  // queue drained; the next accept CQE re-latches readability
         }
-        break;  // EAGAIN: backlog drained (or transient error; next edge retries)
+      } else {
+        fd = accept4(listener->tcp->fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+        listener->engine->CountSysAccept();
+        if (fd < 0) {
+          if (errno == EINTR) {
+            continue;
+          }
+          break;  // EAGAIN: backlog drained (or transient error; next edge retries)
+        }
       }
       accepted++;
       const int one = 1;
       setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      IoHandle* conn = listener->engine->Register(fd);
+      IoHandle* conn = listener->engine->Register(fd, IoRegisterMode::kStream);
       if (conn == nullptr) {
         close(fd);
         continue;
@@ -420,29 +445,67 @@ void KvServerNet::AcceptLoop(Listener* listener) {
 SKYLOFT_MAY_SWITCH static bool FlushFrames(IoHandle* conn, std::deque<OutFrame>* queue,
                                            std::size_t* front_off) {
   while (!queue->empty()) {
-    iovec iov[kMaxFlushIovs];
-    int niov = 0;
+    // Plan the iovec batch first: consecutive small frames are copied into
+    // `coalesce` and merged into one segment per run; large frames keep the
+    // zero-copy two-iovec scatter/gather shape. Segments store offsets into
+    // `coalesce` and are resolved to pointers only once the plan is complete,
+    // because the string may reallocate while growing.
+    struct Seg {
+      bool copied;      // true: bytes live at coalesce[pos..pos+len)
+      const void* ptr;  // false: borrowed from the frame, [ptr, ptr+len)
+      std::size_t pos;
+      std::size_t len;
+    };
+    Seg segs[kMaxFlushIovs];
+    int nseg = 0;
+    std::string coalesce;
     std::size_t skip = *front_off;
     for (const OutFrame& frame : *queue) {
-      if (niov + 2 > static_cast<int>(kMaxFlushIovs)) {
+      const std::size_t frame_len = kFrameHeaderSize + frame.payload.size();
+      if (frame_len <= kCoalesceFrameMax && coalesce.size() + frame_len <= kCoalesceBufMax) {
+        if (nseg == 0 || !segs[nseg - 1].copied) {
+          if (nseg == static_cast<int>(kMaxFlushIovs)) {
+            break;
+          }
+          segs[nseg++] = Seg{true, nullptr, coalesce.size(), 0};
+        }
+        if (skip < kFrameHeaderSize) {
+          coalesce.append(reinterpret_cast<const char*>(frame.hdr) + skip,
+                          kFrameHeaderSize - skip);
+          skip = 0;
+        } else {
+          skip -= kFrameHeaderSize;
+        }
+        if (skip < frame.payload.size()) {
+          coalesce.append(frame.payload.data() + skip, frame.payload.size() - skip);
+        }
+        segs[nseg - 1].len = coalesce.size() - segs[nseg - 1].pos;
+        skip = 0;  // only the front frame carries an offset
+        continue;
+      }
+      if (nseg + 2 > static_cast<int>(kMaxFlushIovs)) {
         break;
       }
       if (skip < kFrameHeaderSize) {
-        iov[niov].iov_base = const_cast<std::uint8_t*>(frame.hdr) + skip;
-        iov[niov].iov_len = kFrameHeaderSize - skip;
-        niov++;
+        segs[nseg++] = Seg{false, frame.hdr + skip, 0, kFrameHeaderSize - skip};
         skip = 0;
       } else {
         skip -= kFrameHeaderSize;
       }
       if (skip < frame.payload.size()) {
-        iov[niov].iov_base = const_cast<char*>(frame.payload.data()) + skip;
-        iov[niov].iov_len = frame.payload.size() - skip;
-        niov++;
+        segs[nseg++] = Seg{false, frame.payload.data() + skip, 0, frame.payload.size() - skip};
       }
-      skip = 0;  // only the front frame carries an offset
+      skip = 0;
     }
-    const ssize_t wrote = writev(conn->fd, iov, niov);
+    iovec iov[kMaxFlushIovs];
+    for (int i = 0; i < nseg; i++) {
+      iov[i].iov_base = const_cast<void*>(segs[i].copied
+                                              ? static_cast<const void*>(coalesce.data() + segs[i].pos)
+                                              : segs[i].ptr);
+      iov[i].iov_len = segs[i].len;
+    }
+    const ssize_t wrote = writev(conn->fd, iov, nseg);
+    conn->engine->CountSysWrite();
     if (wrote < 0) {
       if (errno == EINTR) {
         continue;
@@ -470,8 +533,8 @@ SKYLOFT_MAY_SWITCH static bool FlushFrames(IoHandle* conn, std::deque<OutFrame>*
   return true;
 }
 
-void KvServerNet::HandleConn(IoHandle* conn) {
-  const std::uint64_t lane = Runtime::Current()->id;
+// Readiness connection loop: read() to EAGAIN, decode, serve, writev back.
+bool KvServerNet::ConnLoopReadiness(IoHandle* conn, std::uint64_t lane) {
   FrameDecoder decoder;
   std::deque<OutFrame> outq;
   std::size_t front_off = 0;
@@ -487,6 +550,7 @@ void KvServerNet::HandleConn(IoHandle* conn) {
     bool peer_eof = false;
     while (!dead) {
       const ssize_t n = read(conn->fd, buf.data(), buf.size());
+      conn->engine->CountSysRead();
       if (n > 0) {
         decoder.Feed(buf.data(), static_cast<std::size_t>(n));
         if (static_cast<std::size_t>(n) < buf.size()) {
@@ -530,7 +594,105 @@ void KvServerNet::HandleConn(IoHandle* conn) {
       break;
     }
   }
+  return reset;
+}
 
+// Completion connection loop: request bytes arrive in kernel-filled provided
+// buffers (multishot recv CQEs queued by the home engine's Poll), responses
+// leave through the engine's async send queue. The handler makes zero
+// syscalls in steady state — it only copies out of provided buffers,
+// recycles them, and queues frames for the engine's batched submission.
+bool KvServerNet::ConnLoopCompletion(IoHandle* conn, std::uint64_t lane) {
+  IoEngine* engine = conn->engine;
+  FrameDecoder decoder;
+  bool reset = false;
+
+  while (true) {
+    const unsigned ready = WaitForReadable(conn);
+    if (stop_.load(std::memory_order_acquire)) {
+      break;
+    }
+    // kIoError latches on a recv/send CQE failure (ECONNRESET and friends);
+    // data already queued before the error is still drained below, matching
+    // the readiness path's read-until-error behavior.
+    bool dead = (ready & kIoError) != 0;
+    if (dead) {
+      reset = true;
+    }
+    IoRecvSlice slice;
+    while (engine->PopRecv(conn, &slice)) {
+      decoder.Feed(slice.data, slice.len);
+      // The buffer belongs to the HOME engine's ring; the frame bytes were
+      // copied into the decoder, so it can go back before we serve.
+      engine->RecycleBuffer(slice.buf_id);
+    }
+    std::string payload;
+    while (!dead && decoder.Next(&payload) == FrameDecodeStatus::kFrame) {
+      std::string reply = store_.Serve(payload, lane);
+      std::string out;
+      out.reserve(kFrameHeaderSize + reply.size());
+      std::uint8_t hdr[kFrameHeaderSize];
+      EncodeFrameHeader(hdr, static_cast<std::uint32_t>(reply.size()));
+      out.append(reinterpret_cast<const char*>(hdr), kFrameHeaderSize);
+      out += reply;
+      if (engine->SendEnqueue(conn, std::move(out)) == 0) {
+        reset = true;  // queue refused: the handle errored under us
+        dead = true;
+        break;
+      }
+      tcp_requests_->Inc();
+    }
+    if (decoder.poisoned()) {
+      frame_errors_->Inc();
+      dead = true;
+    }
+    // Backpressure: above the high-water mark, park until the final send CQE
+    // drains the queue (kIoWritable latch). A stale latch from an earlier
+    // drain just re-checks, hence the loop.
+    while (!dead && engine->SendQueuedBytes(conn) > kSendHighWater) {
+      const unsigned w = WaitForWritable(conn);
+      if (stop_.load(std::memory_order_acquire)) {
+        return reset;
+      }
+      if ((w & kIoError) != 0) {
+        reset = true;
+        dead = true;
+      } else if ((w & kIoWritable) == 0) {
+        // Sticky kIoHup makes WaitForWritable non-blocking from here on, and
+        // the drain we need (this conn's send CQE) is reaped by our worker's
+        // scheduler loop — which never runs if we spin. Yield to it.
+        Runtime::Yield();
+      }
+    }
+    if ((ready & kIoHup) != 0 && !dead) {
+      // Graceful EOF: all request CQEs precede the hup CQE, so the decoder
+      // has everything; finish flushing queued responses before closing
+      // (the readiness path's synchronous FlushFrames did this implicitly).
+      while (engine->SendQueuedBytes(conn) > 0) {
+        const unsigned w = WaitForWritable(conn);
+        if (stop_.load(std::memory_order_acquire) || (w & kIoError) != 0) {
+          break;
+        }
+        if ((w & kIoWritable) == 0) {
+          // Same sticky-HUP spin hazard as the backpressure loop above: wake
+          // reason was the latched hup, not a drained queue. Let the worker
+          // poll so the in-flight send CQE can land.
+          Runtime::Yield();
+        }
+      }
+      break;
+    }
+    if (dead) {
+      break;
+    }
+  }
+  return reset;
+}
+
+void KvServerNet::HandleConn(IoHandle* conn) {
+  const std::uint64_t lane = Runtime::Current()->id;
+  const bool reset = conn->cs != nullptr ? ConnLoopCompletion(conn, lane)
+                                         : ConnLoopReadiness(conn, lane);
   if (reset) {
     peer_resets_->Inc();
   }
@@ -542,8 +704,52 @@ void KvServerNet::HandleConn(IoHandle* conn) {
   live_server_uthreads_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
+// Completion UDP loop: datagrams arrive as multishot-RECVMSG CQEs in
+// provided buffers (kernel-packed recvmsg_out + sender address + payload);
+// replies go out as fire-and-forget async SENDMSG ops. Zero syscalls per
+// datagram in steady state.
+void KvServerNet::UdpLoopCompletion(Listener* listener, std::uint64_t lane) {
+  IoEngine* engine = listener->engine;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const unsigned ready = WaitForReadable(listener->udp);
+    if (stop_.load(std::memory_order_acquire) || (ready & kIoError) != 0) {
+      break;
+    }
+    int handled = 0;
+    IoRecvSlice slice;
+    while (handled < options_.udp_batch && engine->PopRecv(listener->udp, &slice)) {
+      handled++;
+      IoDatagram dgram;
+      std::string payload;
+      if (!IoEngine::ParseDatagram(slice, &dgram) ||
+          DecodeFrame(reinterpret_cast<const std::uint8_t*>(dgram.data), dgram.len, &payload) !=
+              FrameDecodeStatus::kFrame) {
+        frame_errors_->Inc();  // stray/truncated datagram: drop, never assert
+        engine->RecycleBuffer(slice.buf_id);
+        continue;
+      }
+      std::string reply = EncodeFrame(store_.Serve(payload, lane));
+      // Best-effort reply, UDP semantics: a refused submission (closed
+      // handle, SQ pressure) drops the response like a full socket buffer.
+      engine->SendDatagram(listener->udp, dgram.peer, std::move(reply));
+      engine->RecycleBuffer(slice.buf_id);
+      udp_requests_->Inc();
+    }
+    if (handled == options_.udp_batch) {
+      IoEngine::RelatchReadable(listener->udp);
+      Runtime::Yield();
+    }
+  }
+}
+
 void KvServerNet::UdpLoop(Listener* listener) {
   const std::uint64_t lane = Runtime::Current()->id;
+  if (listener->udp->cs != nullptr) {
+    UdpLoopCompletion(listener, lane);
+    // As in AcceptLoop, the listener handle is retired by Stop(), not here.
+    live_server_uthreads_.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
   std::vector<std::uint8_t> buf(65536);
   while (!stop_.load(std::memory_order_acquire)) {
     const unsigned ready = WaitForReadable(listener->udp);
@@ -556,6 +762,7 @@ void KvServerNet::UdpLoop(Listener* listener) {
       socklen_t peer_len = sizeof(peer);
       const ssize_t n = recvfrom(listener->udp->fd, buf.data(), buf.size(), 0,
                                  reinterpret_cast<sockaddr*>(&peer), &peer_len);
+      listener->engine->CountSysRead();
       if (n < 0) {
         if (errno == EINTR) {
           continue;
@@ -574,6 +781,7 @@ void KvServerNet::UdpLoop(Listener* listener) {
       // exactly like a real UDP service under overload.
       sendto(listener->udp->fd, reply.data(), reply.size(), 0,
              reinterpret_cast<sockaddr*>(&peer), peer_len);
+      listener->engine->CountSysWrite();
       udp_requests_->Inc();
     }
     if (handled == options_.udp_batch) {

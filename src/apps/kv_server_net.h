@@ -16,6 +16,20 @@
 //     separate iovecs; nothing is concatenated);
 //   - a UDP uthread per worker serving one frame per datagram.
 //
+// Every server loop has TWO data paths selected per handle at runtime:
+//   - readiness (epoll, or io_uring POLL_ADD fallback): the classic
+//     accept4/read/writev/recvfrom/sendto loops above, self-reporting their
+//     syscalls via IoEngine::CountSys* for the syscalls/request metric;
+//   - completion (io_uring with multishot + provided buffer rings): accepts
+//     arrive via TakeAccepted, request bytes via PopRecv from kernel-filled
+//     provided buffers (recycled after FrameDecoder::Feed), and responses go
+//     out through the engine's async send queue (SendEnqueue) — the steady
+//     state makes zero syscalls per request; the engine batches one
+//     io_uring_enter per poll round.
+// Register() picks the path: completion-mode registrations degrade to
+// readiness automatically when the engine lacks completion support, so one
+// binary serves both and the loops branch on IoHandle::cs.
+//
 // Handler uthreads are ordinary runtime uthreads: they migrate via work
 // stealing, while their fd's readiness keeps firing on the home engine —
 // exercising the remote-enqueue mailbox path of the lock-free runqueues.
@@ -149,6 +163,11 @@ class KvServerNet {
   SKYLOFT_MAY_SWITCH void AcceptLoop(Listener* listener);
   SKYLOFT_MAY_SWITCH void HandleConn(IoHandle* handle);
   SKYLOFT_MAY_SWITCH void UdpLoop(Listener* listener);
+  // Per-data-path bodies of HandleConn/UdpLoop (see the file comment).
+  // The Conn loops return true when the connection died by peer reset.
+  SKYLOFT_MAY_SWITCH bool ConnLoopReadiness(IoHandle* handle, std::uint64_t lane);
+  SKYLOFT_MAY_SWITCH bool ConnLoopCompletion(IoHandle* handle, std::uint64_t lane);
+  SKYLOFT_MAY_SWITCH void UdpLoopCompletion(Listener* listener, std::uint64_t lane);
 
   void TrackConn(IoHandle* handle);
   // Returns false if Stop() already interrupted (and will not re-interrupt)

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <sys/epoll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -17,19 +18,44 @@
 #include <poll.h>
 #include <sys/mman.h>
 #include <sys/syscall.h>
+
+#include <deque>
+#include <string>
+
+// The completion data path needs the multishot-recv generation of the uapi
+// header (kernel >= 6.0: IORING_RECV_MULTISHOT, provided buffer rings,
+// io_uring_recvmsg_out all landed together). Older headers compile the
+// readiness-only backend; newer headers still fall back at RUNTIME when the
+// kernel's feature probe comes back short.
+#if defined(IORING_RECV_MULTISHOT) && defined(IORING_ACCEPT_MULTISHOT)
+#define SKYLOFT_URING_COMPLETION 1
 #endif
+#endif  // SKYLOFT_IO_URING
 
 namespace skyloft {
 
 namespace {
 
 // Low bits of a CQE user_data distinguish what completed for a handle
-// (IoHandle is cache-line aligned, so the bits are free).
+// (IoHandle is cache-line aligned and DgramSendOp heap-allocated, so the
+// bits are free).
 constexpr std::uintptr_t kTagMask = 0x7;
 constexpr std::uintptr_t kTagMainPoll = 0;     // multishot POLLIN|HUP|ERR
-constexpr std::uintptr_t kTagRemove = 1;       // POLL_REMOVE of the main poll
+constexpr std::uintptr_t kTagRemove = 1;       // cancel CQE (POLL_REMOVE / ASYNC_CANCEL)
 constexpr std::uintptr_t kTagWritePoll = 2;    // oneshot POLLOUT
 constexpr std::uintptr_t kTagRemoveWrite = 3;  // POLL_REMOVE of the write poll
+constexpr std::uintptr_t kTagRecv = 4;         // multishot RECV/RECVMSG segment
+constexpr std::uintptr_t kTagAccept = 5;       // multishot ACCEPT
+constexpr std::uintptr_t kTagSend = 6;         // stream async send (SEND/SENDMSG)
+constexpr std::uintptr_t kTagDgram = 7;        // datagram async SENDMSG (op ptr)
+
+// Iovec capacity of a stream handle's in-flight send (send_batch clamps to
+// this).
+constexpr int kMaxSendIovs = 16;
+
+// Every engine registers its provided-buffer ring under one group id; rings
+// are per-engine (per ring fd), so the ids never collide across engines.
+constexpr std::uint16_t kBufGroup = 0;
 
 void IncLane(ShardedCounter* c, int lane, std::uint64_t n = 1) {
   if (c != nullptr) {
@@ -57,8 +83,10 @@ struct IoEngine::UringState {
   unsigned* sq_tail = nullptr;
   unsigned sq_mask = 0;
   unsigned* sq_array = nullptr;
+  unsigned* sq_flags = nullptr;  // NEED_WAKEUP (SQPOLL) / CQ_OVERFLOW
   io_uring_sqe* sqes = nullptr;
   std::size_t sqes_len = 0;
+  bool sqpoll = false;
   // CQ ring (separate mmap unless IORING_FEAT_SINGLE_MMAP).
   void* cq_ring = nullptr;
   std::size_t cq_ring_len = 0;
@@ -66,10 +94,51 @@ struct IoEngine::UringState {
   unsigned* cq_tail = nullptr;
   unsigned cq_mask = 0;
   io_uring_cqe* cqes = nullptr;
-  // SQE production is multi-producer (RequestWritable and Deregister run on
-  // whatever worker the handler uthread was stolen to); short spinlock.
+  // SQE production is multi-producer (RequestWritable, Deregister and the
+  // completion path's SendEnqueue run on whatever worker the handler uthread
+  // was stolen to); short spinlock.
   std::atomic_flag sqe_spin = ATOMIC_FLAG_INIT;
-  unsigned to_submit = 0;
+  // Mutated under sqe_spin; atomic so UringPoll's flush heuristic can read it
+  // without taking the lock (a stale value just defers one round).
+  std::atomic<unsigned> to_submit{0};
+
+#ifdef SKYLOFT_URING_COMPLETION
+  // Provided buffer ring (IORING_REGISTER_PBUF_RING) + its backing arena.
+  // Producer side (recycling consumed buffers) is multi-worker: a stolen
+  // handler returns buffers from wherever it runs; buf_spin guards the
+  // shadow tail. NOTE: slots are addressed via `bufs` (the ring base), NOT
+  // io_uring_buf_ring::bufs — that flex-array member sits behind a
+  // __DECLARE_FLEX_ARRAY empty struct whose size is 0 in C but >= 1 in C++,
+  // shifting the member to offset 8 and silently corrupting every
+  // descriptor the kernel reads from offset 0.
+  io_uring_buf_ring* buf_ring = nullptr;
+  io_uring_buf* bufs = nullptr;  // == ring base; slot i at bufs[i]
+  std::size_t buf_ring_len = 0;
+  unsigned buf_entries = 0;
+  unsigned buf_mask = 0;
+  std::unique_ptr<char[]> buf_arena;
+  std::size_t buf_size = 0;
+  std::atomic_flag buf_spin = ATOMIC_FLAG_INIT;
+  std::uint16_t buf_tail = 0;  // producer shadow of buf_ring->tail
+  // Recycle epoch: bumped on every returned buffer so the home engine knows
+  // when re-arming an ENOBUFS-stalled recv can make progress.
+  std::atomic<std::uint64_t> buf_recycled{0};
+  // Registered-file table (IORING_REGISTER_FILES, sparse): free slot indices,
+  // guarded by the engine's handles lock.
+  bool fixed_files = false;
+  std::vector<int> free_slots;
+#endif
+};
+
+// Heap-owned async datagram reply: the SENDMSG op's msghdr, destination and
+// payload must all outlive submission, so they travel with the op and are
+// freed when its CQE arrives (tag kTagDgram carries the op pointer).
+struct IoEngine::DgramSendOp {
+  IoHandle* handle = nullptr;
+  sockaddr_in to{};
+  std::string payload;
+  iovec iov{};
+  msghdr msg{};
 };
 
 namespace {
@@ -81,6 +150,24 @@ int SysIoUringSetup(unsigned entries, io_uring_params* p) {
 int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete, unsigned flags) {
   return static_cast<int>(syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags,
                                   nullptr, 0));
+}
+
+int SysIoUringRegister(int fd, unsigned opcode, void* arg, unsigned nr_args) {
+  return static_cast<int>(syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+// Deferred-submission thresholds (see the flush policy at the end of
+// UringPoll): flush once this many SQEs are queued, or after this many poll
+// rounds with anything queued at all, whichever comes first.
+constexpr unsigned kSubmitEagerBatch = 32;
+constexpr int kSubmitRoundLimit = 8;
+
+unsigned RoundUpPow2(unsigned v) {
+  unsigned p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
 }
 
 unsigned PollBitsFromRevents(unsigned revents) {
@@ -104,11 +191,33 @@ unsigned PollBitsFromRevents(unsigned revents) {
 
 bool IoEngine::UringInit(int entries) {
   auto state = std::make_unique<UringState>();
-  const int fd = SysIoUringSetup(static_cast<unsigned>(entries), &state->params);
+  // Multishot recv can post many CQEs per submitted SQE, so ask for a CQ
+  // several times deeper than the SQ; degrade gracefully for kernels that
+  // reject CQSIZE or (unprivileged, pre-5.11) SQPOLL.
+  auto try_setup = [&](bool sqpoll, bool cqsize) {
+    std::memset(&state->params, 0, sizeof(state->params));
+    if (cqsize) {
+      state->params.flags |= IORING_SETUP_CQSIZE;
+      state->params.cq_entries = RoundUpPow2(std::max(4096u, 8u * static_cast<unsigned>(entries)));
+    }
+    if (sqpoll) {
+      state->params.flags |= IORING_SETUP_SQPOLL;
+      state->params.sq_thread_idle = 100;  // ms before the SQ thread naps
+    }
+    return SysIoUringSetup(static_cast<unsigned>(entries), &state->params);
+  };
+  int fd = try_setup(options_.sqpoll, true);
+  if (fd < 0 && options_.sqpoll) {
+    fd = try_setup(false, true);
+  }
+  if (fd < 0) {
+    fd = try_setup(false, false);
+  }
   if (fd < 0) {
     return false;
   }
   UringState* s = state.get();
+  s->sqpoll = (s->params.flags & IORING_SETUP_SQPOLL) != 0;
   s->sq_ring_len = s->params.sq_off.array + s->params.sq_entries * sizeof(unsigned);
   s->cq_ring_len = s->params.cq_off.cqes + s->params.cq_entries * sizeof(io_uring_cqe);
   const bool single_mmap = (s->params.features & IORING_FEAT_SINGLE_MMAP) != 0;
@@ -146,6 +255,7 @@ bool IoEngine::UringInit(int entries) {
   s->sq_tail = reinterpret_cast<unsigned*>(sq + s->params.sq_off.tail);
   s->sq_mask = *reinterpret_cast<unsigned*>(sq + s->params.sq_off.ring_mask);
   s->sq_array = reinterpret_cast<unsigned*>(sq + s->params.sq_off.array);
+  s->sq_flags = reinterpret_cast<unsigned*>(sq + s->params.sq_off.flags);
   auto* cq = static_cast<unsigned char*>(s->cq_ring);
   s->cq_head = reinterpret_cast<unsigned*>(cq + s->params.cq_off.head);
   s->cq_tail = reinterpret_cast<unsigned*>(cq + s->params.cq_off.tail);
@@ -154,6 +264,7 @@ bool IoEngine::UringInit(int entries) {
 
   uring_fd_ = fd;
   uring_ = state.release();
+  completion_ = UringSetupCompletion();
   return true;
 }
 
@@ -161,6 +272,7 @@ void IoEngine::UringShutdown() {
   if (uring_ == nullptr) {
     return;
   }
+  UringTeardownCompletion();
   munmap(uring_->sqes, uring_->sqes_len);
   const bool single_mmap = (uring_->params.features & IORING_FEAT_SINGLE_MMAP) != 0;
   if (!single_mmap) {
@@ -182,50 +294,67 @@ void IoEngine::SqLock(UringState* s) {
 
 void IoEngine::SqUnlock(UringState* s) { s->sqe_spin.clear(std::memory_order_release); }
 
-bool IoEngine::UringArmPoll(IoHandle* handle, unsigned poll_mask, std::uintptr_t tag) {
+void* IoEngine::SqePrepareLocked() {
   UringState* s = uring_;
-  SqLock(s);
   const unsigned head = __atomic_load_n(s->sq_head, __ATOMIC_ACQUIRE);
-  unsigned tail = *s->sq_tail;
+  const unsigned tail = *s->sq_tail;
   if (tail - head >= s->params.sq_entries) {
-    // SQ full: flush what is queued and retry once; a second failure means
-    // the ring is badly undersized — report it to the caller.
-    SysIoUringEnter(uring_fd_, s->to_submit, 0, 0);
-    s->to_submit = 0;
+    // SQ full: flush what is queued inline and retry once; a second failure
+    // means the ring is badly undersized — report it to the caller.
+    SysIoUringEnter(uring_fd_, s->to_submit.load(std::memory_order_relaxed), 0,
+                    s->sqpoll ? IORING_ENTER_SQ_WAKEUP : 0);
+    IncLane(stats_.sys_enter, worker_);
+    s->to_submit.store(0, std::memory_order_relaxed);
     if (*s->sq_tail - __atomic_load_n(s->sq_head, __ATOMIC_ACQUIRE) >= s->params.sq_entries) {
-      SqUnlock(s);
-      return false;
+      return nullptr;
     }
-    tail = *s->sq_tail;
   }
-  const unsigned index = tail & s->sq_mask;
-  io_uring_sqe* sqe = &s->sqes[index];
+  io_uring_sqe* sqe = &s->sqes[*s->sq_tail & s->sq_mask];
   std::memset(sqe, 0, sizeof(*sqe));
-  if (tag == kTagRemove || tag == kTagRemoveWrite) {
-    sqe->opcode = IORING_OP_POLL_REMOVE;
-    // addr identifies the poll to cancel by its submission user_data.
-    sqe->addr = reinterpret_cast<std::uintptr_t>(handle) |
-                (tag == kTagRemove ? kTagMainPoll : kTagWritePoll);
-  } else {
-    sqe->opcode = IORING_OP_POLL_ADD;
-    sqe->fd = handle->fd;
-    sqe->poll32_events = poll_mask;
-    if (tag == kTagMainPoll) {
-      sqe->len = IORING_POLL_ADD_MULTI;
-    }
-  }
-  sqe->user_data = reinterpret_cast<std::uintptr_t>(handle) | tag;
+  return sqe;
+}
+
+void IoEngine::SqeCommitLocked() {
+  UringState* s = uring_;
+  const unsigned tail = *s->sq_tail;
+  const unsigned index = tail & s->sq_mask;
   s->sq_array[index] = index;
   __atomic_store_n(s->sq_tail, tail + 1, __ATOMIC_RELEASE);
-  s->to_submit++;
+  s->to_submit.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool IoEngine::UringArmPoll(IoHandle* handle, unsigned poll_mask, std::uintptr_t tag) {
+  // Single unlock point (no early unlock-and-return): skylint's lock walk is
+  // lexical, so an SqUnlock inside a return branch would mark the commit
+  // below as unlocked. Same shape in every SQE-arming function here.
+  UringState* s = uring_;
+  SqLock(s);
+  auto* sqe = static_cast<io_uring_sqe*>(SqePrepareLocked());
+  if (sqe != nullptr) {
+    if (tag == kTagRemove || tag == kTagRemoveWrite) {
+      sqe->opcode = IORING_OP_POLL_REMOVE;
+      // addr identifies the poll to cancel by its submission user_data.
+      sqe->addr = reinterpret_cast<std::uintptr_t>(handle) |
+                  (tag == kTagRemove ? kTagMainPoll : kTagWritePoll);
+    } else {
+      sqe->opcode = IORING_OP_POLL_ADD;
+      sqe->fd = handle->fd;
+      sqe->poll32_events = poll_mask;
+      if (tag == kTagMainPoll) {
+        sqe->len = IORING_POLL_ADD_MULTI;
+      }
+    }
+    sqe->user_data = reinterpret_cast<std::uintptr_t>(handle) | tag;
+    SqeCommitLocked();
+  }
   SqUnlock(s);
-  return true;
+  return sqe != nullptr;
 }
 
 void IoEngine::UringRemovePoll(IoHandle* handle, std::uintptr_t tag) {
   // Must not fail: a dropped remove means its CQE never arrives and the
   // handle is never freed. A full SQ drains via the enter() flush inside
-  // UringArmPoll, so the retry terminates.
+  // SqePrepareLocked, so the retry terminates.
   SpinBackoff backoff;
   while (!UringArmPoll(handle, 0, tag)) {
     backoff.Pause();
@@ -234,11 +363,12 @@ void IoEngine::UringRemovePoll(IoHandle* handle, std::uintptr_t tag) {
 
 // Retires one expected CQE (or Deregister's queueing reference). Whoever
 // drops the count to zero after the handle was closed owns the free; until
-// then some poll or remove completion may still reference the handle. Must
+// then some op or cancel completion may still reference the handle. Must
 // be the caller's LAST touch of the handle.
 void IoEngine::UringFinishCqe(IoHandle* handle) {
   if (handle->pending_cqes.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
       handle->closed.load(std::memory_order_acquire)) {
+    FreeCompletionResources(handle);
     UntrackHandle(handle);
     delete handle;
   }
@@ -247,27 +377,53 @@ void IoEngine::UringFinishCqe(IoHandle* handle) {
 void IoEngine::UringSubmit() {
   UringState* s = uring_;
   SqLock(s);
-  const unsigned n = s->to_submit;
-  s->to_submit = 0;
+  const unsigned n = s->to_submit.load(std::memory_order_relaxed);
+  s->to_submit.store(0, std::memory_order_relaxed);
+  bool need_enter = n > 0;
+  unsigned flags = 0;
+  if (s->sqpoll) {
+    // The kernel SQ thread consumes entries on its own; enter only to wake
+    // it from an idle nap — the zero-syscall steady state.
+    flags = IORING_ENTER_SQ_WAKEUP;
+    need_enter = need_enter &&
+                 (__atomic_load_n(s->sq_flags, __ATOMIC_ACQUIRE) & IORING_SQ_NEED_WAKEUP) != 0;
+  }
   SqUnlock(s);
-  if (n > 0) {
-    SysIoUringEnter(uring_fd_, n, 0, 0);
+  if (need_enter) {
+    SysIoUringEnter(uring_fd_, n, 0, flags);
+    IncLane(stats_.sys_enter, worker_);
   }
 }
 
 int IoEngine::UringPoll() {
-  UringSubmit();
   UringState* s = uring_;
+#ifdef SKYLOFT_URING_COMPLETION
+  if (completion_) {
+    RearmStalled();
+  }
+#endif
   int dispatched = 0;
   unsigned head = __atomic_load_n(s->cq_head, __ATOMIC_ACQUIRE);
   const unsigned tail = __atomic_load_n(s->cq_tail, __ATOMIC_ACQUIRE);
   const int budget = options_.max_events;
   while (head != tail && dispatched < budget) {
     const io_uring_cqe* cqe = &s->cqes[head & s->cq_mask];
-    auto* handle = reinterpret_cast<IoHandle*>(cqe->user_data & ~kTagMask);
     const std::uintptr_t tag = cqe->user_data & kTagMask;
+    if (tag == kTagDgram) {
+      // The op pointer travels in the user_data; its CQE is the free point
+      // for the payload and one expected CQE of the owning handle. Send
+      // errors are intentionally dropped — UDP replies are best-effort.
+      auto* op = reinterpret_cast<DgramSendOp*>(cqe->user_data & ~kTagMask);
+      IoHandle* handle = op->handle;
+      delete op;
+      UringFinishCqe(handle);
+      dispatched++;
+      head++;
+      continue;
+    }
+    auto* handle = reinterpret_cast<IoHandle*>(cqe->user_data & ~kTagMask);
     if (tag == kTagRemove || tag == kTagRemoveWrite) {
-      // One CQE per POLL_REMOVE submitted by Deregister.
+      // One CQE per POLL_REMOVE/ASYNC_CANCEL submitted by Deregister.
       UringFinishCqe(handle);
     } else if (tag == kTagWritePoll) {
       // The oneshot POLLOUT is no longer in flight; the next WaitForWritable
@@ -280,6 +436,15 @@ int IoEngine::UringPoll() {
         dispatched++;
       }
       UringFinishCqe(handle);
+    } else if (tag == kTagRecv) {
+      HandleRecvCqe(handle, cqe->res, cqe->flags);
+      dispatched++;
+    } else if (tag == kTagAccept) {
+      HandleAcceptCqe(handle, cqe->res, cqe->flags);
+      dispatched++;
+    } else if (tag == kTagSend) {
+      HandleSendCqe(handle, cqe->res);
+      dispatched++;
     } else {  // kTagMainPoll
       // A multishot emits many CQEs; only one without F_MORE ends the series
       // (spontaneous termination, an error, or cancellation by Deregister's
@@ -313,22 +478,820 @@ int IoEngine::UringPoll() {
     head++;
   }
   __atomic_store_n(s->cq_head, head, __ATOMIC_RELEASE);
-  if (dispatched > 0) {
-    UringSubmit();  // flush any re-arms queued while reaping
+  if ((__atomic_load_n(s->sq_flags, __ATOMIC_ACQUIRE) & IORING_SQ_CQ_OVERFLOW) != 0) {
+    // A CQ overflow parked completions kernel-side; flush them into the ring
+    // so the next Poll can reap (the deep CQSIZE ring makes this rare).
+    SysIoUringEnter(uring_fd_, 0, 0, IORING_ENTER_GETEVENTS);
+    IncLane(stats_.sys_enter, worker_);
+  }
+  // The batched-submission point: every op queued since the last round —
+  // handler sends, registrations, cancels, plus the re-arms above — goes to
+  // the kernel in one enter. Reaping above is pure shared-memory work, so it
+  // runs every scheduler round; the enter() is DEFERRED until a worthwhile
+  // batch accumulated or a flush is overdue — the scheduler polls between
+  // every two uthread segments, so an eager flush here would pay one syscall
+  // per handler send. The worker loop's pre-idle FlushSubmissions() bounds
+  // the added latency whenever the runqueue drains; the round limit bounds it
+  // when a yield-spinning uthread keeps the worker out of the idle path.
+  // SQPOLL submits by publishing the SQ tail (the enter below is only a
+  // NEED_WAKEUP nudge), so deferring would buy nothing.
+  const unsigned pending = s->to_submit.load(std::memory_order_relaxed);
+  if (pending == 0) {
+    submit_rounds_ = 0;
+  } else if (s->sqpoll || pending >= kSubmitEagerBatch ||
+             ++submit_rounds_ >= kSubmitRoundLimit) {
+    submit_rounds_ = 0;
+    UringSubmit();
   }
   return dispatched;
 }
 
+void IoEngine::FlushSubmissions() {
+  UringState* s = uring_;
+  if (s != nullptr && s->to_submit.load(std::memory_order_relaxed) > 0) {
+    submit_rounds_ = 0;
+    UringSubmit();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Completion data path (multishot RECV/RECVMSG/ACCEPT + provided buffers +
+// async sends). Compiled only when the uapi header is new enough; probed at
+// ring setup and degraded per-feature at runtime.
+// ---------------------------------------------------------------------------
+
+#ifdef SKYLOFT_URING_COMPLETION
+
+// One queued received segment: `len` payload bytes in provided buffer `bid`.
+struct IoRecvSeg {
+  std::uint32_t len = 0;
+  std::uint16_t bid = 0;
+};
+
+// Per-handle completion state. The queues are filled by the home engine's
+// reaping and drained by the handler uthread from whichever worker stole it;
+// q_spin (lock class io_handle_q) guards them. Single-writer send contract:
+// only the one handler uthread enqueues, so tx ordering needs no further
+// synchronization beyond the spinlock.
+struct IoCompletionState {
+  IoRegisterMode mode = IoRegisterMode::kStream;
+  int fixed_slot = -1;  // registered-file table index; -1 = raw fd
+  std::atomic_flag q_spin = ATOMIC_FLAG_INIT;
+  std::deque<IoRecvSeg> rx;
+  std::deque<int> accepted;
+  // Send queue. tx_off = bytes of tx.front() already sent; tx_bytes = total
+  // unsent bytes. While tx_inflight, tx_iov/tx_msg describe the submitted
+  // batch and the referenced front frames must not be popped (only the send
+  // CQE pops, under q_spin, before any re-arm).
+  std::deque<std::string> tx;
+  std::size_t tx_off = 0;
+  std::size_t tx_bytes = 0;
+  bool tx_inflight = false;
+  iovec tx_iov[kMaxSendIovs];
+  msghdr tx_msg{};
+  // Multishot RECVMSG template (kDatagram): namelen reserves space for the
+  // sender address that the kernel packs into the provided buffer.
+  msghdr rx_msg{};
+};
+
+void IoEngine::QLock(IoCompletionState* cs) {
+  SpinBackoff backoff;
+  while (cs->q_spin.test_and_set(std::memory_order_acquire)) {
+    backoff.Pause();
+  }
+}
+
+void IoEngine::QUnlock(IoCompletionState* cs) {
+  cs->q_spin.clear(std::memory_order_release);
+}
+
+void IoEngine::BufLock(UringState* s) {
+  SpinBackoff backoff;
+  while (s->buf_spin.test_and_set(std::memory_order_acquire)) {
+    backoff.Pause();
+  }
+}
+
+void IoEngine::BufUnlock(UringState* s) { s->buf_spin.clear(std::memory_order_release); }
+
+namespace {
+
+// Logged once per process, not per engine: every worker's engine probes the
+// same kernel, and a line per engine would just repeat it.
+void LogCompletionFallbackOnce(const char* why) {
+  static std::atomic<bool> logged{false};
+  if (!logged.exchange(true, std::memory_order_acq_rel)) {
+    SKYLOFT_LOG(kInfo) << "io_uring completion data path unavailable (" << why
+                       << "); serving on the POLL_ADD readiness path";
+  }
+}
+
+}  // namespace
+
+bool IoEngine::UringSetupCompletion() {
+  if (!options_.completion) {
+    return false;
+  }
+  UringState* s = uring_;
+  // Feature probe: every op the completion path arms must be supported.
+  // IORING_OP_SEND_ZC doubles as the kernel >= 6.0 marker — the generation
+  // where multishot RECV and provided buffer rings are complete — since
+  // probe flags only say an opcode exists, not which sqe flags it honours.
+  constexpr unsigned kProbeOps = 256;
+  std::vector<unsigned char> probe_mem(
+      sizeof(io_uring_probe) + kProbeOps * sizeof(io_uring_probe_op), 0);
+  auto* probe = reinterpret_cast<io_uring_probe*>(probe_mem.data());
+  if (SysIoUringRegister(uring_fd_, IORING_REGISTER_PROBE, probe, kProbeOps) < 0) {
+    LogCompletionFallbackOnce("probe rejected");
+    return false;
+  }
+  const auto supported = [probe](unsigned op) {
+    return op <= probe->last_op && (probe->ops[op].flags & IO_URING_OP_SUPPORTED) != 0;
+  };
+  for (const unsigned op : {static_cast<unsigned>(IORING_OP_RECV),
+                            static_cast<unsigned>(IORING_OP_SEND),
+                            static_cast<unsigned>(IORING_OP_SENDMSG),
+                            static_cast<unsigned>(IORING_OP_RECVMSG),
+                            static_cast<unsigned>(IORING_OP_ACCEPT),
+                            static_cast<unsigned>(IORING_OP_ASYNC_CANCEL),
+                            static_cast<unsigned>(IORING_OP_SEND_ZC)}) {
+    if (!supported(op)) {
+      LogCompletionFallbackOnce("op probe short");
+      return false;
+    }
+  }
+  // Provided buffer ring: one page-aligned ring of descriptors plus a flat
+  // arena the kernel scatters received bytes into.
+  const unsigned entries = RoundUpPow2(static_cast<unsigned>(
+      std::clamp(options_.buf_ring_entries, 8, 32768)));
+  const std::size_t ring_len = entries * sizeof(io_uring_buf);
+  void* ring_mem = mmap(nullptr, ring_len, PROT_READ | PROT_WRITE,
+                        MAP_ANONYMOUS | MAP_PRIVATE, -1, 0);
+  if (ring_mem == MAP_FAILED) {
+    LogCompletionFallbackOnce("buffer ring mmap failed");
+    return false;
+  }
+  io_uring_buf_reg reg{};
+  reg.ring_addr = reinterpret_cast<std::uintptr_t>(ring_mem);
+  reg.ring_entries = entries;
+  reg.bgid = kBufGroup;
+  if (SysIoUringRegister(uring_fd_, IORING_REGISTER_PBUF_RING, &reg, 1) < 0) {
+    munmap(ring_mem, ring_len);
+    LogCompletionFallbackOnce("pbuf ring register refused");
+    return false;
+  }
+  s->buf_ring = static_cast<io_uring_buf_ring*>(ring_mem);
+  s->bufs = static_cast<io_uring_buf*>(ring_mem);
+  s->buf_ring_len = ring_len;
+  s->buf_entries = entries;
+  s->buf_mask = entries - 1;
+  s->buf_size = static_cast<std::size_t>(std::max(256, options_.buf_size));
+  s->buf_arena = std::make_unique<char[]>(entries * s->buf_size);
+  for (unsigned i = 0; i < entries; i++) {
+    io_uring_buf* slot = &s->bufs[i];
+    slot->addr = reinterpret_cast<std::uintptr_t>(s->buf_arena.get() + i * s->buf_size);
+    slot->len = static_cast<std::uint32_t>(s->buf_size);
+    slot->bid = static_cast<std::uint16_t>(i);
+  }
+  s->buf_tail = static_cast<std::uint16_t>(entries);
+  __atomic_store_n(&s->buf_ring->tail, s->buf_tail, __ATOMIC_RELEASE);
+  // Registered files are an optimization, not a requirement: losing them
+  // keeps the completion path on raw fds.
+  if (options_.fixed_file_slots > 0) {
+    std::vector<int> table(static_cast<std::size_t>(options_.fixed_file_slots), -1);
+    if (SysIoUringRegister(uring_fd_, IORING_REGISTER_FILES, table.data(),
+                           static_cast<unsigned>(table.size())) == 0) {
+      s->fixed_files = true;
+      s->free_slots.reserve(table.size());
+      for (int slot = options_.fixed_file_slots - 1; slot >= 0; slot--) {
+        s->free_slots.push_back(slot);
+      }
+    }
+  }
+  return true;
+}
+
+void IoEngine::UringTeardownCompletion() {
+  UringState* s = uring_;
+  if (s->buf_ring != nullptr) {
+    munmap(s->buf_ring, s->buf_ring_len);
+    s->buf_ring = nullptr;
+  }
+}
+
+int IoEngine::AllocFixedSlot(int fd) {
+  UringState* s = uring_;
+  if (!s->fixed_files) {
+    return -1;
+  }
+  int slot = -1;
+  LockHandles();
+  if (!s->free_slots.empty()) {
+    slot = s->free_slots.back();
+    s->free_slots.pop_back();
+  }
+  UnlockHandles();
+  if (slot < 0) {
+    return -1;
+  }
+  io_uring_files_update up{};
+  up.offset = static_cast<unsigned>(slot);
+  up.fds = reinterpret_cast<std::uintptr_t>(&fd);
+  if (SysIoUringRegister(uring_fd_, IORING_REGISTER_FILES_UPDATE, &up, 1) < 0) {
+    LockHandles();
+    s->free_slots.push_back(slot);
+    UnlockHandles();
+    return -1;
+  }
+  return slot;
+}
+
+void IoEngine::ReleaseFixedSlot(int slot) {
+  UringState* s = uring_;
+  int minus_one = -1;
+  io_uring_files_update up{};
+  up.offset = static_cast<unsigned>(slot);
+  up.fds = reinterpret_cast<std::uintptr_t>(&minus_one);
+  // Clearing the slot releases the table's file reference — the last one by
+  // now, since Deregister already closed the fd number.
+  SysIoUringRegister(uring_fd_, IORING_REGISTER_FILES_UPDATE, &up, 1);
+  LockHandles();
+  s->free_slots.push_back(slot);
+  UnlockHandles();
+}
+
+bool IoEngine::ArmMainOp(IoHandle* handle) {
+  UringState* s = uring_;
+  IoCompletionState* cs = handle->cs;
+  SKYLOFT_CHECK(cs->mode != IoRegisterMode::kReadiness) << "ArmMainOp on a readiness handle";
+  SqLock(s);
+  auto* sqe = static_cast<io_uring_sqe*>(SqePrepareLocked());
+  if (sqe != nullptr) {
+    const bool fixed = cs->fixed_slot >= 0;
+    sqe->fd = fixed ? cs->fixed_slot : handle->fd;
+    if (fixed) {
+      sqe->flags |= IOSQE_FIXED_FILE;
+    }
+    switch (cs->mode) {
+      case IoRegisterMode::kStream:
+        sqe->opcode = IORING_OP_RECV;
+        sqe->ioprio = IORING_RECV_MULTISHOT;
+        sqe->flags |= IOSQE_BUFFER_SELECT;
+        sqe->buf_group = kBufGroup;
+        sqe->user_data = reinterpret_cast<std::uintptr_t>(handle) | kTagRecv;
+        break;
+      case IoRegisterMode::kDatagram:
+        sqe->opcode = IORING_OP_RECVMSG;
+        sqe->ioprio = IORING_RECV_MULTISHOT;
+        sqe->flags |= IOSQE_BUFFER_SELECT;
+        sqe->buf_group = kBufGroup;
+        sqe->addr = reinterpret_cast<std::uintptr_t>(&cs->rx_msg);
+        sqe->user_data = reinterpret_cast<std::uintptr_t>(handle) | kTagRecv;
+        break;
+      case IoRegisterMode::kListener:
+        sqe->opcode = IORING_OP_ACCEPT;
+        sqe->ioprio = IORING_ACCEPT_MULTISHOT;
+        sqe->accept_flags = SOCK_NONBLOCK | SOCK_CLOEXEC;
+        sqe->user_data = reinterpret_cast<std::uintptr_t>(handle) | kTagAccept;
+        break;
+      case IoRegisterMode::kReadiness:
+        break;  // unreachable, checked on entry
+    }
+    SqeCommitLocked();
+  }
+  SqUnlock(s);
+  return sqe != nullptr;
+}
+
+// Arms the next SEND/SENDMSG for the queued front frames. Caller holds the
+// handle's queue lock; nests the SQ lock inside it (lock order
+// io_handle_q -> uring_sq, everywhere). MSG_NOSIGNAL keeps a reset peer from
+// raising SIGPIPE out of the kernel's async context.
+bool IoEngine::ArmSendLocked(IoHandle* handle) {
+  IoCompletionState* cs = handle->cs;
+  int niov = 0;
+  std::size_t skip = cs->tx_off;
+  const int max_iov = std::min(std::max(1, options_.send_batch), kMaxSendIovs);
+  for (const std::string& frame : cs->tx) {
+    if (niov >= max_iov) {
+      break;
+    }
+    cs->tx_iov[niov].iov_base = const_cast<char*>(frame.data()) + skip;
+    cs->tx_iov[niov].iov_len = frame.size() - skip;
+    skip = 0;  // only the front frame carries an offset
+    niov++;
+  }
+  SKYLOFT_CHECK(niov > 0) << "ArmSendLocked with an empty send queue";
+  UringState* s = uring_;
+  SqLock(s);
+  auto* sqe = static_cast<io_uring_sqe*>(SqePrepareLocked());
+  if (sqe != nullptr) {
+    const bool fixed = cs->fixed_slot >= 0;
+    sqe->fd = fixed ? cs->fixed_slot : handle->fd;
+    if (fixed) {
+      sqe->flags |= IOSQE_FIXED_FILE;
+    }
+    if (niov == 1) {
+      sqe->opcode = IORING_OP_SEND;
+      sqe->addr = reinterpret_cast<std::uintptr_t>(cs->tx_iov[0].iov_base);
+      sqe->len = static_cast<std::uint32_t>(cs->tx_iov[0].iov_len);
+    } else {
+      sqe->opcode = IORING_OP_SENDMSG;
+      cs->tx_msg.msg_iov = cs->tx_iov;
+      cs->tx_msg.msg_iovlen = static_cast<std::size_t>(niov);
+      sqe->addr = reinterpret_cast<std::uintptr_t>(&cs->tx_msg);
+    }
+    sqe->msg_flags = MSG_NOSIGNAL;
+    sqe->user_data = reinterpret_cast<std::uintptr_t>(handle) | kTagSend;
+    SqeCommitLocked();
+  }
+  SqUnlock(s);
+  if (sqe == nullptr) {
+    return false;
+  }
+  IncLane(stats_.send_ops, worker_);
+  return true;
+}
+
+void IoEngine::QueueCancel(IoHandle* handle, std::uintptr_t target_tag) {
+  // Must not fail (a dropped cancel means a leaked handle); the inline flush
+  // in SqePrepareLocked drains a full SQ, so the retry terminates.
+  UringState* s = uring_;
+  SpinBackoff backoff;
+  while (true) {
+    SqLock(s);
+    auto* sqe = static_cast<io_uring_sqe*>(SqePrepareLocked());
+    if (sqe != nullptr) {
+      sqe->opcode = IORING_OP_ASYNC_CANCEL;
+      sqe->addr = reinterpret_cast<std::uintptr_t>(handle) | target_tag;
+      sqe->user_data = reinterpret_cast<std::uintptr_t>(handle) | kTagRemove;
+      SqeCommitLocked();
+      SqUnlock(s);
+      return;
+    }
+    SqUnlock(s);
+    backoff.Pause();
+  }
+}
+
+void IoEngine::StallHandle(IoHandle* handle) {
+  // Home-worker only (called while reaping). The terminal CQE's expected-CQE
+  // reference transfers to the list entry, keeping the handle alive until
+  // RearmStalled either re-arms (reference moves back to the op) or observes
+  // the close (reference dropped via UringFinishCqe).
+  stalled_.push_back(handle);
+}
+
+void IoEngine::RearmStalled() {
+  if (stalled_.empty()) {
+    return;
+  }
+  UringState* s = uring_;
+  const std::uint64_t recycled = s->buf_recycled.load(std::memory_order_acquire);
+  const bool bufs_back = recycled != last_recycled_;
+  std::size_t kept = 0;
+  for (IoHandle* handle : stalled_) {
+    if (handle->closed.load(std::memory_order_acquire)) {
+      UringFinishCqe(handle);  // drop the list reference; may free
+      continue;
+    }
+    // ENOBUFS-stalled recvs only retry once a buffer came back; accept
+    // stalls (EMFILE bursts) retry every round — their resource isn't ours
+    // to observe.
+    const bool listener = handle->cs->mode == IoRegisterMode::kListener;
+    if (!listener && !bufs_back) {
+      stalled_[kept++] = handle;
+      continue;
+    }
+    // Publish-then-recheck against a concurrent Deregister (which stores
+    // closed, then reads armed): with seq_cst on both sides at least one of
+    // us sees the other, so a re-armed op always has a cancel coming or is
+    // never armed at all.
+    handle->main_poll_armed.store(true, std::memory_order_seq_cst);
+    if (handle->closed.load(std::memory_order_seq_cst)) {
+      handle->main_poll_armed.store(false, std::memory_order_release);
+      UringFinishCqe(handle);
+      continue;
+    }
+    if (!ArmMainOp(handle)) {
+      handle->main_poll_armed.store(false, std::memory_order_release);
+      stalled_[kept++] = handle;
+    }
+  }
+  stalled_.resize(kept);
+  last_recycled_ = recycled;
+}
+
+void IoEngine::HandleRecvCqe(IoHandle* handle, std::int32_t res, std::uint32_t flags) {
+  const bool more = (flags & IORING_CQE_F_MORE) != 0;
+  const bool has_buf = (flags & IORING_CQE_F_BUFFER) != 0;
+  const auto bid = static_cast<std::uint16_t>(flags >> IORING_CQE_BUFFER_SHIFT);
+  if (handle->closed.load(std::memory_order_acquire)) {
+    // Stale completion for a deregistered handle: the buffer still belongs
+    // to the ring, the data does not belong to anyone.
+    if (has_buf) {
+      RecycleBuffer(bid);
+    }
+    if (!more) {
+      handle->main_poll_armed.store(false, std::memory_order_release);
+      UringFinishCqe(handle);
+    }
+    return;
+  }
+  if (res < 0) {
+    // Errors are terminal for the multishot (the kernel never sets F_MORE on
+    // them).
+    handle->main_poll_armed.store(false, std::memory_order_release);
+    if (res == -ENOBUFS) {
+      // Provided-buffer ring ran dry: park on the stall list and re-arm once
+      // a consumer recycles — the backpressure path, not an error.
+      IncLane(stats_.buf_exhaustions, worker_);
+      StallHandle(handle);
+      return;
+    }
+    DeliverReady(handle, kIoError);
+    UringFinishCqe(handle);
+    return;
+  }
+  if (res == 0) {
+    // Stream EOF. Terminal: re-arming would just replay 0-byte completions.
+    if (has_buf) {
+      RecycleBuffer(bid);
+    }
+    handle->main_poll_armed.store(false, std::memory_order_release);
+    DeliverReady(handle, kIoHup);
+    if (!more) {
+      UringFinishCqe(handle);
+    }
+    return;
+  }
+  if (has_buf) {
+    IoCompletionState* cs = handle->cs;
+    QLock(cs);
+    cs->rx.push_back(IoRecvSeg{static_cast<std::uint32_t>(res), bid});
+    QUnlock(cs);
+    IncLane(stats_.recv_segments, worker_);
+    DeliverReady(handle, kIoReadable);
+  }
+  if (!more) {
+    // The kernel retired the multishot without an error (e.g. bufs were
+    // momentarily short); re-arm inline so the data path keeps flowing.
+    if (!ArmMainOp(handle)) {
+      handle->main_poll_armed.store(false, std::memory_order_release);
+      DeliverReady(handle, kIoError);
+      UringFinishCqe(handle);
+    }
+  }
+}
+
+void IoEngine::HandleAcceptCqe(IoHandle* handle, std::int32_t res, std::uint32_t flags) {
+  const bool more = (flags & IORING_CQE_F_MORE) != 0;
+  if (handle->closed.load(std::memory_order_acquire)) {
+    if (res >= 0) {
+      close(res);  // accepted after the listener was torn down
+    }
+    if (!more) {
+      handle->main_poll_armed.store(false, std::memory_order_release);
+      UringFinishCqe(handle);
+    }
+    return;
+  }
+  if (res < 0) {
+    handle->main_poll_armed.store(false, std::memory_order_release);
+    if (res == -ECANCELED) {
+      UringFinishCqe(handle);
+      return;
+    }
+    // Transient accept failure (ECONNABORTED, EMFILE burst): retry from the
+    // stall list next poll round rather than killing the listener.
+    StallHandle(handle);
+    return;
+  }
+  IoCompletionState* cs = handle->cs;
+  QLock(cs);
+  cs->accepted.push_back(res);
+  QUnlock(cs);
+  IncLane(stats_.completion_accepts, worker_);
+  DeliverReady(handle, kIoReadable);
+  if (!more) {
+    if (!ArmMainOp(handle)) {
+      handle->main_poll_armed.store(false, std::memory_order_release);
+      DeliverReady(handle, kIoError);
+      UringFinishCqe(handle);
+    }
+  }
+}
+
+void IoEngine::HandleSendCqe(IoHandle* handle, std::int32_t res) {
+  IoCompletionState* cs = handle->cs;
+  unsigned latch = 0;
+  bool finished = true;  // this CQE retires the in-flight send unless re-armed
+  QLock(cs);
+  if (res < 0) {
+    // EPIPE/ECONNRESET and friends: the connection is done writing; drop the
+    // queue so teardown doesn't wait on bytes that can never leave.
+    cs->tx.clear();
+    cs->tx_off = 0;
+    cs->tx_bytes = 0;
+    cs->tx_inflight = false;
+    latch = kIoError;
+  } else {
+    const auto sent = static_cast<std::size_t>(res);
+    cs->tx_bytes -= std::min(sent, cs->tx_bytes);
+    std::size_t consumed = cs->tx_off + sent;
+    while (!cs->tx.empty() && consumed >= cs->tx.front().size()) {
+      consumed -= cs->tx.front().size();
+      cs->tx.pop_front();
+    }
+    cs->tx_off = consumed;
+    if (cs->tx.empty()) {
+      cs->tx_inflight = false;
+      latch = kIoWritable;  // drained: wake a backpressured writer
+    } else if (handle->closed.load(std::memory_order_acquire)) {
+      cs->tx.clear();
+      cs->tx_off = 0;
+      cs->tx_bytes = 0;
+      cs->tx_inflight = false;
+    } else if (ArmSendLocked(handle)) {
+      finished = false;  // short send: continuation keeps the expected CQE
+    } else {
+      cs->tx_inflight = false;
+      latch = kIoError;
+    }
+  }
+  QUnlock(cs);
+  if (latch != 0) {
+    DeliverReady(handle, latch);  // no-op on closed handles
+  }
+  if (finished) {
+    UringFinishCqe(handle);
+  }
+}
+
+bool IoEngine::PopRecv(IoHandle* handle, IoRecvSlice* slice) {
+  IoCompletionState* cs = handle->cs;
+  if (cs == nullptr) {
+    return false;
+  }
+  IoRecvSeg seg;
+  QLock(cs);
+  if (cs->rx.empty()) {
+    QUnlock(cs);
+    return false;
+  }
+  seg = cs->rx.front();
+  cs->rx.pop_front();
+  QUnlock(cs);
+  UringState* s = uring_;
+  slice->data = s->buf_arena.get() + static_cast<std::size_t>(seg.bid) * s->buf_size;
+  slice->len = seg.len;
+  slice->buf_id = seg.bid;
+  return true;
+}
+
+void IoEngine::RecycleBuffer(std::uint16_t buf_id) {
+  UringState* s = uring_;
+  BufLock(s);
+  const std::uint16_t tail = s->buf_tail;
+  io_uring_buf* slot = &s->bufs[tail & s->buf_mask];
+  slot->addr = reinterpret_cast<std::uintptr_t>(
+      s->buf_arena.get() + static_cast<std::size_t>(buf_id) * s->buf_size);
+  slot->len = static_cast<std::uint32_t>(s->buf_size);
+  slot->bid = buf_id;
+  s->buf_tail = static_cast<std::uint16_t>(tail + 1);
+  __atomic_store_n(&s->buf_ring->tail, s->buf_tail, __ATOMIC_RELEASE);
+  BufUnlock(s);
+  s->buf_recycled.fetch_add(1, std::memory_order_release);
+}
+
+int IoEngine::TakeAccepted(IoHandle* handle) {
+  IoCompletionState* cs = handle->cs;
+  if (cs == nullptr) {
+    return -1;
+  }
+  int fd = -1;
+  QLock(cs);
+  if (!cs->accepted.empty()) {
+    fd = cs->accepted.front();
+    cs->accepted.pop_front();
+  }
+  QUnlock(cs);
+  return fd;
+}
+
+std::size_t IoEngine::SendEnqueue(IoHandle* handle, std::string frame) {
+  IoCompletionState* cs = handle->cs;
+  SKYLOFT_CHECK(cs != nullptr) << "SendEnqueue on a readiness handle";
+  if (frame.empty()) {
+    return SendQueuedBytes(handle);
+  }
+  bool arm_failed = false;
+  std::size_t queued = 0;
+  QLock(cs);
+  if (!handle->closed.load(std::memory_order_acquire)) {
+    cs->tx_bytes += frame.size();
+    queued = cs->tx_bytes;
+    cs->tx.push_back(std::move(frame));
+    if (!cs->tx_inflight) {
+      // Count the send's expected CQE before the kernel can post it. The
+      // handle cannot race to its free point here: it is not closed and we
+      // are its (single) writer.
+      handle->pending_cqes.fetch_add(1, std::memory_order_acq_rel);
+      if (ArmSendLocked(handle)) {
+        cs->tx_inflight = true;
+      } else {
+        handle->pending_cqes.fetch_sub(1, std::memory_order_acq_rel);
+        cs->tx.clear();
+        cs->tx_off = 0;
+        cs->tx_bytes = 0;
+        arm_failed = true;
+        queued = 0;
+      }
+    }
+  }
+  QUnlock(cs);
+  if (arm_failed) {
+    // No send monitoring means the writer could wait forever; latch an error
+    // so it wakes and fails the connection instead.
+    DeliverReady(handle, kIoError);
+  }
+  return queued;
+}
+
+std::size_t IoEngine::SendQueuedBytes(IoHandle* handle) {
+  IoCompletionState* cs = handle->cs;
+  if (cs == nullptr) {
+    return 0;
+  }
+  QLock(cs);
+  const std::size_t n = cs->tx_bytes;
+  QUnlock(cs);
+  return n;
+}
+
+bool IoEngine::SendDatagram(IoHandle* handle, const sockaddr_in& to, std::string frame) {
+  IoCompletionState* cs = handle->cs;
+  SKYLOFT_CHECK(cs != nullptr) << "SendDatagram on a readiness handle";
+  if (handle->closed.load(std::memory_order_acquire)) {
+    return false;
+  }
+  auto* op = new DgramSendOp;
+  op->handle = handle;
+  op->to = to;
+  op->payload = std::move(frame);
+  op->iov.iov_base = const_cast<char*>(op->payload.data());
+  op->iov.iov_len = op->payload.size();
+  op->msg.msg_name = &op->to;
+  op->msg.msg_namelen = sizeof(op->to);
+  op->msg.msg_iov = &op->iov;
+  op->msg.msg_iovlen = 1;
+  // The caller is the handle's serving uthread, so no concurrent Deregister
+  // can race this expected-CQE count (same single-owner argument as
+  // SendEnqueue).
+  handle->pending_cqes.fetch_add(1, std::memory_order_acq_rel);
+  UringState* s = uring_;
+  SqLock(s);
+  auto* sqe = static_cast<io_uring_sqe*>(SqePrepareLocked());
+  if (sqe != nullptr) {
+    const bool fixed = cs->fixed_slot >= 0;
+    sqe->fd = fixed ? cs->fixed_slot : handle->fd;
+    if (fixed) {
+      sqe->flags |= IOSQE_FIXED_FILE;
+    }
+    sqe->opcode = IORING_OP_SENDMSG;
+    sqe->addr = reinterpret_cast<std::uintptr_t>(&op->msg);
+    sqe->msg_flags = MSG_NOSIGNAL;
+    sqe->user_data = reinterpret_cast<std::uintptr_t>(op) | kTagDgram;
+    SqeCommitLocked();
+  }
+  SqUnlock(s);
+  if (sqe == nullptr) {
+    handle->pending_cqes.fetch_sub(1, std::memory_order_acq_rel);
+    delete op;
+    return false;  // SQ jammed: drop the reply, exactly like UDP overload
+  }
+  IncLane(stats_.send_ops, worker_);
+  return true;
+}
+
+bool IoEngine::ParseDatagram(const IoRecvSlice& slice, IoDatagram* out) {
+  // Multishot RECVMSG packs [io_uring_recvmsg_out][name area][control area]
+  // [payload] into the provided buffer; the armed msghdr reserved
+  // sizeof(sockaddr_in) of name space and no control space.
+  const auto* hdr = reinterpret_cast<const io_uring_recvmsg_out*>(slice.data);
+  if (slice.len < sizeof(*hdr)) {
+    return false;
+  }
+  const std::size_t payload_off = sizeof(*hdr) + sizeof(sockaddr_in);
+  if (slice.len < payload_off || slice.len - payload_off < hdr->payloadlen) {
+    return false;  // truncated (datagram or sender address didn't fit)
+  }
+  if (hdr->namelen < sizeof(sockaddr_in)) {
+    return false;
+  }
+  std::memcpy(&out->peer, slice.data + sizeof(*hdr), sizeof(out->peer));
+  out->data = slice.data + payload_off;
+  out->len = hdr->payloadlen;
+  return true;
+}
+
+void IoEngine::FreeCompletionResources(IoHandle* handle) {
+  IoCompletionState* cs = handle->cs;
+  if (cs == nullptr) {
+    return;
+  }
+  // The free point: no op references the handle any more, so queued-but-
+  // unconsumed resources return to their owners — buffers to the ring,
+  // never-taken accepted fds to the kernel.
+  for (const IoRecvSeg& seg : cs->rx) {
+    RecycleBuffer(seg.bid);
+  }
+  for (const int fd : cs->accepted) {
+    close(fd);
+  }
+  if (cs->fixed_slot >= 0) {
+    ReleaseFixedSlot(cs->fixed_slot);
+  }
+  delete cs;
+  handle->cs = nullptr;
+}
+
+#else  // !SKYLOFT_URING_COMPLETION (io_uring without a 6.0+ uapi header)
+
+struct IoCompletionState {};
+
+bool IoEngine::UringSetupCompletion() { return false; }
+void IoEngine::UringTeardownCompletion() {}
+void IoEngine::QLock(IoCompletionState*) {}
+void IoEngine::QUnlock(IoCompletionState*) {}
+void IoEngine::BufLock(UringState*) {}
+void IoEngine::BufUnlock(UringState*) {}
+int IoEngine::AllocFixedSlot(int) { return -1; }
+void IoEngine::ReleaseFixedSlot(int) {}
+bool IoEngine::ArmMainOp(IoHandle*) { return false; }
+bool IoEngine::ArmSendLocked(IoHandle*) { return false; }
+void IoEngine::QueueCancel(IoHandle*, std::uintptr_t) {}
+void IoEngine::StallHandle(IoHandle*) {}
+void IoEngine::RearmStalled() {}
+void IoEngine::HandleRecvCqe(IoHandle*, std::int32_t, std::uint32_t) {}
+void IoEngine::HandleAcceptCqe(IoHandle*, std::int32_t, std::uint32_t) {}
+void IoEngine::HandleSendCqe(IoHandle*, std::int32_t) {}
+bool IoEngine::PopRecv(IoHandle*, IoRecvSlice*) { return false; }
+void IoEngine::RecycleBuffer(std::uint16_t) {}
+int IoEngine::TakeAccepted(IoHandle*) { return -1; }
+std::size_t IoEngine::SendEnqueue(IoHandle*, std::string) { return 0; }
+std::size_t IoEngine::SendQueuedBytes(IoHandle*) { return 0; }
+bool IoEngine::SendDatagram(IoHandle*, const sockaddr_in&, std::string) { return false; }
+bool IoEngine::ParseDatagram(const IoRecvSlice&, IoDatagram*) { return false; }
+void IoEngine::FreeCompletionResources(IoHandle* handle) {
+  delete handle->cs;  // never allocated on this build; null delete is a no-op
+  handle->cs = nullptr;
+}
+
+#endif  // SKYLOFT_URING_COMPLETION
+
 #else  // !SKYLOFT_IO_URING
 
 struct IoEngine::UringState {};
+struct IoEngine::DgramSendOp {};
+struct IoCompletionState {};
 bool IoEngine::UringInit(int /*entries*/) { return false; }
 void IoEngine::UringShutdown() {}
 int IoEngine::UringPoll() { return 0; }
+void IoEngine::FlushSubmissions() {}
 bool IoEngine::UringArmPoll(IoHandle*, unsigned, std::uintptr_t) { return false; }
 void IoEngine::UringRemovePoll(IoHandle*, std::uintptr_t) {}
 void IoEngine::UringFinishCqe(IoHandle*) {}
 void IoEngine::UringSubmit() {}
+void* IoEngine::SqePrepareLocked() { return nullptr; }
+void IoEngine::SqeCommitLocked() {}
+bool IoEngine::UringSetupCompletion() { return false; }
+void IoEngine::UringTeardownCompletion() {}
+void IoEngine::QLock(IoCompletionState*) {}
+void IoEngine::QUnlock(IoCompletionState*) {}
+void IoEngine::BufLock(UringState*) {}
+void IoEngine::BufUnlock(UringState*) {}
+int IoEngine::AllocFixedSlot(int) { return -1; }
+void IoEngine::ReleaseFixedSlot(int) {}
+bool IoEngine::ArmMainOp(IoHandle*) { return false; }
+bool IoEngine::ArmSendLocked(IoHandle*) { return false; }
+void IoEngine::QueueCancel(IoHandle*, std::uintptr_t) {}
+void IoEngine::StallHandle(IoHandle*) {}
+void IoEngine::RearmStalled() {}
+void IoEngine::HandleRecvCqe(IoHandle*, std::int32_t, std::uint32_t) {}
+void IoEngine::HandleAcceptCqe(IoHandle*, std::int32_t, std::uint32_t) {}
+void IoEngine::HandleSendCqe(IoHandle*, std::int32_t) {}
+bool IoEngine::PopRecv(IoHandle*, IoRecvSlice*) { return false; }
+void IoEngine::RecycleBuffer(std::uint16_t) {}
+int IoEngine::TakeAccepted(IoHandle*) { return -1; }
+std::size_t IoEngine::SendEnqueue(IoHandle*, std::string) { return 0; }
+std::size_t IoEngine::SendQueuedBytes(IoHandle*) { return 0; }
+bool IoEngine::SendDatagram(IoHandle*, const sockaddr_in&, std::string) { return false; }
+bool IoEngine::ParseDatagram(const IoRecvSlice&, IoDatagram*) { return false; }
+void IoEngine::FreeCompletionResources(IoHandle* handle) {
+  delete handle->cs;
+  handle->cs = nullptr;
+}
 
 #endif  // SKYLOFT_IO_URING
 
@@ -354,13 +1317,17 @@ IoEngine::IoEngine(int worker, const IoEngineOptions& options, const IoEngineSta
 
 IoEngine::~IoEngine() {
   // Drain the retire pipeline, then close out whatever the application left
-  // registered (a server torn down mid-connection).
+  // registered (a server torn down mid-connection). The stall list holds
+  // references to handles that are also in handles_; just drop the list —
+  // the sweep below frees them.
+  stalled_.clear();
   FreeRetired();
   FreeRetired();
   for (IoHandle* handle : handles_) {
     if (!handle->closed.load(std::memory_order_relaxed)) {
       close(handle->fd);
     }
+    FreeCompletionResources(handle);
     delete handle;
   }
   handles_.clear();
@@ -397,7 +1364,7 @@ void IoEngine::UntrackHandle(IoHandle* handle) {
   UnlockHandles();
 }
 
-IoHandle* IoEngine::Register(int fd) {
+IoHandle* IoEngine::Register(int fd, IoRegisterMode mode) {
   const int fl = fcntl(fd, F_GETFL, 0);
   if (fl < 0 || fcntl(fd, F_SETFL, fl | O_NONBLOCK) < 0) {
     return nullptr;
@@ -407,15 +1374,42 @@ IoHandle* IoEngine::Register(int fd) {
   handle->engine = this;
   if (uring_fd_ >= 0) {
 #ifdef SKYLOFT_IO_URING
-    // Pre-publication: count the main poll's expected terminal CQE before
-    // the kernel can post it.
+#ifdef SKYLOFT_URING_COMPLETION
+    if (completion_ && mode != IoRegisterMode::kReadiness) {
+      handle->mode = mode;
+      auto* cs = new IoCompletionState;
+      cs->mode = mode;
+      if (mode == IoRegisterMode::kDatagram) {
+        cs->rx_msg.msg_namelen = sizeof(sockaddr_in);
+      }
+      cs->fixed_slot = AllocFixedSlot(fd);
+      handle->cs = cs;
+      // Pre-publication: count the main op's expected terminal CQE before
+      // the kernel can post it.
+      handle->main_poll_armed.store(true, std::memory_order_relaxed);
+      handle->pending_cqes.store(1, std::memory_order_relaxed);
+      if (!ArmMainOp(handle)) {
+        if (cs->fixed_slot >= 0) {
+          ReleaseFixedSlot(cs->fixed_slot);
+        }
+        delete cs;
+        handle->cs = nullptr;
+        delete handle;
+        return nullptr;
+      }
+      TrackHandle(handle);
+      IncLane(stats_.registered, worker_);
+      return handle;
+    }
+#endif
+    // Readiness mode (or completion unavailable): multishot POLL_ADD. The
+    // SQE rides the next poll round's batched submit.
     handle->main_poll_armed.store(true, std::memory_order_relaxed);
     handle->pending_cqes.store(1, std::memory_order_relaxed);
     if (!UringArmPoll(handle, POLLIN | POLLRDHUP, kTagMainPoll)) {
       delete handle;
       return nullptr;
     }
-    UringSubmit();
 #endif
   } else {
     epoll_event ev{};
@@ -436,25 +1430,39 @@ void IoEngine::Deregister(IoHandle* handle) {
   if (uring_fd_ >= 0) {
     // Take a queueing reference BEFORE publishing closed: once closed is
     // visible, a concurrent reaper dropping pending_cqes to zero frees the
-    // handle, and this function is still using it below.
+    // handle, and this function is still using it below. seq_cst pairs with
+    // RearmStalled's armed-store/closed-recheck so the two can never both
+    // miss each other (a stalled handle re-armed with no cancel queued).
     handle->pending_cqes.fetch_add(1, std::memory_order_acq_rel);
-    const bool was_closed = handle->closed.exchange(true, std::memory_order_acq_rel);
+    const bool was_closed = handle->closed.exchange(true, std::memory_order_seq_cst);
     SKYLOFT_CHECK(!was_closed) << "double Deregister of fd " << handle->fd;
-    // Cancel every outstanding poll — the multishot main poll and, if armed,
-    // the oneshot write poll. A pending poll holds a file reference, so
-    // closing the fd alone would not complete it and its CQE could fire
-    // after the handle was freed. Each remove yields its own CQE too; count
-    // both before queueing. The fd can be closed right away — POLL_REMOVE
-    // targets by user_data, not fd.
-    if (handle->main_poll_armed.load(std::memory_order_acquire)) {
+    // Cancel every outstanding op — the multishot main op (POLL_ADD for
+    // readiness handles, RECV/RECVMSG/ACCEPT for completion handles), the
+    // oneshot write poll, and an in-flight async send. A pending op holds a
+    // file reference, so closing the fd alone would not complete it and its
+    // CQE could fire after the handle was freed. Each cancel yields its own
+    // CQE too; count both before queueing. The fd can be closed right away —
+    // POLL_REMOVE/ASYNC_CANCEL target by user_data, not fd.
+    if (handle->main_poll_armed.load(std::memory_order_seq_cst)) {
       handle->pending_cqes.fetch_add(1, std::memory_order_acq_rel);
-      UringRemovePoll(handle, kTagRemove);
+      if (handle->cs == nullptr) {
+        UringRemovePoll(handle, kTagRemove);
+      } else {
+        QueueCancel(handle, handle->mode == IoRegisterMode::kListener ? kTagAccept : kTagRecv);
+      }
     }
     if (handle->write_poll_armed.load(std::memory_order_acquire)) {
       handle->pending_cqes.fetch_add(1, std::memory_order_acq_rel);
       UringRemovePoll(handle, kTagRemoveWrite);
     }
-    UringSubmit();
+    if (handle->cs != nullptr) {
+      // An in-flight async send holds a file reference and could otherwise
+      // stay queued indefinitely (zero-window peer) pinning the handle;
+      // cancel unconditionally — a miss just yields a -ENOENT cancel CQE,
+      // which the +1 below absorbs either way.
+      handle->pending_cqes.fetch_add(1, std::memory_order_acq_rel);
+      QueueCancel(handle, kTagSend);
+    }
     close(handle->fd);
     IncLane(stats_.retired, worker_);
     UringFinishCqe(handle);  // drop the queueing reference; may free
@@ -552,6 +1560,12 @@ int IoEngine::Poll() {
 void IoEngine::RequestWritable(IoHandle* handle) {
   if (uring_fd_ >= 0) {
 #ifdef SKYLOFT_IO_URING
+    if (handle->cs != nullptr) {
+      // Completion handles don't poll for POLLOUT: the parked writer is
+      // woken by the send queue draining (final send CQE latches
+      // kIoWritable).
+      return;
+    }
     // At most one oneshot POLLOUT in flight per handle, so Deregister knows
     // exactly which polls remain to cancel; an unreaped previous arm still
     // delivers the wakeup this caller is about to wait for.
@@ -559,9 +1573,7 @@ void IoEngine::RequestWritable(IoHandle* handle) {
       return;
     }
     handle->pending_cqes.fetch_add(1, std::memory_order_acq_rel);
-    if (UringArmPoll(handle, POLLOUT, kTagWritePoll)) {
-      UringSubmit();
-    } else {
+    if (!UringArmPoll(handle, POLLOUT, kTagWritePoll)) {
       handle->pending_cqes.fetch_sub(1, std::memory_order_acq_rel);
       handle->write_poll_armed.store(false, std::memory_order_release);
       // No write monitoring means the waiter would park forever; latch an
@@ -580,6 +1592,60 @@ void IoEngine::RelatchReadable(IoHandle* handle) {
   if (waiter != nullptr) {
     Runtime::Unpark(waiter);
   }
+}
+
+void IoEngine::DumpDebug(std::FILE* out) {
+  std::fprintf(out, "engine[%d] backend=%s completion=%d\n", worker_,
+               uring_fd_ >= 0 ? "io_uring" : "epoll", completion_ ? 1 : 0);
+#ifdef SKYLOFT_IO_URING
+  if (uring_ != nullptr) {
+    UringState* s = uring_;
+    std::fprintf(out,
+                 "  sq head=%u tail=%u to_submit=%u flags=%#x cq head=%u tail=%u\n",
+                 __atomic_load_n(s->sq_head, __ATOMIC_ACQUIRE),
+                 __atomic_load_n(s->sq_tail, __ATOMIC_ACQUIRE),
+                 s->to_submit.load(std::memory_order_relaxed),
+                 __atomic_load_n(s->sq_flags, __ATOMIC_ACQUIRE),
+                 __atomic_load_n(s->cq_head, __ATOMIC_ACQUIRE),
+                 __atomic_load_n(s->cq_tail, __ATOMIC_ACQUIRE));
+#ifdef SKYLOFT_URING_COMPLETION
+    if (s->buf_ring != nullptr) {
+      std::fprintf(out, "  buf entries=%u tail=%u recycled=%llu stalled=%zu\n",
+                   s->buf_entries, static_cast<unsigned>(s->buf_tail),
+                   static_cast<unsigned long long>(
+                       s->buf_recycled.load(std::memory_order_acquire)),
+                   stalled_.size());
+    }
+#endif
+  }
+#endif
+  LockHandles();
+  for (IoHandle* handle : handles_) {
+    std::fprintf(out,
+                 "  fd=%d mode=%d ready=%#x closed=%d armed=%d/%d pending=%d "
+                 "reader=%d writer=%d",
+                 handle->fd, static_cast<int>(handle->mode),
+                 handle->ready.load(std::memory_order_acquire),
+                 handle->closed.load(std::memory_order_acquire) ? 1 : 0,
+                 handle->main_poll_armed.load(std::memory_order_acquire) ? 1 : 0,
+                 handle->write_poll_armed.load(std::memory_order_acquire) ? 1 : 0,
+                 handle->pending_cqes.load(std::memory_order_acquire),
+                 handle->reader.load(std::memory_order_acquire) != nullptr ? 1 : 0,
+                 handle->writer.load(std::memory_order_acquire) != nullptr ? 1 : 0);
+#ifdef SKYLOFT_URING_COMPLETION
+    if (handle->cs != nullptr) {
+      IoCompletionState* cs = handle->cs;
+      QLock(cs);
+      std::fprintf(out, " rx=%zu acc=%zu tx=%zu tx_bytes=%zu tx_off=%zu inflight=%d",
+                   cs->rx.size(), cs->accepted.size(), cs->tx.size(), cs->tx_bytes,
+                   cs->tx_off, cs->tx_inflight ? 1 : 0);
+      QUnlock(cs);
+    }
+#endif
+    std::fprintf(out, "\n");
+  }
+  UnlockHandles();
+  std::fflush(out);
 }
 
 void IoEngine::Interrupt(IoHandle* handle) {

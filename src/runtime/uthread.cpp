@@ -277,10 +277,36 @@ Runtime::Runtime(RuntimeOptions options) : options_(options) {
     io_stats_.registered = io_metrics_.AddSharded("registered", options_.workers);
     io_stats_.retired = io_metrics_.AddSharded("retired", options_.workers);
     io_stats_.uring_fallbacks = io_metrics_.AddSharded("uring_fallbacks", options_.workers);
+    // Data-path syscall accounting (the bench's syscalls/request family):
+    // engines count their own io_uring_enter calls; readiness serving loops
+    // self-report read/write/accept via IoEngine::CountSys*.
+    io_stats_.sys_enter = io_metrics_.AddSharded("sys_enter", options_.workers);
+    io_stats_.sys_read = io_metrics_.AddSharded("sys_read", options_.workers);
+    io_stats_.sys_write = io_metrics_.AddSharded("sys_write", options_.workers);
+    io_stats_.sys_accept = io_metrics_.AddSharded("sys_accept", options_.workers);
+    // Completion data-path traffic.
+    io_stats_.recv_segments = io_metrics_.AddSharded("recv_segments", options_.workers);
+    io_stats_.send_ops = io_metrics_.AddSharded("send_ops", options_.workers);
+    io_stats_.completion_accepts = io_metrics_.AddSharded("completion_accepts", options_.workers);
+    io_stats_.buf_exhaustions = io_metrics_.AddSharded("buf_exhaustions", options_.workers);
     for (int i = 0; i < options_.workers; i++) {
       engines_.push_back(std::make_unique<IoEngine>(i, options_.io, io_stats_));
     }
   }
+}
+
+std::uint64_t Runtime::io_data_syscalls() const {
+  if (engines_.empty()) {
+    return 0;
+  }
+  std::uint64_t total = 0;
+  for (const ShardedCounter* c : {io_stats_.sys_enter, io_stats_.sys_read, io_stats_.sys_write,
+                                  io_stats_.sys_accept}) {
+    if (c != nullptr) {
+      total += c->Value();
+    }
+  }
+  return total;
 }
 
 Runtime::~Runtime() {
@@ -500,6 +526,12 @@ void Runtime::WorkerLoop(int index) {
       next = FindWork(worker);
     }
     if (next == nullptr) {
+      // Out of runnable work: push any deferred io_uring submissions before
+      // the OS yield (which can cost a whole timeslice on a loaded box) so
+      // the kernel processes them while this worker is off-CPU.
+      if (engine != nullptr) {
+        engine->FlushSubmissions();
+      }
       worker->sched.SetIdle(true);
       std::this_thread::yield();
       continue;

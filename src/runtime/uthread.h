@@ -177,6 +177,12 @@ class Runtime {
     return engines_.empty() ? nullptr : engines_[static_cast<std::size_t>(worker)].get();
   }
 
+  // Data-path syscall totals across all engines, and the numerator of the
+  // bench's syscalls/request column: io_uring_enter + read + write + accept.
+  // Engines count their own enters; the readiness serving loops self-report
+  // via IoEngine::CountSys*. Zero when the runtime has no I/O engines.
+  std::uint64_t io_data_syscalls() const;
+
  private:
   friend struct RuntimeWorker;
 
